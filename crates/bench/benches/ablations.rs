@@ -1,0 +1,146 @@
+//! Ablation benches (DESIGN.md A1–A4): quantify the design choices the
+//! paper fixes silently.
+//!
+//! * **A1** — allocation strategy (best/first/worst fit, random,
+//!   least-loaded) on identical workloads.
+//! * **A2** — per-configuration idle/busy lists vs naive full scans:
+//!   identical schedules, different search-step counts and wall time.
+//! * **A3** — suspension queue vs discard-on-block.
+//! * **A4** — event-driven vs literal tick-stepped driver: identical
+//!   results, very different wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::BENCH_SEED;
+use dreamsim_engine::{ReconfigMode, SimParams, Simulation};
+use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
+use dreamsim_sweep::ablations;
+use dreamsim_sweep::runner::{run_point, PolicyConfig, SweepPoint};
+use dreamsim_workload::SyntheticSource;
+use std::hint::black_box;
+
+fn base(tasks: usize) -> SimParams {
+    let mut p = SimParams::paper(100, tasks, ReconfigMode::Partial);
+    p.seed = BENCH_SEED;
+    p
+}
+
+fn a1_policies(c: &mut Criterion) {
+    println!("\n=== A1 — allocation strategies (100 nodes, 1000 tasks) ===");
+    println!(
+        "{:<14} {:>12} {:>13} {:>12} {:>10}",
+        "strategy", "wasted-area", "waiting-time", "sched-steps", "discarded"
+    );
+    for (label, m) in ablations::policy_comparison(&base(1_000), 0) {
+        println!(
+            "{label:<14} {:>12.2} {:>13.1} {:>12.1} {:>10}",
+            m.avg_wasted_area_per_task,
+            m.avg_waiting_time_per_task,
+            m.avg_scheduling_steps_per_task,
+            m.total_discarded_tasks
+        );
+    }
+    let mut group = c.benchmark_group("a1_policies");
+    group.sample_size(10);
+    for strategy in [
+        AllocationStrategy::BestFit,
+        AllocationStrategy::FirstFit,
+        AllocationStrategy::Random,
+    ] {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let point = SweepPoint::new(strategy.label(), base(500)).with_policy(PolicyConfig {
+                    strategy,
+                    naive_search: false,
+                });
+                black_box(run_point(&point).metrics.avg_wasted_area_per_task)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn a2_datastructures(c: &mut Criterion) {
+    let (lists, naive) = ablations::datastructure_comparison(&base(1_000));
+    println!("\n=== A2 — idle/busy lists vs naive full scans (1000 tasks) ===");
+    println!(
+        "scheduler search length: lists {} vs naive {} ({:.2}x)",
+        lists.scheduler_search_length,
+        naive.scheduler_search_length,
+        naive.scheduler_search_length as f64 / lists.scheduler_search_length.max(1) as f64
+    );
+    assert_eq!(lists.total_tasks_completed, naive.total_tasks_completed);
+    let mut group = c.benchmark_group("a2_datastructures");
+    group.sample_size(10);
+    group.bench_function("list_based", |b| {
+        b.iter(|| black_box(run_point(&SweepPoint::new("l", base(500))).metrics.total_scheduler_workload));
+    });
+    group.bench_function("naive_scan", |b| {
+        b.iter(|| {
+            let point = SweepPoint::new("n", base(500)).with_policy(PolicyConfig {
+                strategy: AllocationStrategy::BestFit,
+                naive_search: true,
+            });
+            black_box(run_point(&point).metrics.total_scheduler_workload)
+        });
+    });
+    group.finish();
+}
+
+fn a3_suspension(c: &mut Criterion) {
+    let (with_q, without) = ablations::suspension_comparison(&base(1_000));
+    println!("\n=== A3 — suspension queue on/off (1000 tasks) ===");
+    println!(
+        "discarded: with {} vs without {}; completed: {} vs {}",
+        with_q.total_discarded_tasks,
+        without.total_discarded_tasks,
+        with_q.total_tasks_completed,
+        without.total_tasks_completed
+    );
+    assert!(without.total_discarded_tasks >= with_q.total_discarded_tasks);
+    let mut group = c.benchmark_group("a3_suspension");
+    group.sample_size(10);
+    group.bench_function("with_suspension", |b| {
+        b.iter(|| black_box(run_point(&SweepPoint::new("s", base(500))).metrics.total_suspensions));
+    });
+    group.bench_function("without_suspension", |b| {
+        b.iter(|| {
+            let mut p = base(500);
+            p.suspension_enabled = false;
+            black_box(run_point(&SweepPoint::new("ns", p)).metrics.total_discarded_tasks)
+        });
+    });
+    group.finish();
+}
+
+fn a4_driver(c: &mut Criterion) {
+    let mut p = base(200);
+    p.task_time = dreamsim_engine::params::Range::new(50, 5_000);
+    let (event, ticked) = ablations::driver_comparison(&p);
+    println!("\n=== A4 — event-driven vs tick-stepped driver (200 tasks) ===");
+    println!(
+        "metrics identical: {}; simulated {} ticks",
+        event == ticked,
+        event.total_simulation_time
+    );
+    assert_eq!(event, ticked);
+    let mut group = c.benchmark_group("a4_driver");
+    group.sample_size(10);
+    let build = |p: &SimParams| {
+        Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(p),
+            CaseStudyScheduler::new(),
+        )
+        .unwrap()
+    };
+    group.bench_function("event_driven", |b| {
+        b.iter(|| black_box(build(&p).run().metrics.total_simulation_time));
+    });
+    group.bench_function("tick_stepped", |b| {
+        b.iter(|| black_box(build(&p).run_tick_stepped().metrics.total_simulation_time));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, a1_policies, a2_datastructures, a3_suspension, a4_driver);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the simulation substrate: event-queue operations,
+//! idle/busy list maintenance, Algorithm 1 scans, and suspension-queue
+//! rescans — the primitives whose step counts the paper's workload
+//! metric aggregates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dreamsim_engine::{Event, EventQueue};
+use dreamsim_model::store::Demand;
+use dreamsim_model::{
+    Config, ConfigId, Node, NodeId, ResourceManager, StepCounter, SuspensionQueue, TaskId,
+};
+use std::hint::black_box;
+
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push_pop_10k_fifo", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.push(u64::from(i % 977), Event::TaskArrival { task: TaskId(i) });
+            }
+            let mut acc = 0u64;
+            while let Some((t, _)) = q.pop() {
+                acc = acc.wrapping_add(t);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn make_resources(nodes: usize, configs: usize) -> ResourceManager {
+    let configs: Vec<Config> = (0..configs)
+        .map(|i| Config::new(ConfigId::from_index(i), 200 + (i as u64 * 37) % 1800, 15))
+        .collect();
+    let nodes: Vec<Node> = (0..nodes)
+        .map(|i| Node::new(NodeId::from_index(i), 1000 + (i as u64 * 101) % 3000, 2))
+        .collect();
+    ResourceManager::new(nodes, configs)
+}
+
+fn resource_queries(c: &mut Criterion) {
+    let mut rm = make_resources(200, 50);
+    let mut steps = StepCounter::new();
+    // Configure half the nodes with rotating configs; leave some idle.
+    let mut entries = Vec::new();
+    for i in 0..100 {
+        let cfg = ConfigId::from_index(i % 50);
+        if let Ok(e) = rm.configure_slot(NodeId::from_index(i), cfg, &mut steps) {
+            entries.push(e);
+        }
+    }
+    // Make half of those busy.
+    for (i, &e) in entries.iter().enumerate() {
+        if i % 2 == 0 {
+            rm.assign_task(e, TaskId(i as u32), &mut steps).unwrap();
+        }
+    }
+    let mut group = c.benchmark_group("resource_queries");
+    group.bench_function("find_best_idle_via_lists", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(rm.find_best_idle(ConfigId(7), &mut s))
+        });
+    });
+    group.bench_function("find_best_idle_naive_scan", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(dreamsim_model::naive::find_best_idle_naive(&rm, ConfigId(7), &mut s))
+        });
+    });
+    group.bench_function("find_best_blank_200_nodes", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(rm.find_best_blank(Demand::area(900), &mut s))
+        });
+    });
+    group.bench_function("algorithm1_find_any_idle_node", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(rm.find_any_idle_node(Demand::area(1900), &mut s))
+        });
+    });
+    group.bench_function("busy_candidate_scan", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(rm.busy_candidate_exists(Demand::area(3900), &mut s))
+        });
+    });
+    group.finish();
+}
+
+fn suspension_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suspension_queue");
+    group.bench_function("rescan_1000_queued_no_match", |b| {
+        let mut q = SuspensionQueue::new();
+        let mut s = StepCounter::new();
+        for i in 0..1_000 {
+            q.push(TaskId(i), &mut s);
+        }
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            black_box(q.remove_first_match(&mut s, |_| false))
+        });
+    });
+    group.bench_function("rescan_match_at_position_500", |b| {
+        b.iter(|| {
+            let mut q = SuspensionQueue::new();
+            let mut s = StepCounter::new();
+            for i in 0..1_000 {
+                q.push(TaskId(i), &mut s);
+            }
+            black_box(q.remove_first_match(&mut s, |t| t.0 == 500))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, event_queue, resource_queries, suspension_queue);
+criterion_main!(benches);

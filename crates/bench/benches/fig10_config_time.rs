@@ -1,0 +1,35 @@
+//! Figure 10: average configuration time per task (Eq. 10), 200 nodes.
+//! Partial reconfiguration reconfigures more often (Fig. 7), so it pays
+//! more configuration time per task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{regenerate, timed_run, BENCH_SEED};
+use dreamsim_engine::ReconfigMode;
+use dreamsim_sweep::figures::Figure;
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    let s = regenerate(Figure::Fig10);
+    assert!(
+        s.agreement_with_paper() >= 0.5,
+        "partial should pay more configuration time on most sweep points"
+    );
+
+    let mut group = c.benchmark_group("fig10_config_time");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("200n_full", ReconfigMode::Full),
+        ("200n_partial", ReconfigMode::Partial),
+    ] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let m = timed_run(black_box(200), black_box(500), mode, BENCH_SEED);
+                black_box(m.avg_config_time_per_task)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

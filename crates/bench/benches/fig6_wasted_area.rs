@@ -1,0 +1,40 @@
+//! Figure 6 (a, b): average wasted area per task vs generated tasks, for
+//! 100 and 200 nodes, with and without partial reconfiguration.
+//!
+//! Regenerates both panels at bench scale (printed as CSV) and times the
+//! underlying simulation runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{regenerate, timed_run, BENCH_SEED};
+use dreamsim_engine::ReconfigMode;
+use dreamsim_sweep::figures::Figure;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let a = regenerate(Figure::Fig6a);
+    let b = regenerate(Figure::Fig6b);
+    assert!(
+        a.agreement_with_paper() >= 0.5 && b.agreement_with_paper() >= 0.5,
+        "partial reconfiguration should waste less area on most sweep points"
+    );
+
+    let mut group = c.benchmark_group("fig6_wasted_area");
+    group.sample_size(10);
+    for (label, nodes, mode) in [
+        ("100n_full", 100, ReconfigMode::Full),
+        ("100n_partial", 100, ReconfigMode::Partial),
+        ("200n_full", 200, ReconfigMode::Full),
+        ("200n_partial", 200, ReconfigMode::Partial),
+    ] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let m = timed_run(black_box(nodes), black_box(500), mode, BENCH_SEED);
+                black_box(m.avg_wasted_area_per_task)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7 (a, b): average reconfiguration count per node vs generated
+//! tasks, 100 and 200 nodes. The paper's direction: the partial
+//! scenario reconfigures nodes **more** (packing several tasks per node
+//! costs extra region reconfigurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{regenerate, timed_run, BENCH_SEED};
+use dreamsim_engine::ReconfigMode;
+use dreamsim_sweep::figures::Figure;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let a = regenerate(Figure::Fig7a);
+    let b = regenerate(Figure::Fig7b);
+    assert!(
+        a.agreement_with_paper() >= 0.5 && b.agreement_with_paper() >= 0.5,
+        "partial reconfiguration should reconfigure nodes more on most sweep points"
+    );
+
+    let mut group = c.benchmark_group("fig7_reconfig_count");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("200n_full", ReconfigMode::Full),
+        ("200n_partial", ReconfigMode::Partial),
+    ] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let m = timed_run(black_box(200), black_box(500), mode, BENCH_SEED);
+                black_box(m.avg_reconfig_count_per_node)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

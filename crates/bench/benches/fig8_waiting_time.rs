@@ -1,0 +1,54 @@
+//! Figure 8 (a, b): average waiting time per task (Eq. 8/9) vs generated
+//! tasks, 100 and 200 nodes. Partial reconfiguration packs more tasks
+//! per node, drains the suspension queue faster, and so waits less; the
+//! saturated 100-node runs wait far longer than the 200-node runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{bench_grid, regenerate, timed_run, BENCH_SEED};
+use dreamsim_engine::ReconfigMode;
+use dreamsim_sweep::figures::Figure;
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let a = regenerate(Figure::Fig8a);
+    let b = regenerate(Figure::Fig8b);
+    assert!(
+        a.agreement_with_paper() >= 0.5 && b.agreement_with_paper() >= 0.5,
+        "partial reconfiguration should lower waiting time on most sweep points"
+    );
+    // Cross-panel shape: the 100-node cluster waits at least as long as
+    // the 200-node one at every shared sweep point (Sec. VI).
+    let grid = bench_grid();
+    for (i, &t) in a.task_counts.iter().enumerate() {
+        let small = grid
+            .cell(100, ReconfigMode::Partial, t)
+            .expect("grid covers 100 nodes");
+        let large = grid
+            .cell(200, ReconfigMode::Partial, t)
+            .expect("grid covers 200 nodes");
+        assert!(
+            small.avg_waiting_time_per_task >= large.avg_waiting_time_per_task,
+            "point {i}: 100-node wait below 200-node wait"
+        );
+    }
+
+    let mut group = c.benchmark_group("fig8_waiting_time");
+    group.sample_size(10);
+    for (label, nodes) in [("100n_partial", 100), ("200n_partial", 200)] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let m = timed_run(
+                    black_box(nodes),
+                    black_box(500),
+                    ReconfigMode::Partial,
+                    BENCH_SEED,
+                );
+                black_box(m.avg_waiting_time_per_task)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

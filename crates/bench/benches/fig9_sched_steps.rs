@@ -1,0 +1,46 @@
+//! Figure 9a (average scheduling steps per task) and Figure 9b (total
+//! scheduler workload), 200 nodes. Both metrics track the tick-driven
+//! scheduler's search effort, which scales with how long the suspension
+//! queue stays populated — shorter under partial reconfiguration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{regenerate, timed_run, BENCH_SEED};
+use dreamsim_engine::ReconfigMode;
+use dreamsim_sweep::figures::Figure;
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    let a = regenerate(Figure::Fig9a);
+    let b = regenerate(Figure::Fig9b);
+    assert!(
+        a.agreement_with_paper() >= 0.5,
+        "partial should need fewer scheduling steps on most sweep points"
+    );
+    assert!(
+        b.agreement_with_paper() >= 0.5,
+        "partial should have lower total workload on most sweep points"
+    );
+    // Workload is search length plus housekeeping, so 9b dominates 9a at
+    // every point.
+    for (f9a, f9b) in a.partial.iter().zip(&b.partial) {
+        assert!(f9b >= f9a, "workload below per-task steps?");
+    }
+
+    let mut group = c.benchmark_group("fig9_sched_steps");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("200n_full", ReconfigMode::Full),
+        ("200n_partial", ReconfigMode::Partial),
+    ] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let m = timed_run(black_box(200), black_box(500), mode, BENCH_SEED);
+                black_box((m.avg_scheduling_steps_per_task, m.total_scheduler_workload))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Micro-benchmarks of the RNG substrate: the Ziggurat samplers against
+//! naive baselines (Box–Muller normal, inversion exponential), the
+//! Marsaglia–Tsang gamma, the discrete samplers, and the raw engines —
+//! plus a cross-check against the external `rand` crate's uniform core.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dreamsim_rng::{binomial, discrete::AliasTable, gamma, poisson, uniform, ziggurat};
+use dreamsim_rng::{Rng, RngCore, Shr3, SplitMix64, Xoshiro256StarStar};
+use rand::RngCore as _;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_engines");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("xoshiro256**", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc = acc.wrapping_add(e.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("splitmix64", |b| {
+        let mut e = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc = acc.wrapping_add(e.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("shr3", |b| {
+        let mut e = Shr3::new(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..N {
+                acc = acc.wrapping_add(e.next());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("rand_crate_stdrng_baseline", |b| {
+        let mut e = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc = acc.wrapping_add(e.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_distributions");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("ziggurat_normal", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..N {
+                acc += ziggurat::normal(&mut e);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("box_muller_normal_baseline", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..N {
+                let u1 = uniform::f64_open(&mut e);
+                let u2 = uniform::f64_unit(&mut e);
+                acc += (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("ziggurat_exponential", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..N {
+                acc += ziggurat::exponential(&mut e);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("inversion_exponential_baseline", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..N {
+                acc += -uniform::f64_open(&mut e).ln();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("gamma_shape_2.5", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..N {
+                acc += gamma::gamma(&mut e, 2.5, 1.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("poisson_mean_4_knuth", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += poisson::poisson(&mut e, 4.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("poisson_mean_400_ptrs", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(6);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += poisson::poisson(&mut e, 400.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("binomial_btrs_n1000_p0.3", |b| {
+        let mut e = Xoshiro256StarStar::seed_from(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += binomial::binomial(&mut e, 0.3, 1000);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("alias_table_100_categories", |b| {
+        let weights: Vec<f64> = (1..=100).map(f64::from).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        let mut e = Xoshiro256StarStar::seed_from(8);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..N {
+                acc += table.sample(&mut e);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("uniform_inclusive_table_ii", |b| {
+        let mut r = Rng::seed_from(9);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += r.uniform_inclusive(1000, 4000);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines, distributions);
+criterion_main!(benches);

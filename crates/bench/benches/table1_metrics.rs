@@ -1,0 +1,92 @@
+//! Table I: the full performance-metric suite. Prints every metric for
+//! one paper-parameterized run in each mode and times metric
+//! finalization plus report generation (the output subsystem).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{timed_run, BENCH_SEED};
+use dreamsim_engine::{ReconfigMode, Report, SimParams};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    println!("\n=== Table I — performance metrics (200 nodes, 1000 tasks) ===");
+    println!(
+        "{:<42} {:>14} {:>14}",
+        "metric", "full", "partial"
+    );
+    let full = timed_run(200, 1_000, ReconfigMode::Full, BENCH_SEED);
+    let partial = timed_run(200, 1_000, ReconfigMode::Partial, BENCH_SEED);
+    let rows: [(&str, f64, f64); 10] = [
+        (
+            "avg wasted area per task",
+            full.avg_wasted_area_per_task,
+            partial.avg_wasted_area_per_task,
+        ),
+        (
+            "avg running time of each task",
+            full.avg_running_time_per_task,
+            partial.avg_running_time_per_task,
+        ),
+        (
+            "avg reconfiguration count per node",
+            full.avg_reconfig_count_per_node,
+            partial.avg_reconfig_count_per_node,
+        ),
+        (
+            "avg reconfiguration time per task",
+            full.avg_config_time_per_task,
+            partial.avg_config_time_per_task,
+        ),
+        (
+            "avg waiting time per task",
+            full.avg_waiting_time_per_task,
+            partial.avg_waiting_time_per_task,
+        ),
+        (
+            "avg scheduling steps per task",
+            full.avg_scheduling_steps_per_task,
+            partial.avg_scheduling_steps_per_task,
+        ),
+        (
+            "total discarded tasks",
+            full.total_discarded_tasks as f64,
+            partial.total_discarded_tasks as f64,
+        ),
+        (
+            "total scheduler workload",
+            full.total_scheduler_workload as f64,
+            partial.total_scheduler_workload as f64,
+        ),
+        (
+            "total used nodes",
+            full.total_used_nodes as f64,
+            partial.total_used_nodes as f64,
+        ),
+        (
+            "total simulation time",
+            full.total_simulation_time as f64,
+            partial.total_simulation_time as f64,
+        ),
+    ];
+    for (name, f, p) in rows {
+        println!("{name:<42} {f:>14.2} {p:>14.2}");
+    }
+    println!();
+
+    let mut group = c.benchmark_group("table1_metrics");
+    group.sample_size(10);
+    group.bench_function("simulate_and_finalize_200n_1000t", |b| {
+        b.iter(|| black_box(timed_run(200, 1_000, ReconfigMode::Partial, BENCH_SEED)));
+    });
+    let params = SimParams::paper(200, 1_000, ReconfigMode::Partial);
+    let report = Report::new(params, partial.clone());
+    group.bench_function("xml_report_generation", |b| {
+        b.iter(|| black_box(report.to_xml()));
+    });
+    group.bench_function("json_report_generation", |b| {
+        b.iter(|| black_box(report.to_json()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

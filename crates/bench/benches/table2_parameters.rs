@@ -1,0 +1,76 @@
+//! Table II: the simulation-parameter plumbing. Verifies (and times)
+//! that resource/workload generation honours every Table II range at the
+//! paper's scale — 200 nodes, 50 configurations, Table II bounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::BENCH_SEED;
+use dreamsim_engine::{init, ReconfigMode, SimParams};
+use dreamsim_engine::sim::{SourceYield, TaskSource as _};
+use dreamsim_rng::Rng;
+use dreamsim_workload::SyntheticSource;
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let params = SimParams::paper(200, 10_000, ReconfigMode::Partial);
+    println!("\n=== Table II — simulation parameter ranges ===");
+    println!("total nodes            : {}", params.total_nodes);
+    println!("total configurations   : {}", params.total_configs);
+    println!("task interval          : [1..{}]", params.next_task_max_interval);
+    println!("config ReqArea range   : [{}..{}]", params.config_area.lo, params.config_area.hi);
+    println!("node TotalArea range   : [{}..{}]", params.node_area.lo, params.node_area.hi);
+    println!("task t_required range  : [{}..{}]", params.task_time.lo, params.task_time.hi);
+    println!("t_config range         : [{}..{}]", params.config_time.lo, params.config_time.hi);
+    println!("closest-match fraction : {}", params.closest_match_fraction);
+
+    // Exhaustive range verification at paper scale.
+    let mut rng = Rng::seed_from(BENCH_SEED);
+    let configs = init::generate_configs(&params, &mut rng);
+    let nodes = init::generate_nodes(&params, &mut rng);
+    assert!(configs.iter().all(|cf| params.config_area.contains(cf.req_area)));
+    assert!(configs.iter().all(|cf| params.config_time.contains(cf.config_time)));
+    assert!(nodes.iter().all(|n| params.node_area.contains(n.total_area)));
+    let mut source = SyntheticSource::from_params(&params);
+    let mut phantoms = 0usize;
+    for _ in 0..10_000 {
+        match source.next_task(0, &mut rng) {
+            SourceYield::Task(t) => {
+                assert!((1..=params.next_task_max_interval).contains(&t.interarrival));
+                assert!(params.task_time.contains(t.required_time));
+                if matches!(t.preferred, dreamsim_model::PreferredConfig::Phantom { .. }) {
+                    phantoms += 1;
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let rate = phantoms as f64 / 10_000.0;
+    assert!((rate - 0.15).abs() < 0.02, "closest-match rate {rate}");
+    println!("verified 10000 synthetic tasks against Table II ranges (phantom rate {rate:.3})\n");
+
+    let mut group = c.benchmark_group("table2_parameters");
+    group.bench_function("generate_200_nodes_50_configs", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(BENCH_SEED);
+            let c = init::generate_configs(&params, &mut rng);
+            let n = init::generate_nodes(&params, &mut rng);
+            black_box((c.len(), n.len()))
+        });
+    });
+    group.bench_function("generate_10k_synthetic_tasks", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(BENCH_SEED);
+            let mut src = SyntheticSource::from_params(&params);
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                if let SourceYield::Task(t) = src.next_task(0, &mut rng) {
+                    acc = acc.wrapping_add(t.required_time);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Shared helpers for the DReAMSim benchmark harness.
+//!
+//! Each Criterion bench target regenerates one of the paper's tables or
+//! figures at benchmark scale (the paper sweeps up to 100 000 tasks;
+//! benches default to a reduced ladder so a full `cargo bench` stays in
+//! the minutes range) and prints the regenerated series once, so bench
+//! output doubles as the figure data. EXPERIMENTS.md records the
+//! full-scale numbers produced by `dreamsim figures`.
+
+use dreamsim_engine::{Metrics, ReconfigMode, SimParams};
+use dreamsim_sweep::figures::{ExperimentGrid, Figure, FigureSeries};
+use dreamsim_sweep::runner::{run_point, SweepPoint};
+use std::sync::OnceLock;
+
+/// Task-count ladder used by the figure benches.
+pub const BENCH_TASKS: [usize; 3] = [500, 1_000, 2_000];
+
+/// Seed shared by all benches (results are deterministic).
+pub const BENCH_SEED: u64 = 2012;
+
+/// The benchmark-scale experiment grid (both node counts, both modes,
+/// the bench ladder), computed once per process and shared by every
+/// figure bench.
+pub fn bench_grid() -> &'static ExperimentGrid {
+    static GRID: OnceLock<ExperimentGrid> = OnceLock::new();
+    GRID.get_or_init(|| ExperimentGrid::run(&[100, 200], &BENCH_TASKS, BENCH_SEED, 0))
+}
+
+/// Print a regenerated figure series (once per bench target).
+pub fn print_series(series: &FigureSeries) {
+    println!(
+        "\n=== {} — {} ({} nodes) ===",
+        series.figure,
+        series.figure.metric_name(),
+        series.figure.node_count()
+    );
+    print!("{}", series.to_csv());
+    println!(
+        "paper-direction agreement: {:.0}% (partial expected {} full)\n",
+        series.agreement_with_paper() * 100.0,
+        if series.figure.partial_expected_lower() {
+            "below"
+        } else {
+            "above"
+        }
+    );
+}
+
+/// Regenerate and print one figure from the shared grid.
+pub fn regenerate(fig: Figure) -> FigureSeries {
+    let series = bench_grid().figure(fig);
+    print_series(&series);
+    series
+}
+
+/// One paper-parameterized run for timing benches.
+#[must_use]
+pub fn timed_run(nodes: usize, tasks: usize, mode: ReconfigMode, seed: u64) -> Metrics {
+    let mut params = SimParams::paper(nodes, tasks, mode);
+    params.seed = seed;
+    run_point(&SweepPoint::new("bench", params)).metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_produces_every_figure() {
+        // Smoke test at tiny scale so `cargo test` stays fast; the real
+        // grid is exercised by `cargo bench`.
+        let grid = ExperimentGrid::run(&[100, 200], &[120], 1, 0);
+        for fig in Figure::ALL {
+            let s = grid.figure(fig);
+            assert_eq!(s.task_counts, vec![120]);
+        }
+    }
+
+    #[test]
+    fn timed_run_is_deterministic() {
+        let a = timed_run(20, 100, ReconfigMode::Partial, 5);
+        let b = timed_run(20, 100, ReconfigMode::Partial, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,399 @@
+//! `dreamsim` — command-line front end for the DReAMSim framework.
+//!
+//! Subcommands:
+//!
+//! * `run` — one simulation with Table II defaults, printing the Table I
+//!   metrics (optionally as XML/JSON/CSV, optionally replaying or
+//!   recording a workload trace).
+//! * `figures` — regenerate the paper's figures (6a–10) as CSV series,
+//!   with a per-figure agreement check against the paper's reported
+//!   direction.
+//! * `ablations` — run the A1–A4 ablation harnesses.
+//! * `trace` — generate a synthetic trace file for later replay.
+//!
+//! Run `dreamsim help` for usage.
+
+mod args;
+
+use args::{ArgError, Args};
+use dreamsim_engine::{
+    ArrivalDistribution, ReconfigMode, Report, RunResult, SimParams, Simulation,
+};
+use dreamsim_rng::Rng;
+use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
+use dreamsim_sweep::ablations;
+use dreamsim_sweep::figures::{default_task_counts, ExperimentGrid, Figure};
+use dreamsim_workload::{RecordingSource, SyntheticSource, TraceSource};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dreamsim — task-scheduling simulator for partially reconfigurable nodes
+
+USAGE:
+  dreamsim run [--nodes N] [--tasks N] [--mode full|partial] [--seed S]
+               [--policy best-fit|first-fit|worst-fit|random|least-loaded]
+               [--arrival uniform|poisson|exponential]
+               [--no-suspension] [--mtbf TICKS] [--mttr TICKS]
+               [--placement scalar|contiguous] [--replay TRACE]
+               [--swf FILE [--ticks-per-second N] [--max-jobs N]]
+               [--report table|xml|json|csv] [--out FILE]
+  dreamsim figures [--fig 6a|6b|7a|7b|8a|8b|9a|9b|10|all]
+                   [--max-tasks N | --tasks N1,N2,...]
+                   [--threads T] [--seed S] [--out-dir DIR]
+  dreamsim ablations [--which a1|a2|a3|a4|a5|all] [--nodes N] [--tasks N]
+                     [--seed S] [--threads T]
+  dreamsim trace --out FILE [--tasks N] [--seed S]
+  dreamsim help
+
+Defaults follow Table II of the paper: 50 configs, arrival U[1..50],
+config area U[200..2000], node area U[1000..4000], task time
+U[100..100000], config time U[10..20], 15% closest-match tasks.
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = match args.command.as_deref() {
+        Some("run") => cmd_run(&args),
+        Some("figures") => cmd_figures(&args),
+        Some("ablations") => cmd_ablations(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!("unknown subcommand {other:?}"))),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `dreamsim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_mode(s: &str) -> Result<ReconfigMode, ArgError> {
+    match s {
+        "full" => Ok(ReconfigMode::Full),
+        "partial" => Ok(ReconfigMode::Partial),
+        _ => Err(ArgError(format!("--mode must be full or partial, got {s:?}"))),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<AllocationStrategy, ArgError> {
+    match s {
+        "best-fit" => Ok(AllocationStrategy::BestFit),
+        "first-fit" => Ok(AllocationStrategy::FirstFit),
+        "worst-fit" => Ok(AllocationStrategy::WorstFit),
+        "random" => Ok(AllocationStrategy::Random),
+        "least-loaded" => Ok(AllocationStrategy::LeastLoaded),
+        _ => Err(ArgError(format!("unknown --policy {s:?}"))),
+    }
+}
+
+fn params_from_args(args: &Args) -> Result<SimParams, ArgError> {
+    let mode = parse_mode(args.get("mode", "partial"))?;
+    let mut p = SimParams::paper(
+        args.get_num("nodes", 200usize)?,
+        args.get_num("tasks", 10_000usize)?,
+        mode,
+    );
+    p.seed = args.get_num("seed", 0x5EEDu64)?;
+    p.arrival = match args.get("arrival", "uniform") {
+        "uniform" => ArrivalDistribution::Uniform,
+        "poisson" => ArrivalDistribution::Poisson,
+        "exponential" => ArrivalDistribution::Exponential,
+        other => return Err(ArgError(format!("unknown --arrival {other:?}"))),
+    };
+    if args.has("no-suspension") {
+        p.suspension_enabled = false;
+    }
+    p.placement = match args.get("placement", "scalar") {
+        "scalar" => dreamsim_engine::PlacementModel::Scalar,
+        "contiguous" => dreamsim_engine::PlacementModel::Contiguous,
+        other => return Err(ArgError(format!("unknown --placement {other:?}"))),
+    };
+    if args.has("mtbf") {
+        p.node_mtbf = Some(args.get_num("mtbf", 0u64)?);
+    }
+    p.node_mttr = args.get_num("mttr", p.node_mttr)?;
+    p.validate().map_err(|e| ArgError(e.to_string()))?;
+    Ok(p)
+}
+
+fn write_or_print(out: Option<&str>, content: &str) -> Result<(), ArgError> {
+    match out {
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| ArgError(format!("writing {path}: {e}"))),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn metrics_table(report: &Report) -> String {
+    let m = &report.metrics;
+    format!(
+        "mode: {} | nodes: {} | policy defaults Table II\n\
+         tasks generated / completed / discarded : {} / {} / {}\n\
+         avg wasted area per task                : {:.2}\n\
+         avg running time per task               : {:.1}\n\
+         avg reconfiguration count per node      : {:.2}\n\
+         avg configuration time per task         : {:.3}\n\
+         avg waiting time per task               : {:.1}\n\
+         avg scheduling steps per task           : {:.1}\n\
+         total scheduler workload                : {}\n\
+         total used nodes                        : {}\n\
+         total simulation time (ticks)           : {}\n\
+         suspensions (peak queue)                : {} ({})\n\
+         placements [alloc/config/partial/reconf]: {}/{}/{}/{} (+{} resumed)\n",
+        m.mode,
+        m.total_nodes,
+        m.total_tasks_generated,
+        m.total_tasks_completed,
+        m.total_discarded_tasks,
+        m.avg_wasted_area_per_task,
+        m.avg_running_time_per_task,
+        m.avg_reconfig_count_per_node,
+        m.avg_config_time_per_task,
+        m.avg_waiting_time_per_task,
+        m.avg_scheduling_steps_per_task,
+        m.total_scheduler_workload,
+        m.total_used_nodes,
+        m.total_simulation_time,
+        m.total_suspensions,
+        m.suspension_peak_len,
+        m.phases.allocation,
+        m.phases.configuration,
+        m.phases.partial_configuration,
+        m.phases.partial_reconfiguration,
+        m.phases.resumed,
+    )
+}
+
+fn render_report(report: &Report, format: &str) -> Result<String, ArgError> {
+    match format {
+        "table" => Ok(metrics_table(report)),
+        "xml" => Ok(report.to_xml()),
+        "json" => Ok(report.to_json()),
+        "csv" => Ok(format!("{}\n{}\n", Report::csv_header(), report.to_csv_row())),
+        other => Err(ArgError(format!("unknown --report format {other:?}"))),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), ArgError> {
+    let params = params_from_args(args)?;
+    let strategy = parse_strategy(args.get("policy", "best-fit"))?;
+    let policy = CaseStudyScheduler::with_strategy(strategy);
+    let result: RunResult = if args.has("swf") {
+        // Real-workload import: Standard Workload Format (Parallel
+        // Workloads Archive).
+        let path = args.get("swf", "");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let swf_opts = dreamsim_workload::SwfOptions {
+            ticks_per_second: args.get_num("ticks-per-second", 1u64)?,
+            num_configs: params.total_configs,
+            skip_failed: true,
+            max_jobs: args.get_num("max-jobs", 0usize)?,
+        };
+        let specs = dreamsim_workload::import_swf(&text, &swf_opts)
+            .map_err(|e| ArgError(e.to_string()))?;
+        eprintln!("imported {} jobs from {path}", specs.len());
+        let mut p = params;
+        p.total_tasks = specs.len();
+        Simulation::new(p, TraceSource::from_specs(specs), policy)
+            .map_err(|e| ArgError(e.to_string()))?
+            .run()
+    } else if args.has("replay") {
+        let path = args.get("replay", "");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let source =
+            TraceSource::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
+        let mut p = params;
+        // Replay exactly the trace, whatever --tasks said.
+        p.total_tasks = source.len();
+        Simulation::new(p, source, policy)
+            .map_err(|e| ArgError(e.to_string()))?
+            .run()
+    } else {
+        let source = SyntheticSource::from_params(&params);
+        Simulation::new(params, source, policy)
+            .map_err(|e| ArgError(e.to_string()))?
+            .run()
+    };
+    let rendered = render_report(&result.report, args.get("report", "table"))?;
+    write_or_print(args.flags.get("out").map(String::as_str), &rendered)
+}
+
+fn cmd_figures(args: &Args) -> Result<(), ArgError> {
+    let which = args.get("fig", "all");
+    let figs: Vec<Figure> = if which == "all" {
+        Figure::ALL.to_vec()
+    } else {
+        vec![Figure::parse(which)
+            .ok_or_else(|| ArgError(format!("unknown figure {which:?}")))?]
+    };
+    let max_tasks = args.get_num("max-tasks", 10_000usize)?;
+    let threads = args.get_num("threads", 0usize)?;
+    let seed = args.get_num("seed", 2012u64)?;
+    // Explicit --tasks 1000,2000,... overrides the default ladder.
+    let task_counts = if args.has("tasks") {
+        args.get_list("tasks", &[])?
+    } else {
+        default_task_counts(max_tasks)
+    };
+    let mut node_counts: Vec<usize> = figs.iter().map(|f| f.node_count()).collect();
+    node_counts.sort_unstable();
+    node_counts.dedup();
+    eprintln!(
+        "running grid: nodes {node_counts:?} x modes [full, partial] x tasks {task_counts:?} \
+         (seed {seed}, threads {})",
+        if threads == 0 { "auto".to_string() } else { threads.to_string() }
+    );
+    let grid = ExperimentGrid::run(&node_counts, &task_counts, seed, threads);
+    let out_dir = args.get("out-dir", "");
+    for fig in figs {
+        let series = grid.figure(fig);
+        let csv = series.to_csv();
+        let agreement = series.agreement_with_paper();
+        println!(
+            "{fig}: {} nodes, {} — paper-direction agreement {:.0}%",
+            fig.node_count(),
+            fig.metric_name(),
+            agreement * 100.0
+        );
+        if out_dir.is_empty() {
+            print!("{csv}");
+        } else {
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| ArgError(format!("creating {out_dir}: {e}")))?;
+            let path = Path::new(out_dir).join(format!("fig{}.csv", fig.id()));
+            std::fs::write(&path, csv)
+                .map_err(|e| ArgError(format!("writing {}: {e}", path.display())))?;
+            println!("  -> {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ablations(args: &Args) -> Result<(), ArgError> {
+    let which = args.get("which", "all");
+    let mode = parse_mode(args.get("mode", "partial"))?;
+    let mut base = SimParams::paper(
+        args.get_num("nodes", 100usize)?,
+        args.get_num("tasks", 2_000usize)?,
+        mode,
+    );
+    base.seed = args.get_num("seed", 7u64)?;
+    let threads = args.get_num("threads", 0usize)?;
+    let run_a1 = which == "all" || which == "a1";
+    let run_a2 = which == "all" || which == "a2";
+    let run_a3 = which == "all" || which == "a3";
+    let run_a4 = which == "all" || which == "a4";
+    let run_a5 = which == "all" || which == "a5";
+    if !(run_a1 || run_a2 || run_a3 || run_a4 || run_a5) {
+        return Err(ArgError(format!("unknown --which {which:?}")));
+    }
+    if run_a1 {
+        println!("A1 — allocation strategies ({} nodes, {} tasks):", base.total_nodes, base.total_tasks);
+        println!("  strategy      wasted-area  waiting-time  sched-steps  discarded");
+        for (label, m) in ablations::policy_comparison(&base, threads) {
+            println!(
+                "  {label:<13} {:>11.2} {:>13.1} {:>12.1} {:>10}",
+                m.avg_wasted_area_per_task,
+                m.avg_waiting_time_per_task,
+                m.avg_scheduling_steps_per_task,
+                m.total_discarded_tasks
+            );
+        }
+    }
+    if run_a2 {
+        let (lists, naive) = ablations::datastructure_comparison(&base);
+        println!("A2 — idle/busy lists vs naive scans:");
+        println!(
+            "  search steps: lists {} vs naive {} ({:.1}x)",
+            lists.scheduler_search_length,
+            naive.scheduler_search_length,
+            naive.scheduler_search_length as f64 / lists.scheduler_search_length.max(1) as f64
+        );
+    }
+    if run_a3 {
+        let (with_q, without) = ablations::suspension_comparison(&base);
+        println!("A3 — suspension queue on/off:");
+        println!(
+            "  discarded: with {} vs without {}; avg wait: {:.1} vs {:.1}",
+            with_q.total_discarded_tasks,
+            without.total_discarded_tasks,
+            with_q.avg_waiting_time_per_task,
+            without.avg_waiting_time_per_task
+        );
+    }
+    if run_a4 {
+        let mut small = base.clone();
+        small.total_tasks = small.total_tasks.min(300);
+        let (event, ticked) = ablations::driver_comparison(&small);
+        println!("A4 — event-driven vs tick-stepped drivers:");
+        println!(
+            "  metrics identical: {} (simulated {} ticks)",
+            event == ticked,
+            event.total_simulation_time
+        );
+    }
+    if run_a5 {
+        let (scalar, contiguous) = ablations::placement_comparison(&base);
+        println!("A5 — scalar area model vs contiguous 1-D placement:");
+        println!(
+            "  completed: scalar {} vs contiguous {}; discarded: {} vs {}",
+            scalar.total_tasks_completed,
+            contiguous.total_tasks_completed,
+            scalar.total_discarded_tasks,
+            contiguous.total_discarded_tasks
+        );
+        println!(
+            "  avg wait: {:.1} vs {:.1}; end-of-run fragmentation: {:.3} vs {:.3}",
+            scalar.avg_waiting_time_per_task,
+            contiguous.avg_waiting_time_per_task,
+            scalar.mean_fragmentation_end,
+            contiguous.mean_fragmentation_end
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    let out = args.get("out", "");
+    if out.is_empty() {
+        return Err(ArgError("trace: --out FILE is required".into()));
+    }
+    let tasks = args.get_num("tasks", 1_000usize)?;
+    let seed = args.get_num("seed", 0x5EEDu64)?;
+    let mut p = SimParams::default();
+    p.total_tasks = tasks;
+    p.seed = seed;
+    let source = SyntheticSource::from_params(&p);
+    let mut recorder = RecordingSource::new(source);
+    let mut rng = Rng::seed_from(seed);
+    use dreamsim_engine::sim::{SourceYield, TaskSource as _};
+    for _ in 0..tasks {
+        match recorder.next_task(0, &mut rng) {
+            SourceYield::Task(_) => {}
+            _ => break,
+        }
+    }
+    std::fs::write(out, recorder.to_trace())
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!("wrote {tasks} tasks to {out}");
+    Ok(())
+}
+

@@ -1,0 +1,153 @@
+//! End-to-end tests of the `dreamsim` binary.
+
+use std::process::Command;
+
+fn dreamsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dreamsim"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = dreamsim().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "dreamsim {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("dreamsim run"));
+    assert!(out.contains("figures"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = run_ok(&[]);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn run_table_report() {
+    let out = run_ok(&[
+        "run", "--nodes", "20", "--tasks", "100", "--mode", "partial", "--seed", "3",
+    ]);
+    assert!(out.contains("tasks generated / completed / discarded : 100 /"), "{out}");
+    assert!(out.contains("avg waiting time per task"));
+}
+
+#[test]
+fn run_xml_and_json_reports() {
+    let xml = run_ok(&[
+        "run", "--nodes", "15", "--tasks", "50", "--report", "xml", "--seed", "4",
+    ]);
+    assert!(xml.starts_with("<?xml"));
+    assert!(xml.contains("</dreamsim-report>"));
+    let json = run_ok(&[
+        "run", "--nodes", "15", "--tasks", "50", "--report", "json", "--seed", "4",
+    ]);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["metrics"]["total_tasks_generated"], 50);
+}
+
+#[test]
+fn run_csv_report_matches_header() {
+    let csv = run_ok(&[
+        "run", "--nodes", "10", "--tasks", "30", "--report", "csv", "--seed", "5",
+    ]);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(
+        lines[0].split(',').count(),
+        lines[1].split(',').count(),
+        "row arity matches header"
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = dreamsim().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"), "{err}");
+}
+
+#[test]
+fn invalid_flag_value_fails() {
+    let out = dreamsim().args(["run", "--tasks", "abc"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tasks"));
+}
+
+#[test]
+fn trace_generate_then_replay_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("wl.trace");
+    let trace_str = trace.to_str().unwrap();
+    let out = run_ok(&["trace", "--out", trace_str, "--tasks", "40", "--seed", "8"]);
+    assert!(out.contains("wrote 40 tasks"));
+    let replay = run_ok(&[
+        "run", "--replay", trace_str, "--nodes", "10", "--tasks", "40", "--seed", "8",
+        "--report", "csv",
+    ]);
+    assert!(replay.lines().nth(1).unwrap().contains(",40,"), "{replay}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figures_single_figure_to_dir() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-figs-{}", std::process::id()));
+    let dir_str = dir.to_str().unwrap();
+    let out = run_ok(&[
+        "figures", "--fig", "9b", "--tasks", "100,200", "--seed", "6", "--out-dir", dir_str,
+    ]);
+    assert!(out.contains("Figure 9b"), "{out}");
+    let csv = std::fs::read_to_string(dir.join("fig9b.csv")).expect("csv written");
+    assert!(csv.starts_with("tasks,without_partial,with_partial"));
+    assert_eq!(csv.lines().count(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swf_import_runs_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-swf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let swf = dir.join("trace.swf");
+    std::fs::write(
+        &swf,
+        "; Version: 2.2\n\
+         1 0 -1 120 4 -1 -1 8 -1 -1 1 1 1 -1 -1 -1 -1 -1\n\
+         2 60 -1 300 16 -1 -1 32 -1 -1 1 1 1 -1 -1 -1 -1 -1\n",
+    )
+    .unwrap();
+    let out = run_ok(&[
+        "run", "--swf", swf.to_str().unwrap(), "--nodes", "10", "--seed", "2",
+        "--report", "csv",
+    ]);
+    assert!(out.lines().nth(1).unwrap().contains(",2,"), "two jobs imported: {out}");
+    // Malformed SWF fails cleanly.
+    std::fs::write(&swf, "1 2 3\n").unwrap();
+    let bad = dreamsim()
+        .args(["run", "--swf", swf.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("SWF line 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ablations_run_end_to_end() {
+    let out = run_ok(&[
+        "ablations", "--which", "all", "--nodes", "15", "--tasks", "120", "--seed", "2",
+    ]);
+    assert!(out.contains("A1"), "{out}");
+    assert!(out.contains("A2"));
+    assert!(out.contains("A3"));
+    assert!(out.contains("metrics identical: true"), "{out}");
+}

@@ -1,0 +1,186 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number makes
+//! the order of simultaneous events deterministic (insertion order),
+//! which in turn makes whole simulation runs reproducible bit-for-bit —
+//! a property the reproducibility integration tests pin down.
+
+use dreamsim_model::{EntryRef, NodeId, TaskId, Ticks};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A task arrives at the resource management system.
+    TaskArrival {
+        /// The arriving task.
+        task: TaskId,
+    },
+    /// A task finishes on a node slot.
+    TaskCompletion {
+        /// The finishing task.
+        task: TaskId,
+        /// Where it ran.
+        entry: EntryRef,
+    },
+    /// A node fails (failure-injection extension): all its work is lost.
+    NodeFailure {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// A failed node comes back blank.
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Scheduled {
+    time: Ticks,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of scheduled events.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn push(&mut self, time: Ticks, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pop the earliest event, with its time.
+    pub fn pop(&mut self) -> Option<(Ticks, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Ticks> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the earliest event only if it is due at or before `now`
+    /// (tick-stepped driver support).
+    pub fn pop_due(&mut self, now: Ticks) -> Option<(Ticks, Event)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(i: u32) -> Event {
+        Event::TaskArrival { task: TaskId(i) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, arrival(0));
+        q.push(10, arrival(1));
+        q.push(20, arrival(2));
+        let order: Vec<Ticks> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(5, arrival(i));
+        }
+        let order: Vec<TaskId> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::TaskArrival { task } => task,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, (0..10).map(TaskId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_pop_due() {
+        let mut q = EventQueue::new();
+        q.push(10, arrival(0));
+        q.push(20, arrival(1));
+        assert_eq!(q.peek_time(), Some(10));
+        assert!(q.pop_due(9).is_none());
+        assert_eq!(q.pop_due(10).unwrap().0, 10);
+        assert_eq!(q.pop_due(100).unwrap().0, 20);
+        assert!(q.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, arrival(0));
+        q.push(2, arrival(1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(50, arrival(0));
+        q.push(10, arrival(1));
+        assert_eq!(q.pop().unwrap().0, 10);
+        q.push(5, arrival(2));
+        q.push(60, arrival(3));
+        assert_eq!(q.pop().unwrap().0, 5);
+        assert_eq!(q.pop().unwrap().0, 50);
+        assert_eq!(q.pop().unwrap().0, 60);
+    }
+}

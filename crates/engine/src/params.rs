@@ -1,0 +1,406 @@
+//! Simulation parameters (Table II).
+//!
+//! Defaults reproduce the paper's experimental setup:
+//!
+//! | Parameter | Paper value |
+//! |---|---|
+//! | Total nodes | 100 or 200 |
+//! | Total configurations | 50 |
+//! | Total tasks generated | 1 000 … 100 000 |
+//! | Next task generation interval | U\[1..50\] ticks |
+//! | Configuration `ReqArea` range | U\[200..2000\] |
+//! | Node `TotalArea` range | U\[1000..4000\] |
+//! | Task `t_required` range | U\[100..100 000\] |
+//! | `t_config` range | U\[10..20\] |
+//! | Closest-match percentage | 15 % |
+//! | Reconfiguration method | with / without partial |
+//!
+//! The network-delay range is implicit in the paper (the `tcomm` term of
+//! Eq. 8 and the UML's `NWDLow`/`NWDHigh` members); the default here is
+//! U\[1..10\] and is configurable.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether nodes support partial reconfiguration (the two scenarios
+/// compared throughout Section VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigMode {
+    /// One node – one configuration – one task at a time
+    /// ("without partial configuration").
+    Full,
+    /// A node hosts as many configurations as its area allows
+    /// ("with partial configuration").
+    Partial,
+}
+
+impl ReconfigMode {
+    /// Short label used in reports and figure legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReconfigMode::Full => "full",
+            ReconfigMode::Partial => "partial",
+        }
+    }
+}
+
+impl std::fmt::Display for ReconfigMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How reconfigurable area is modeled (DESIGN.md experiment A5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementModel {
+    /// The paper's model: area is a scalar budget (Eq. 4).
+    #[default]
+    Scalar,
+    /// Realistic FPGA model: configurations must fit into a contiguous
+    /// gap of fabric columns (first-fit gap selection); external
+    /// fragmentation can reject placements the scalar model admits.
+    Contiguous,
+}
+
+impl PlacementModel {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementModel::Scalar => "scalar",
+            PlacementModel::Contiguous => "contiguous",
+        }
+    }
+}
+
+/// Task inter-arrival time distribution. The paper uses a uniform
+/// interval; Poisson and exponential arrivals are provided because the
+/// input subsystem advertises configurable "task arrival rate and arrival
+/// distribution functions".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalDistribution {
+    /// Uniform integer interval `[1 ..= max_interval]` (Table II).
+    Uniform,
+    /// Poisson-distributed interval with mean `(1 + max_interval) / 2`
+    /// (matched mean to the uniform case).
+    Poisson,
+    /// Geometric (discretized exponential) interval with the same mean.
+    Exponential,
+}
+
+/// An inclusive integer range `[lo, hi]`, the form all Table II
+/// parameters take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Range {
+    /// Construct a range; `lo` must not exceed `hi` (validated by
+    /// [`SimParams::validate`]).
+    #[must_use]
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Midpoint, used to match means across arrival distributions.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+
+    /// Whether `v` lies inside the range.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Parameter validation error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamsError {
+    /// A range has `lo > hi`.
+    InvalidRange {
+        /// Which parameter.
+        name: &'static str,
+        /// Lower bound given.
+        lo: u64,
+        /// Upper bound given.
+        hi: u64,
+    },
+    /// A count parameter is zero.
+    ZeroCount(&'static str),
+    /// The closest-match fraction is outside `[0, 1]`.
+    InvalidFraction(f64),
+    /// No configuration could ever fit on any node
+    /// (`config_area.lo > node_area.hi`).
+    ConfigsNeverFit,
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::InvalidRange { name, lo, hi } => {
+                write!(f, "parameter {name}: invalid range [{lo}..{hi}]")
+            }
+            ParamsError::ZeroCount(name) => write!(f, "parameter {name} must be nonzero"),
+            ParamsError::InvalidFraction(v) => {
+                write!(f, "closest-match fraction {v} outside [0,1]")
+            }
+            ParamsError::ConfigsNeverFit => {
+                write!(f, "smallest configuration exceeds largest node area")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Full parameter set for one simulation run (the `DreamSim` class's
+/// data members in Fig. 4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Number of reconfigurable nodes (`TotalNodes`).
+    pub total_nodes: usize,
+    /// Number of processor configurations (`TotalConfigs`).
+    pub total_configs: usize,
+    /// Number of tasks to generate (`TotalTasks`).
+    pub total_tasks: usize,
+    /// Upper bound of the inter-arrival interval
+    /// (`NextTaskMaxInterval`); intervals are drawn from
+    /// `[1 ..= this]` under [`ArrivalDistribution::Uniform`].
+    pub next_task_max_interval: u64,
+    /// Arrival distribution (Table II uses uniform).
+    pub arrival: ArrivalDistribution,
+    /// Configuration `ReqArea` range (`TasklowA`/`TaskHighA` pair feeding
+    /// configs in the original; Table II: \[200..2000\]).
+    pub config_area: Range,
+    /// Node `TotalArea` range (`NodelowA`/`NodeHighA`; \[1000..4000\]).
+    pub node_area: Range,
+    /// Task `t_required` range (`TaskReqTimeLow/High`; \[100..100 000\]).
+    pub task_time: Range,
+    /// Configuration time range (`ConfigTimeLow/High`; \[10..20\]).
+    pub config_time: Range,
+    /// Node network delay range (`NWDLow/High`; the `tcomm` of Eq. 8).
+    pub network_delay: Range,
+    /// Fraction of tasks whose preferred configuration is absent from
+    /// the configuration list (Table II: 15 %).
+    pub closest_match_fraction: f64,
+    /// Reconfiguration method (the two compared scenarios).
+    pub mode: ReconfigMode,
+    /// Area model: the paper's scalar budget or contiguous 1-D
+    /// placement (experiment A5).
+    pub placement: PlacementModel,
+    /// Probability that a generated configuration requires each hardware
+    /// capability of its host node (0.0 — the paper's case — means
+    /// placement ignores capabilities entirely).
+    pub capability_requirement_prob: f64,
+    /// Whether the suspension queue is enabled (ablation A3 disables it:
+    /// tasks that would suspend are discarded instead).
+    pub suspension_enabled: bool,
+    /// Maximum resume retries before a suspended task is discarded;
+    /// `None` (paper behaviour) retries indefinitely.
+    pub max_sus_retries: Option<u64>,
+    /// Mean timeticks between injected node failures, or `None` for the
+    /// paper's failure-free runs (extension; see `dreamsim-engine`
+    /// failure-injection docs).
+    pub node_mtbf: Option<u64>,
+    /// Mean timeticks a failed node stays down before repair.
+    pub node_mttr: u64,
+    /// Master seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl Default for SimParams {
+    /// Table II defaults with 200 nodes and 10 000 tasks, partial mode.
+    fn default() -> Self {
+        Self {
+            total_nodes: 200,
+            total_configs: 50,
+            total_tasks: 10_000,
+            next_task_max_interval: 50,
+            arrival: ArrivalDistribution::Uniform,
+            config_area: Range::new(200, 2000),
+            node_area: Range::new(1000, 4000),
+            task_time: Range::new(100, 100_000),
+            config_time: Range::new(10, 20),
+            network_delay: Range::new(1, 10),
+            closest_match_fraction: 0.15,
+            mode: ReconfigMode::Partial,
+            placement: PlacementModel::Scalar,
+            capability_requirement_prob: 0.0,
+            suspension_enabled: true,
+            max_sus_retries: None,
+            node_mtbf: None,
+            node_mttr: 1_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SimParams {
+    /// Table II defaults with the given node count, task count, and mode
+    /// (the axes the paper's figures vary).
+    #[must_use]
+    pub fn paper(total_nodes: usize, total_tasks: usize, mode: ReconfigMode) -> Self {
+        Self {
+            total_nodes,
+            total_tasks,
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style mode override.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReconfigMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Validate every parameter; returns the first problem found.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        for (name, r) in [
+            ("config_area", self.config_area),
+            ("node_area", self.node_area),
+            ("task_time", self.task_time),
+            ("config_time", self.config_time),
+            ("network_delay", self.network_delay),
+        ] {
+            if r.lo > r.hi {
+                return Err(ParamsError::InvalidRange {
+                    name,
+                    lo: r.lo,
+                    hi: r.hi,
+                });
+            }
+        }
+        if self.total_nodes == 0 {
+            return Err(ParamsError::ZeroCount("total_nodes"));
+        }
+        if self.total_configs == 0 {
+            return Err(ParamsError::ZeroCount("total_configs"));
+        }
+        if self.next_task_max_interval == 0 {
+            return Err(ParamsError::ZeroCount("next_task_max_interval"));
+        }
+        if !(0.0..=1.0).contains(&self.closest_match_fraction)
+            || self.closest_match_fraction.is_nan()
+        {
+            return Err(ParamsError::InvalidFraction(self.closest_match_fraction));
+        }
+        if !(0.0..=1.0).contains(&self.capability_requirement_prob)
+            || self.capability_requirement_prob.is_nan()
+        {
+            return Err(ParamsError::InvalidFraction(self.capability_requirement_prob));
+        }
+        if self.config_area.lo > self.node_area.hi {
+            return Err(ParamsError::ConfigsNeverFit);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let p = SimParams::default();
+        assert_eq!(p.total_configs, 50);
+        assert_eq!(p.next_task_max_interval, 50);
+        assert_eq!(p.config_area, Range::new(200, 2000));
+        assert_eq!(p.node_area, Range::new(1000, 4000));
+        assert_eq!(p.task_time, Range::new(100, 100_000));
+        assert_eq!(p.config_time, Range::new(10, 20));
+        assert!((p.closest_match_fraction - 0.15).abs() < 1e-12);
+        assert!(p.suspension_enabled);
+        assert_eq!(p.max_sus_retries, None);
+        assert!(p.node_mtbf.is_none());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_constructor_sets_axes() {
+        let p = SimParams::paper(100, 50_000, ReconfigMode::Full);
+        assert_eq!(p.total_nodes, 100);
+        assert_eq!(p.total_tasks, 50_000);
+        assert_eq!(p.mode, ReconfigMode::Full);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut p = SimParams::default();
+        p.node_area = Range::new(4000, 1000);
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::InvalidRange {
+                name: "node_area",
+                lo: 4000,
+                hi: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn validation_catches_zero_counts() {
+        let mut p = SimParams::default();
+        p.total_nodes = 0;
+        assert_eq!(p.validate().unwrap_err(), ParamsError::ZeroCount("total_nodes"));
+        let mut p = SimParams::default();
+        p.total_configs = 0;
+        assert_eq!(p.validate().unwrap_err(), ParamsError::ZeroCount("total_configs"));
+        let mut p = SimParams::default();
+        p.next_task_max_interval = 0;
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::ZeroCount("next_task_max_interval")
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_fraction_and_misfit() {
+        let mut p = SimParams::default();
+        p.closest_match_fraction = 1.5;
+        assert_eq!(p.validate().unwrap_err(), ParamsError::InvalidFraction(1.5));
+        let mut p = SimParams::default();
+        p.closest_match_fraction = f64::NAN;
+        assert!(matches!(p.validate().unwrap_err(), ParamsError::InvalidFraction(_)));
+        let mut p = SimParams::default();
+        p.config_area = Range::new(5000, 6000);
+        assert_eq!(p.validate().unwrap_err(), ParamsError::ConfigsNeverFit);
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = Range::new(1, 50);
+        assert_eq!(r.mean(), 25.5);
+        assert!(r.contains(1) && r.contains(50) && !r.contains(51) && !r.contains(0));
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ReconfigMode::Full.label(), "full");
+        assert_eq!(ReconfigMode::Partial.to_string(), "partial");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = SimParams::default();
+        let js = serde_json::to_string(&p).unwrap();
+        let back: SimParams = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,740 @@
+//! The resource information manager: the single owner of nodes,
+//! configurations, and the idle/busy lists, exposing exactly the queries
+//! and mutations the scheduling algorithm of Section V needs.
+//!
+//! All searches charge [`StepKind::Scheduling`] steps (they are issued on
+//! behalf of the scheduler); all list maintenance inside mutations
+//! charges [`StepKind::Housekeeping`] (the resource information module's
+//! own work). The sum of the two is the paper's *total scheduler
+//! workload*.
+
+use crate::caps::Capabilities;
+use crate::config::Config;
+use crate::ids::{Area, ConfigId, EntryRef, NodeId, TaskId};
+use crate::lists::{ConfigLists, ListKind};
+use crate::node::{Node, NodeError, NodeState};
+use crate::steps::{StepCounter, StepKind};
+use crate::task::PreferredConfig;
+use std::collections::HashSet;
+
+/// What a placement search is looking for: reconfigurable area plus any
+/// hardware capabilities the configuration requires of its host node
+/// (empty in the paper's evaluation; populated by the
+/// capability-constraint extension).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Demand {
+    /// Area the configuration occupies.
+    pub area: Area,
+    /// Capabilities the host node must offer.
+    pub caps: Capabilities,
+}
+
+impl Demand {
+    /// Capability-free demand (the paper's case).
+    #[must_use]
+    pub fn area(area: Area) -> Self {
+        Self {
+            area,
+            caps: Capabilities::none(),
+        }
+    }
+
+    /// The demand a configuration places on its host.
+    #[must_use]
+    pub fn of(config: &Config) -> Self {
+        Self {
+            area: config.req_area,
+            caps: config.required_caps,
+        }
+    }
+
+    /// Whether `node` offers the required capabilities.
+    #[must_use]
+    pub fn caps_ok(&self, node: &Node) -> bool {
+        node.caps.is_superset_of(self.caps)
+    }
+}
+
+/// Owner of all resource state for one simulation run.
+#[derive(Clone, Debug)]
+pub struct ResourceManager {
+    nodes: Vec<Node>,
+    configs: Vec<Config>,
+    lists: ConfigLists,
+}
+
+impl ResourceManager {
+    /// Build a manager over the given nodes and configuration list.
+    ///
+    /// # Panics
+    /// Panics if node or configuration ids are not the dense sequence
+    /// `0..len` in order (both tables are arena-indexed).
+    #[must_use]
+    pub fn new(nodes: Vec<Node>, configs: Vec<Config>) -> Self {
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.index(), i, "node ids must be dense and ordered");
+        }
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(c.id.index(), i, "config ids must be dense and ordered");
+        }
+        let lists = ConfigLists::new(configs.len());
+        Self {
+            nodes,
+            configs,
+            lists,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of configurations in the configuration list.
+    #[must_use]
+    pub fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Borrow a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, in id order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Borrow a configuration.
+    #[must_use]
+    pub fn config(&self, id: ConfigId) -> &Config {
+        &self.configs[id.index()]
+    }
+
+    /// All configurations, in id order.
+    #[must_use]
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// Borrow the idle/busy lists (read-only; for diagnostics/tests).
+    #[must_use]
+    pub fn lists(&self) -> &ConfigLists {
+        &self.lists
+    }
+
+    // ------------------------------------------------------------------
+    // Searches (Section V / Algorithm 1), charging scheduling steps.
+    // ------------------------------------------------------------------
+
+    /// `FindPreferredConfig()`: linear search of the configuration list
+    /// for the task's `Cpref`. A [`PreferredConfig::Phantom`] is by
+    /// definition absent but still costs the full scan (the paper notes
+    /// "currently, a simple linear search is employed").
+    pub fn find_preferred_config(
+        &self,
+        pref: PreferredConfig,
+        steps: &mut StepCounter,
+    ) -> Option<ConfigId> {
+        match pref {
+            PreferredConfig::Known(id) => {
+                for c in &self.configs {
+                    steps.tick(StepKind::Scheduling);
+                    if c.id == id {
+                        return Some(id);
+                    }
+                }
+                None
+            }
+            PreferredConfig::Phantom { .. } => {
+                steps.charge(StepKind::Scheduling, self.configs.len() as u64);
+                None
+            }
+        }
+    }
+
+    /// `FindClosestConfig()`: the configuration whose `ReqArea` is
+    /// minimal among those with `ReqArea` **greater than** the preferred
+    /// configuration's area (the paper's criterion, Section IV.C).
+    pub fn find_closest_config(
+        &self,
+        needed_area: Area,
+        steps: &mut StepCounter,
+    ) -> Option<ConfigId> {
+        let mut best: Option<(Area, ConfigId)> = None;
+        for c in &self.configs {
+            steps.tick(StepKind::Scheduling);
+            if c.req_area > needed_area {
+                let cand = (c.req_area, c.id);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) if cand < b => cand,
+                    Some(b) => b,
+                });
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// `FindBestNode()`: among idle instances of `config`, the node with
+    /// minimum `AvailableArea` (best fit — "so that the nodes with larger
+    /// AvailableArea are utilized for later re-configurations").
+    pub fn find_best_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
+        let mut best: Option<(Area, EntryRef)> = None;
+        for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
+            steps.tick(StepKind::Scheduling);
+            let avail = self.nodes[e.node.index()].available_area();
+            if best.is_none_or(|(a, _)| avail < a) {
+                best = Some((avail, e));
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// First idle instance of `config` in list order (first fit), for the
+    /// policy-ablation schedulers.
+    pub fn find_first_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
+        let e = self.lists.iter(&self.nodes, ListKind::Idle, config).next();
+        if e.is_some() {
+            steps.tick(StepKind::Scheduling);
+        }
+        e
+    }
+
+    /// Among idle instances of `config`, the node with **maximum**
+    /// available area (worst fit), for the policy ablation.
+    pub fn find_worst_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
+        let mut best: Option<(Area, EntryRef)> = None;
+        for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
+            steps.tick(StepKind::Scheduling);
+            let avail = self.nodes[e.node.index()].available_area();
+            if best.is_none_or(|(a, _)| avail > a) {
+                best = Some((avail, e));
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// All idle instances of `config`, charging one scheduling step per
+    /// visited entry (random-choice policy support).
+    pub fn collect_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Vec<EntryRef> {
+        let v: Vec<EntryRef> = self.lists.iter(&self.nodes, ListKind::Idle, config).collect();
+        steps.charge(StepKind::Scheduling, v.len() as u64);
+        v
+    }
+
+    /// Best **blank** node for the demanded area/capabilities: minimal
+    /// `TotalArea` among eligible blank nodes (scans the node table; the
+    /// paper keeps no blank list).
+    pub fn find_best_blank(&self, demand: Demand, steps: &mut StepCounter) -> Option<NodeId> {
+        let mut best: Option<(Area, NodeId)> = None;
+        for n in &self.nodes {
+            steps.tick(StepKind::Scheduling);
+            if !n.down && n.is_blank() && demand.caps_ok(n) && n.can_host(demand.area) {
+                let cand = (n.total_area, n.id);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Best **partially blank** node: already holds ≥ 1 configuration and
+    /// has `AvailableArea ≥ req_area`; minimal sufficient available area
+    /// ("the scheduler chooses a node with minimum sufficient region").
+    /// Only meaningful under partial reconfiguration.
+    pub fn find_best_partially_blank(
+        &self,
+        demand: Demand,
+        steps: &mut StepCounter,
+    ) -> Option<NodeId> {
+        let mut best: Option<(Area, NodeId)> = None;
+        for n in &self.nodes {
+            steps.tick(StepKind::Scheduling);
+            if !n.down && !n.is_blank() && demand.caps_ok(n) && n.can_host(demand.area) {
+                let cand = (n.available_area(), n.id);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Algorithm 1, `FindAnyIdleNode`: scan nodes accumulating
+    /// `AvailableArea` plus the areas of **idle** config-task entries;
+    /// the first node whose reclaimable area reaches `req_area` is
+    /// returned together with the idle slots to evict. Each examined
+    /// entry charges one scheduling step (the paper increments both
+    /// `SearchLength` and `TotalSimWorkLoad`; scheduling steps fold into
+    /// the workload total by definition here).
+    pub fn find_any_idle_node(
+        &self,
+        demand: Demand,
+        steps: &mut StepCounter,
+    ) -> Option<(NodeId, Vec<u32>)> {
+        for n in &self.nodes {
+            if n.down || !demand.caps_ok(n) {
+                continue;
+            }
+            let mut accum = n.available_area();
+            let mut entries: Vec<u32> = Vec::new();
+            for (idx, slot) in n.slots() {
+                steps.tick(StepKind::Scheduling);
+                if slot.task.is_none() {
+                    accum += slot.area;
+                    entries.push(idx);
+                    if accum >= demand.area && n.can_host_after_evicting(demand.area, &entries) {
+                        return Some((n.id, entries));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// "Query busy list for potential candidate": does any currently busy
+    /// node have `TotalArea ≥ req_area`, so that suspending the task and
+    /// waiting for that node is worthwhile?
+    pub fn busy_candidate_exists(&self, demand: Demand, steps: &mut StepCounter) -> bool {
+        for n in &self.nodes {
+            steps.tick(StepKind::Scheduling);
+            if !n.down
+                && n.state() == NodeState::Busy
+                && demand.caps_ok(n)
+                && n.total_area >= demand.area
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations, maintaining list membership (housekeeping steps).
+    // ------------------------------------------------------------------
+
+    /// Instantiate `config` on `node` (`SendBitstream` + idle-list
+    /// insertion). Returns the new entry.
+    pub fn configure_slot(
+        &mut self,
+        node: NodeId,
+        config: ConfigId,
+        steps: &mut StepCounter,
+    ) -> Result<EntryRef, NodeError> {
+        let cfg = self.configs[config.index()].clone();
+        let slot = self.nodes[node.index()].send_bitstream(&cfg)?;
+        let entry = EntryRef::new(node, slot);
+        self.lists
+            .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
+        Ok(entry)
+    }
+
+    /// Evict the given **idle** slots of `node` (one or more steps of
+    /// `MakeNodePartiallyBlank` / all of `MakeNodeBlank`), unlinking each
+    /// from its configuration's idle list.
+    pub fn evict_idle_slots(
+        &mut self,
+        node: NodeId,
+        slots: &[u32],
+        steps: &mut StepCounter,
+    ) -> Result<(), NodeError> {
+        for &idx in slots {
+            let config = self.nodes[node.index()]
+                .slot(idx)
+                .ok_or(NodeError::NoSuchSlot(idx))?
+                .config;
+            let entry = EntryRef::new(node, idx);
+            let removed = self
+                .lists
+                .remove(&mut self.nodes, ListKind::Idle, config, entry, steps);
+            assert!(removed, "idle slot {entry} missing from idle list of {config}");
+            self.nodes[node.index()].evict_slot(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Start `task` on `entry` (`AddTaskToNode` + idle→busy list move).
+    pub fn assign_task(
+        &mut self,
+        entry: EntryRef,
+        task: TaskId,
+        steps: &mut StepCounter,
+    ) -> Result<(), NodeError> {
+        let config = self.nodes[entry.node.index()]
+            .slot(entry.slot)
+            .ok_or(NodeError::NoSuchSlot(entry.slot))?
+            .config;
+        let removed = self
+            .lists
+            .remove(&mut self.nodes, ListKind::Idle, config, entry, steps);
+        assert!(removed, "assigning {entry}: not on idle list of {config}");
+        self.nodes[entry.node.index()].add_task(entry.slot, task)?;
+        self.lists
+            .push(&mut self.nodes, ListKind::Busy, config, entry, steps);
+        Ok(())
+    }
+
+    /// Finish the task on `entry` (`RemoveTaskFromNode` + busy→idle list
+    /// move). Returns the finished task.
+    pub fn release_task(
+        &mut self,
+        entry: EntryRef,
+        steps: &mut StepCounter,
+    ) -> Result<TaskId, NodeError> {
+        let config = self.nodes[entry.node.index()]
+            .slot(entry.slot)
+            .ok_or(NodeError::NoSuchSlot(entry.slot))?
+            .config;
+        let removed = self
+            .lists
+            .remove(&mut self.nodes, ListKind::Busy, config, entry, steps);
+        assert!(removed, "releasing {entry}: not on busy list of {config}");
+        let task = self.nodes[entry.node.index()].remove_task(entry.slot)?;
+        self.lists
+            .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
+        Ok(task)
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection (extension; see DESIGN.md §7).
+    // ------------------------------------------------------------------
+
+    /// Fail `node`: every running task is killed (returned for the driver
+    /// to mark discarded), every slot is evicted, and the node is marked
+    /// down so searches skip it until [`repair_node`](Self::repair_node).
+    /// Idempotent on an already-down node.
+    pub fn fail_node(&mut self, node: NodeId, steps: &mut StepCounter) -> Vec<TaskId> {
+        let entries: Vec<(u32, ConfigId, bool)> = self.nodes[node.index()]
+            .slots()
+            .map(|(idx, s)| (idx, s.config, s.task.is_some()))
+            .collect();
+        let mut killed = Vec::new();
+        for &(idx, config, busy) in &entries {
+            let entry = EntryRef::new(node, idx);
+            let kind = if busy { ListKind::Busy } else { ListKind::Idle };
+            let removed = self.lists.remove(&mut self.nodes, kind, config, entry, steps);
+            assert!(removed, "failing {entry}: missing from {kind:?} list");
+            if busy {
+                let task = self.nodes[node.index()]
+                    .remove_task(idx)
+                    .expect("busy slot has a task");
+                killed.push(task);
+            }
+            self.nodes[node.index()]
+                .evict_slot(idx)
+                .expect("slot idle after task removal");
+        }
+        self.nodes[node.index()].down = true;
+        killed
+    }
+
+    /// Bring a failed node back online, blank.
+    pub fn repair_node(&mut self, node: NodeId) {
+        self.nodes[node.index()].down = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics and validation.
+    // ------------------------------------------------------------------
+
+    /// Eq. 6: the instantaneous total wasted area — the sum of
+    /// `AvailableArea` over all nodes holding at least one configuration.
+    #[must_use]
+    pub fn wasted_area_snapshot(&self) -> Area {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_blank())
+            .map(|n| n.available_area())
+            .sum()
+    }
+
+    /// Total reconfigurations performed across all nodes.
+    #[must_use]
+    pub fn total_reconfigurations(&self) -> u64 {
+        self.nodes.iter().map(|n| n.reconfig_count).sum()
+    }
+
+    /// Number of nodes that were configured at least once
+    /// (Table I's *total used nodes*).
+    #[must_use]
+    pub fn used_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.reconfig_count > 0).count()
+    }
+
+    /// Exhaustively validate the cross-structure invariants. Intended
+    /// for tests and debug builds; O(nodes × slots).
+    ///
+    /// Checks:
+    /// 1. every node satisfies Eq. 4 (area accounting);
+    /// 2. every live slot appears on exactly one list — the idle list of
+    ///    its config when vacant, the busy list when running a task;
+    /// 3. the lists contain no duplicates, no dangling entries, and no
+    ///    entries of the wrong configuration.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for n in &self.nodes {
+            if !n.area_invariant_holds() {
+                return Err(format!("{}: Eq. 4 area invariant violated", n.id));
+            }
+        }
+        let mut listed: HashSet<EntryRef> = HashSet::new();
+        for c in &self.configs {
+            for (kind, want_busy) in [(ListKind::Idle, false), (ListKind::Busy, true)] {
+                let mut visited = 0usize;
+                for e in self.lists.iter(&self.nodes, kind, c.id) {
+                    visited += 1;
+                    if visited > self.nodes.len() * 64 {
+                        return Err(format!("{}: {kind:?} list appears cyclic", c.id));
+                    }
+                    let slot = self.nodes[e.node.index()]
+                        .slot(e.slot)
+                        .ok_or_else(|| format!("{}: dangling entry {e}", c.id))?;
+                    if slot.config != c.id {
+                        return Err(format!("{e} on list of {} but holds {}", c.id, slot.config));
+                    }
+                    if slot.task.is_some() != want_busy {
+                        return Err(format!("{e} on {kind:?} list with task={:?}", slot.task));
+                    }
+                    if !listed.insert(e) {
+                        return Err(format!("{e} appears on more than one list"));
+                    }
+                }
+            }
+        }
+        let live: usize = self.nodes.iter().map(|n| n.configured_count()).sum();
+        if live != listed.len() {
+            return Err(format!(
+                "{live} live slots but {} listed entries",
+                listed.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(configs: &[(u32, Area)], nodes: &[Area]) -> ResourceManager {
+        let configs: Vec<Config> = configs
+            .iter()
+            .map(|&(id, a)| Config::new(ConfigId(id), a, 10))
+            .collect();
+        let nodes: Vec<Node> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Node::new(NodeId::from_index(i), a, 2))
+            .collect();
+        ResourceManager::new(nodes, configs)
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn non_dense_node_ids_rejected() {
+        let nodes = vec![Node::new(NodeId(1), 100, 0)];
+        let _ = ResourceManager::new(nodes, vec![]);
+    }
+
+    #[test]
+    fn find_preferred_config_counts_steps() {
+        let rm = make(&[(0, 300), (1, 500), (2, 700)], &[1000]);
+        let mut s = StepCounter::new();
+        assert_eq!(
+            rm.find_preferred_config(PreferredConfig::Known(ConfigId(2)), &mut s),
+            Some(ConfigId(2))
+        );
+        assert_eq!(s.scheduling, 3, "linear scan visits 3 entries to reach id 2");
+        let mut s2 = StepCounter::new();
+        assert_eq!(
+            rm.find_preferred_config(PreferredConfig::Phantom { area: 400 }, &mut s2),
+            None
+        );
+        assert_eq!(s2.scheduling, 3, "phantom costs the full scan");
+    }
+
+    #[test]
+    fn closest_config_is_min_area_strictly_above() {
+        let rm = make(&[(0, 300), (1, 500), (2, 700)], &[1000]);
+        let mut s = StepCounter::new();
+        assert_eq!(rm.find_closest_config(400, &mut s), Some(ConfigId(1)));
+        assert_eq!(rm.find_closest_config(500, &mut s), Some(ConfigId(2)), "strictly greater");
+        assert_eq!(rm.find_closest_config(700, &mut s), None);
+        assert_eq!(rm.find_closest_config(100, &mut s), Some(ConfigId(0)));
+    }
+
+    #[test]
+    fn configure_and_best_idle_selects_min_available_area() {
+        let mut rm = make(&[(0, 400)], &[4000, 2000, 3000]);
+        let mut s = StepCounter::new();
+        for i in 0..3 {
+            rm.configure_slot(NodeId(i), ConfigId(0), &mut s).unwrap();
+        }
+        // Available areas: 3600, 1600, 2600 → best is node 1.
+        let best = rm.find_best_idle(ConfigId(0), &mut s).unwrap();
+        assert_eq!(best.node, NodeId(1));
+        rm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn assign_and_release_move_between_lists() {
+        let mut rm = make(&[(0, 400)], &[1000]);
+        let mut s = StepCounter::new();
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.assign_task(e, TaskId(5), &mut s).unwrap();
+        rm.check_invariants().unwrap();
+        assert!(rm.find_best_idle(ConfigId(0), &mut s).is_none());
+        assert_eq!(rm.node(NodeId(0)).state(), NodeState::Busy);
+        let t = rm.release_task(e, &mut s).unwrap();
+        assert_eq!(t, TaskId(5));
+        rm.check_invariants().unwrap();
+        assert_eq!(rm.find_best_idle(ConfigId(0), &mut s), Some(e));
+    }
+
+    #[test]
+    fn best_blank_prefers_tightest_fit() {
+        let rm = make(&[(0, 900)], &[4000, 1000, 2000, 800]);
+        let mut s = StepCounter::new();
+        // Blank nodes that fit 900: areas 4000, 1000, 2000 → pick 1000.
+        assert_eq!(rm.find_best_blank(Demand::area(900), &mut s), Some(NodeId(1)));
+        assert_eq!(s.scheduling, 4, "scans the whole node table");
+        // Nothing fits 5000.
+        assert_eq!(rm.find_best_blank(Demand::area(5000), &mut s), None);
+    }
+
+    #[test]
+    fn partially_blank_requires_existing_config() {
+        let mut rm = make(&[(0, 400)], &[4000, 3000]);
+        let mut s = StepCounter::new();
+        assert_eq!(rm.find_best_partially_blank(Demand::area(100), &mut s), None, "all blank");
+        rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        // Node 0 now has 3600 available and one config.
+        assert_eq!(rm.find_best_partially_blank(Demand::area(3600), &mut s), Some(NodeId(0)));
+        assert_eq!(rm.find_best_partially_blank(Demand::area(3601), &mut s), None);
+    }
+
+    #[test]
+    fn algorithm_one_accumulates_idle_entries() {
+        let mut rm = make(&[(0, 400), (1, 600)], &[1200]);
+        let mut s = StepCounter::new();
+        let e0 = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        let _e1 = rm.configure_slot(NodeId(0), ConfigId(1), &mut s).unwrap();
+        // Node: total 1200, available 200, idle slots areas 400 + 600.
+        // Need 700: available(200) + slot0(400) = 600 < 700, + slot1(600)
+        // = 1200 ≥ 700 → both slots returned.
+        let (node, evict) = rm.find_any_idle_node(Demand::area(700), &mut s).unwrap();
+        assert_eq!(node, NodeId(0));
+        assert_eq!(evict.len(), 2);
+        // Need 500: available + slot0 = 600 ≥ 500 → only first slot.
+        let (_, evict) = rm.find_any_idle_node(Demand::area(500), &mut s).unwrap();
+        assert_eq!(evict.len(), 1);
+        // Busy slots do not contribute.
+        rm.assign_task(e0, TaskId(0), &mut s).unwrap();
+        assert!(rm.find_any_idle_node(Demand::area(900), &mut s).is_none());
+        let (_, evict) = rm.find_any_idle_node(Demand::area(800), &mut s).unwrap();
+        assert_eq!(evict.len(), 1, "only the idle 600-slot is reclaimable");
+    }
+
+    #[test]
+    fn evict_idle_slots_reclaims_area_and_lists() {
+        let mut rm = make(&[(0, 400), (1, 600)], &[1200]);
+        let mut s = StepCounter::new();
+        rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.configure_slot(NodeId(0), ConfigId(1), &mut s).unwrap();
+        let (node, evict) = rm.find_any_idle_node(Demand::area(1100), &mut s).unwrap();
+        rm.evict_idle_slots(node, &evict, &mut s).unwrap();
+        assert_eq!(rm.node(node).available_area(), 1200);
+        assert!(rm.node(node).is_blank());
+        rm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn busy_candidate_scan() {
+        let mut rm = make(&[(0, 400)], &[1000, 3000]);
+        let mut s = StepCounter::new();
+        assert!(!rm.busy_candidate_exists(Demand::area(500), &mut s), "nothing busy yet");
+        let e = rm.configure_slot(NodeId(1), ConfigId(0), &mut s).unwrap();
+        rm.assign_task(e, TaskId(0), &mut s).unwrap();
+        assert!(rm.busy_candidate_exists(Demand::area(2500), &mut s));
+        assert!(!rm.busy_candidate_exists(Demand::area(3500), &mut s), "too big for any busy node");
+    }
+
+    #[test]
+    fn wasted_area_snapshot_counts_only_configured_nodes() {
+        let mut rm = make(&[(0, 400)], &[1000, 2000]);
+        let mut s = StepCounter::new();
+        assert_eq!(rm.wasted_area_snapshot(), 0);
+        rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        assert_eq!(rm.wasted_area_snapshot(), 600);
+        rm.configure_slot(NodeId(1), ConfigId(0), &mut s).unwrap();
+        assert_eq!(rm.wasted_area_snapshot(), 600 + 1600);
+    }
+
+    #[test]
+    fn used_nodes_and_total_reconfigs() {
+        let mut rm = make(&[(0, 400)], &[1000, 2000, 3000]);
+        let mut s = StepCounter::new();
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.evict_idle_slots(NodeId(0), &[e.slot], &mut s).unwrap();
+        rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.configure_slot(NodeId(2), ConfigId(0), &mut s).unwrap();
+        assert_eq!(rm.total_reconfigurations(), 3);
+        assert_eq!(rm.used_nodes(), 2);
+    }
+
+    #[test]
+    fn first_and_worst_fit_variants() {
+        let mut rm = make(&[(0, 400)], &[4000, 2000, 3000]);
+        let mut s = StepCounter::new();
+        let mut entries = Vec::new();
+        for i in 0..3 {
+            entries.push(rm.configure_slot(NodeId(i), ConfigId(0), &mut s).unwrap());
+        }
+        // LIFO list order: node2, node1, node0.
+        assert_eq!(rm.find_first_idle(ConfigId(0), &mut s).unwrap().node, NodeId(2));
+        // Worst fit: max available area = node 0 (3600).
+        assert_eq!(rm.find_worst_idle(ConfigId(0), &mut s).unwrap().node, NodeId(0));
+        let all = rm.collect_idle(ConfigId(0), &mut s);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn fail_node_kills_tasks_and_hides_node_from_searches() {
+        let mut rm = make(&[(0, 400)], &[1000, 1000]);
+        let mut s = StepCounter::new();
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap(); // second idle slot
+        rm.assign_task(e, TaskId(3), &mut s).unwrap();
+        let killed = rm.fail_node(NodeId(0), &mut s);
+        assert_eq!(killed, vec![TaskId(3)]);
+        assert!(rm.node(NodeId(0)).is_blank());
+        assert!(rm.node(NodeId(0)).down);
+        rm.check_invariants().unwrap();
+        // Down node invisible to searches even though blank.
+        assert_eq!(rm.find_best_blank(Demand::area(100), &mut s), Some(NodeId(1)));
+        assert!(!rm.busy_candidate_exists(Demand::area(100), &mut s));
+        assert!(rm.find_any_idle_node(Demand::area(100), &mut s).map(|(n, _)| n) == Some(NodeId(1)) || rm.find_any_idle_node(Demand::area(100), &mut s).is_none());
+        // Repair restores eligibility.
+        rm.repair_node(NodeId(0));
+        assert_eq!(rm.find_best_blank(Demand::area(100), &mut s), Some(NodeId(0)));
+        // Idempotent failure on an empty down node.
+        let killed = rm.fail_node(NodeId(1), &mut s);
+        assert!(killed.is_empty());
+    }
+
+    #[test]
+    fn invariant_checker_catches_corruption() {
+        let mut rm = make(&[(0, 400)], &[1000]);
+        let mut s = StepCounter::new();
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.check_invariants().unwrap();
+        // Corrupt: mark the slot busy without moving lists.
+        rm.nodes[0].add_task(e.slot, TaskId(9)).unwrap();
+        assert!(rm.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Application tasks (Eq. 3): `Taskᵢ(t_required, Cpref, data)`.
+//!
+//! A task asks for a *preferred* processor configuration `Cpref` and runs
+//! for `t_required` timeticks once placed on it. Per Table II, a fraction
+//! of tasks (15 % in the paper's runs) prefer a configuration that does
+//! not exist in the configuration list; the scheduler then falls back to
+//! the *closest match* — the smallest configuration bigger than the
+//! preferred one. Such preferences are modeled as
+//! [`PreferredConfig::Phantom`] carrying only the required area.
+
+use crate::ids::{Area, ConfigId, TaskId, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// What configuration a task asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreferredConfig {
+    /// The task prefers a configuration present in the configuration list.
+    Known(ConfigId),
+    /// The task prefers a configuration *not* in the list; only its area
+    /// requirement is known, and the scheduler must substitute the
+    /// closest match (Section V).
+    Phantom {
+        /// Area the preferred (unavailable) configuration would need.
+        area: Area,
+    },
+}
+
+/// Lifecycle state of a task (drives the Table I counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Created, not yet handled by the scheduler.
+    #[default]
+    Created,
+    /// Waiting in the suspension queue for a busy node to free up.
+    Suspended,
+    /// Executing on a node.
+    Running,
+    /// Finished execution.
+    Completed,
+    /// Rejected: no configuration or node could ever serve it.
+    Discarded,
+}
+
+/// An application task (Eq. 3 plus the bookkeeping fields of the UML
+/// `Task` class: create/start/completion times, assigned configuration,
+/// suspension retries).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task identifier (`TaskNo`).
+    pub id: TaskId,
+    /// Execution time on the preferred configuration, in timeticks
+    /// (`t_required`).
+    pub required_time: Ticks,
+    /// The preferred configuration (`Cpref`) — possibly phantom.
+    pub preferred: PreferredConfig,
+    /// Area needed by the preferred configuration (`NeededArea`); for
+    /// known preferences this mirrors the config's `ReqArea`, for phantom
+    /// preferences it is the only sizing information available.
+    pub needed_area: Area,
+    /// Input data size in bytes (`data` in Eq. 3); affects nothing in the
+    /// paper's evaluation but is carried for workload realism.
+    pub data_bytes: u64,
+    /// Creation (arrival) time (`CreateTime`).
+    pub create_time: Ticks,
+    /// Time the task started executing on a node (`StartTime`).
+    pub start_time: Option<Ticks>,
+    /// Time the task finished (`CompletionTime`).
+    pub completion_time: Option<Ticks>,
+    /// Configuration actually assigned (`AssignedConfig`); differs from
+    /// `preferred` when the closest match was used.
+    pub assigned_config: Option<ConfigId>,
+    /// Configuration the scheduler resolved for this task (exact or
+    /// closest match), cached at first scheduling so suspension-queue
+    /// rescans don't repeat the configuration-list search.
+    pub resolved_config: Option<ConfigId>,
+    /// Number of times the task was pulled from the suspension queue and
+    /// retried (`SusRetry`).
+    pub sus_retry: u64,
+    /// Current lifecycle state.
+    pub state: TaskState,
+}
+
+impl Task {
+    /// Create a task at `create_time` with the given preference.
+    ///
+    /// `needed_area` must be supplied by the caller because for
+    /// [`PreferredConfig::Known`] it mirrors the configuration's area,
+    /// which the task table does not have access to.
+    #[must_use]
+    pub fn new(
+        id: TaskId,
+        create_time: Ticks,
+        required_time: Ticks,
+        preferred: PreferredConfig,
+        needed_area: Area,
+    ) -> Self {
+        Self {
+            id,
+            required_time,
+            preferred,
+            needed_area,
+            data_bytes: 0,
+            create_time,
+            start_time: None,
+            completion_time: None,
+            assigned_config: None,
+            resolved_config: None,
+            sus_retry: 0,
+            state: TaskState::Created,
+        }
+    }
+
+    /// Builder-style data payload size.
+    #[must_use]
+    pub fn with_data_bytes(mut self, bytes: u64) -> Self {
+        self.data_bytes = bytes;
+        self
+    }
+
+    /// Waiting time per Eq. 8 components available on the task itself:
+    /// `tstart − tcreate`. The communication and configuration components
+    /// are added by the statistics module, which knows the placement.
+    /// Returns `None` until the task has started.
+    #[must_use]
+    pub fn queueing_delay(&self) -> Option<Ticks> {
+        self.start_time.map(|s| s.saturating_sub(self.create_time))
+    }
+
+    /// Whether the task reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, TaskState::Completed | TaskState::Discarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::new(TaskId(1), 100, 5000, PreferredConfig::Known(ConfigId(2)), 800)
+    }
+
+    #[test]
+    fn new_task_is_created_state() {
+        let t = task();
+        assert_eq!(t.state, TaskState::Created);
+        assert!(!t.is_terminal());
+        assert_eq!(t.queueing_delay(), None);
+        assert_eq!(t.sus_retry, 0);
+    }
+
+    #[test]
+    fn queueing_delay_after_start() {
+        let mut t = task();
+        t.start_time = Some(175);
+        assert_eq!(t.queueing_delay(), Some(75));
+    }
+
+    #[test]
+    fn queueing_delay_saturates_rather_than_underflows() {
+        // A start time before creation is a driver bug, but the metric
+        // must not panic mid-simulation; it clamps to zero.
+        let mut t = task();
+        t.start_time = Some(50);
+        assert_eq!(t.queueing_delay(), Some(0));
+    }
+
+    #[test]
+    fn terminal_states() {
+        let mut t = task();
+        for (s, term) in [
+            (TaskState::Created, false),
+            (TaskState::Suspended, false),
+            (TaskState::Running, false),
+            (TaskState::Completed, true),
+            (TaskState::Discarded, true),
+        ] {
+            t.state = s;
+            assert_eq!(t.is_terminal(), term, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn phantom_preference_carries_area() {
+        let t = Task::new(TaskId(0), 0, 10, PreferredConfig::Phantom { area: 1234 }, 1234);
+        match t.preferred {
+            PreferredConfig::Phantom { area } => assert_eq!(area, 1234),
+            PreferredConfig::Known(_) => panic!("expected phantom"),
+        }
+        assert_eq!(t.needed_area, 1234);
+    }
+
+    #[test]
+    fn builder_data_bytes() {
+        let t = task().with_data_bytes(4096);
+        assert_eq!(t.data_bytes, 4096);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = task();
+        let js = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&js).unwrap();
+        assert_eq!(t, back);
+    }
+}

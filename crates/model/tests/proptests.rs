@@ -1,0 +1,234 @@
+//! Property tests for the resource-management substrate: arbitrary
+//! operation sequences must never violate the structural invariants
+//! (Eq. 4 area accounting, idle/busy list partition, no leaks).
+
+use dreamsim_model::{
+    Config, ConfigId, EntryRef, Node, NodeId, ResourceManager, StepCounter, TaskId,
+};
+use proptest::prelude::*;
+
+/// An abstract operation to apply to the store.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Configure config `c % configs` on node `n % nodes` (may fail for
+    /// lack of area; failure must be a clean no-op).
+    Configure { n: usize, c: usize },
+    /// Assign a fresh task to the `k`-th currently idle entry, if any.
+    Assign { k: usize },
+    /// Release the `k`-th currently busy entry, if any.
+    Release { k: usize },
+    /// Evict the `k`-th currently idle entry, if any.
+    Evict { k: usize },
+    /// Fail node `n % nodes`.
+    Fail { n: usize },
+    /// Repair node `n % nodes`.
+    Repair { n: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..64, 0usize..64).prop_map(|(n, c)| Op::Configure { n, c }),
+        3 => (0usize..64).prop_map(|k| Op::Assign { k }),
+        3 => (0usize..64).prop_map(|k| Op::Release { k }),
+        2 => (0usize..64).prop_map(|k| Op::Evict { k }),
+        1 => (0usize..64).prop_map(|n| Op::Fail { n }),
+        1 => (0usize..64).prop_map(|n| Op::Repair { n }),
+    ]
+}
+
+fn build(nodes: usize, configs: usize) -> ResourceManager {
+    let configs: Vec<Config> = (0..configs)
+        .map(|i| Config::new(ConfigId::from_index(i), 100 + (i as u64 * 211) % 900, 10))
+        .collect();
+    let nodes: Vec<Node> = (0..nodes)
+        .map(|i| Node::new(NodeId::from_index(i), 500 + (i as u64 * 307) % 2500, 1))
+        .collect();
+    ResourceManager::new(nodes, configs)
+}
+
+fn idle_entries(rm: &ResourceManager) -> Vec<EntryRef> {
+    rm.nodes()
+        .iter()
+        .flat_map(|n| {
+            n.slots()
+                .filter(|(_, s)| s.task.is_none())
+                .map(move |(i, _)| EntryRef::new(n.id, i))
+        })
+        .collect()
+}
+
+fn busy_entries(rm: &ResourceManager) -> Vec<EntryRef> {
+    rm.nodes()
+        .iter()
+        .flat_map(|n| {
+            n.slots()
+                .filter(|(_, s)| s.task.is_some())
+                .map(move |(i, _)| EntryRef::new(n.id, i))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_survive_arbitrary_op_sequences(
+        nodes in 1usize..12,
+        configs in 1usize..8,
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut rm = build(nodes, configs);
+        let mut steps = StepCounter::new();
+        let mut next_task = 0u32;
+        for op in ops {
+            match op {
+                Op::Configure { n, c } => {
+                    let node = NodeId::from_index(n % nodes);
+                    let config = ConfigId::from_index(c % configs);
+                    if !rm.node(node).down {
+                        let _ = rm.configure_slot(node, config, &mut steps);
+                    }
+                }
+                Op::Assign { k } => {
+                    let idle = idle_entries(&rm);
+                    if !idle.is_empty() {
+                        let e = idle[k % idle.len()];
+                        rm.assign_task(e, TaskId(next_task), &mut steps).unwrap();
+                        next_task += 1;
+                    }
+                }
+                Op::Release { k } => {
+                    let busy = busy_entries(&rm);
+                    if !busy.is_empty() {
+                        let e = busy[k % busy.len()];
+                        rm.release_task(e, &mut steps).unwrap();
+                    }
+                }
+                Op::Evict { k } => {
+                    let idle = idle_entries(&rm);
+                    if !idle.is_empty() {
+                        let e = idle[k % idle.len()];
+                        rm.evict_idle_slots(e.node, &[e.slot], &mut steps).unwrap();
+                    }
+                }
+                Op::Fail { n } => {
+                    let node = NodeId::from_index(n % nodes);
+                    let _ = rm.fail_node(node, &mut steps);
+                }
+                Op::Repair { n } => {
+                    rm.repair_node(NodeId::from_index(n % nodes));
+                }
+            }
+            if let Err(e) = rm.check_invariants() {
+                prop_assert!(false, "invariant violated after {op:?}: {e}");
+            }
+        }
+    }
+
+    /// Failed configure (insufficient area) must leave everything
+    /// untouched, including the reconfiguration counter.
+    #[test]
+    fn failed_configure_is_a_clean_noop(extra in 1u64..10_000) {
+        let configs = vec![Config::new(ConfigId(0), 1_000 + extra, 10)];
+        let nodes = vec![Node::new(NodeId(0), 1_000, 1)];
+        let mut rm = ResourceManager::new(nodes, configs);
+        let mut steps = StepCounter::new();
+        let before_steps = steps;
+        let r = rm.configure_slot(NodeId(0), ConfigId(0), &mut steps);
+        prop_assert!(r.is_err());
+        prop_assert_eq!(rm.node(NodeId(0)).reconfig_count, 0);
+        prop_assert_eq!(rm.node(NodeId(0)).available_area(), 1_000);
+        prop_assert_eq!(steps.housekeeping, before_steps.housekeeping);
+        rm.check_invariants().unwrap();
+    }
+
+    /// Search results agree between the list-based and naive paths on
+    /// arbitrary store states (same node; ties may differ in slot).
+    #[test]
+    fn naive_and_list_search_agree(
+        nodes in 1usize..10,
+        configs in 1usize..6,
+        ops in prop::collection::vec(arb_op(), 0..60),
+        probe in 0usize..6,
+    ) {
+        let mut rm = build(nodes, configs);
+        let mut steps = StepCounter::new();
+        let mut next_task = 0u32;
+        for op in ops {
+            match op {
+                Op::Configure { n, c } => {
+                    let node = NodeId::from_index(n % nodes);
+                    if !rm.node(node).down {
+                        let _ = rm.configure_slot(node, ConfigId::from_index(c % configs), &mut steps);
+                    }
+                }
+                Op::Assign { k } => {
+                    let idle = idle_entries(&rm);
+                    if !idle.is_empty() {
+                        rm.assign_task(idle[k % idle.len()], TaskId(next_task), &mut steps).unwrap();
+                        next_task += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let config = ConfigId::from_index(probe % configs);
+        let via_list = rm.find_best_idle(config, &mut steps);
+        let via_scan = dreamsim_model::naive::find_best_idle_naive(&rm, config, &mut steps);
+        match (via_list, via_scan) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    rm.node(a.node).available_area(),
+                    rm.node(b.node).available_area(),
+                    "best-fit quality must agree"
+                );
+            }
+            other => prop_assert!(false, "presence disagrees: {other:?}"),
+        }
+    }
+
+    /// Eq. 6 snapshot equals the hand-computed sum on arbitrary states.
+    #[test]
+    fn wasted_area_snapshot_matches_definition(
+        nodes in 1usize..10,
+        configs in 1usize..6,
+        ops in prop::collection::vec(arb_op(), 0..80),
+    ) {
+        let mut rm = build(nodes, configs);
+        let mut steps = StepCounter::new();
+        let mut next_task = 0u32;
+        for op in ops {
+            match op {
+                Op::Configure { n, c } => {
+                    let node = NodeId::from_index(n % nodes);
+                    if !rm.node(node).down {
+                        let _ = rm.configure_slot(node, ConfigId::from_index(c % configs), &mut steps);
+                    }
+                }
+                Op::Assign { k } => {
+                    let idle = idle_entries(&rm);
+                    if !idle.is_empty() {
+                        rm.assign_task(idle[k % idle.len()], TaskId(next_task), &mut steps).unwrap();
+                        next_task += 1;
+                    }
+                }
+                Op::Evict { k } => {
+                    let idle = idle_entries(&rm);
+                    if !idle.is_empty() {
+                        let e = idle[k % idle.len()];
+                        rm.evict_idle_slots(e.node, &[e.slot], &mut steps).unwrap();
+                    }
+                }
+                _ => {}
+            }
+        }
+        let expected: u64 = rm
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_blank())
+            .map(|n| n.available_area())
+            .sum();
+        prop_assert_eq!(rm.wasted_area_snapshot(), expected);
+    }
+}

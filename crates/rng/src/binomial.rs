@@ -1,0 +1,233 @@
+//! Binomial variates.
+//!
+//! Regime selection:
+//!
+//! * `n ≤ 25` — direct Bernoulli summation (exact, trivially correct).
+//! * `n·min(p,q) < 10` — BINV inversion (Kachitvichyanukul & Schmeiser):
+//!   walk the CDF from 0; O(n·p) expected steps.
+//! * otherwise — Hörmann's BTRS transformed rejection (*The generation of
+//!   binomial random variates*, J. Statist. Comput. Simul. 46, 1993):
+//!   O(1) expected time with an exact log-density test.
+//!
+//! All regimes reduce `p > 1/2` to the mirrored problem `n − Bin(n, 1−p)`.
+
+use crate::engine::RngCore;
+use crate::special::ln_gamma;
+use crate::uniform;
+
+/// Binomial variate: successes in `n` trials with probability `p`.
+///
+/// `p` outside `[0, 1]` is clamped; NaN is treated as 0.
+pub fn binomial<R: RngCore>(rng: &mut R, p: f64, n: u64) -> u64 {
+    if n == 0 || !(p > 0.0) {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial_half(rng, 1.0 - p, n);
+    }
+    binomial_half(rng, p, n)
+}
+
+/// Core sampler, requires `0 < p <= 1/2`.
+fn binomial_half<R: RngCore>(rng: &mut R, p: f64, n: u64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    if n <= 25 {
+        return (0..n).filter(|_| uniform::f64_unit(rng) < p).count() as u64;
+    }
+    if (n as f64) * p < 10.0 {
+        binv(rng, p, n)
+    } else {
+        btrs(rng, p, n)
+    }
+}
+
+/// BINV: CDF inversion from zero.
+fn binv<R: RngCore>(rng: &mut R, p: f64, n: u64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // r = q^n; with n*p < 10 this is >= ~e^{-10}/poly, comfortably normal.
+    let mut r = q.powf(n as f64);
+    let mut u = uniform::f64_unit(rng);
+    let mut x = 0u64;
+    loop {
+        if u < r {
+            return x;
+        }
+        u -= r;
+        x += 1;
+        if x > n {
+            // Float underflow exhausted the PMF mass; clamp to the mode
+            // region by restarting (probability ~2^-53).
+            r = q.powf(n as f64);
+            u = uniform::f64_unit(rng);
+            x = 0;
+            continue;
+        }
+        r *= (n - x + 1) as f64 / x as f64 * s;
+    }
+}
+
+/// BTRS: transformed rejection with squeeze, for `n·p ≥ 10`, `p ≤ 1/2`.
+fn btrs<R: RngCore>(rng: &mut R, p: f64, n: u64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor();
+    let h = ln_gamma(m + 1.0) + ln_gamma(nf - m + 1.0);
+    loop {
+        let u = uniform::f64_unit(rng) - 0.5;
+        let v = uniform::f64_open(rng);
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        if us >= 0.07 && v <= v_r {
+            return kf as u64; // squeeze acceptance
+        }
+        let lv = (v * alpha / (a / (us * us) + b)).ln();
+        let rhs = h - ln_gamma(kf + 1.0) - ln_gamma(nf - kf + 1.0) + (kf - m) * lpq;
+        if lv <= rhs {
+            return kf as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Xoshiro256StarStar;
+
+    fn engine(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from(seed)
+    }
+
+    fn sample(seed: u64, p: f64, n: u64, draws: usize) -> Vec<u64> {
+        let mut e = engine(seed);
+        (0..draws).map(|_| binomial(&mut e, p, n)).collect()
+    }
+
+    fn mean_var(xs: &[u64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n;
+        (m, v)
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut e = engine(1);
+        assert_eq!(binomial(&mut e, 0.5, 0), 0);
+        assert_eq!(binomial(&mut e, 0.0, 100), 0);
+        assert_eq!(binomial(&mut e, -0.5, 100), 0);
+        assert_eq!(binomial(&mut e, f64::NAN, 100), 0);
+        assert_eq!(binomial(&mut e, 1.0, 100), 100);
+        assert_eq!(binomial(&mut e, 1.5, 100), 100);
+    }
+
+    #[test]
+    fn values_never_exceed_n() {
+        let mut e = engine(2);
+        for &(p, n) in &[(0.3, 5u64), (0.5, 40), (0.01, 10_000), (0.7, 1_000)] {
+            for _ in 0..20_000 {
+                assert!(binomial(&mut e, p, n) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn moments_bernoulli_sum_regime() {
+        let xs = sample(3, 0.3, 20, 200_000);
+        let (m, v) = mean_var(&xs);
+        assert!((m - 6.0).abs() < 0.03, "mean={m}");
+        assert!((v - 4.2).abs() < 0.08, "var={v}");
+    }
+
+    #[test]
+    fn moments_binv_regime() {
+        // n=1000, p=0.005 → np=5 < 10, n > 25 → BINV.
+        let xs = sample(4, 0.005, 1000, 200_000);
+        let (m, v) = mean_var(&xs);
+        assert!((m - 5.0).abs() < 0.03, "mean={m}");
+        assert!((v - 4.975).abs() < 0.08, "var={v}");
+    }
+
+    #[test]
+    fn moments_btrs_regime() {
+        for (seed, p, n) in [(5u64, 0.5, 100u64), (6, 0.1, 1_000), (7, 0.4, 10_000)] {
+            let xs = sample(seed, p, n, 200_000);
+            let (m, v) = mean_var(&xs);
+            let em = n as f64 * p;
+            let ev = em * (1.0 - p);
+            assert!((m - em).abs() / em < 0.005, "p={p} n={n}: mean {m} vs {em}");
+            assert!((v - ev).abs() / ev < 0.03, "p={p} n={n}: var {v} vs {ev}");
+        }
+    }
+
+    #[test]
+    fn mirrored_p_symmetry() {
+        // Bin(n, p) and n − Bin(n, 1−p) are identically distributed.
+        let a = sample(8, 0.8, 500, 200_000);
+        let b: Vec<u64> = sample(9, 0.2, 500, 200_000).iter().map(|&x| 500 - x).collect();
+        let (ma, va) = mean_var(&a);
+        let (mb, vb) = mean_var(&b);
+        assert!((ma - mb).abs() < 0.1, "{ma} vs {mb}");
+        assert!((va - vb).abs() / vb < 0.03, "{va} vs {vb}");
+    }
+
+    #[test]
+    fn pmf_chi_squared_small_n() {
+        // Exact PMF check for n=10, p=0.35.
+        let (n, p) = (10u64, 0.35f64);
+        let xs = sample(10, p, n, 300_000);
+        let mut counts = [0u64; 11];
+        for &x in &xs {
+            counts[x as usize] += 1;
+        }
+        // PMF via the recurrence from k=0.
+        let mut pmf = vec![0.0f64; 11];
+        pmf[0] = (1.0 - p).powi(10);
+        for k in 1..=10usize {
+            pmf[k] = pmf[k - 1] * ((n as usize - k + 1) as f64 / k as f64) * (p / (1.0 - p));
+        }
+        let total = xs.len() as f64;
+        let chi2: f64 = counts
+            .iter()
+            .zip(&pmf)
+            .map(|(&c, &q)| {
+                let e = q * total;
+                (c as f64 - e).powi(2) / e
+            })
+            .sum();
+        // 10 dof, 0.999 quantile ≈ 29.59.
+        assert!(chi2 < 29.59, "chi2={chi2}");
+    }
+
+    #[test]
+    fn regimes_agree_at_binv_btrs_boundary() {
+        // np just below / above 10 with matched parameters.
+        let a = sample(11, 9.9 / 1000.0, 1000, 300_000);
+        let b = sample(12, 10.1 / 1000.0, 1000, 300_000);
+        let (ma, _) = mean_var(&a);
+        let (mb, _) = mean_var(&b);
+        assert!((mb - ma - 0.2).abs() < 0.05, "ma={ma} mb={mb}");
+    }
+
+    #[test]
+    fn poisson_limit_of_binomial() {
+        // n large, p small with np = 4: Bin ≈ Poisson(4).
+        let xs = sample(13, 4.0 / 100_000.0, 100_000, 200_000);
+        let (m, v) = mean_var(&xs);
+        assert!((m - 4.0).abs() < 0.03, "mean={m}");
+        assert!((v - 4.0).abs() < 0.08, "var={v}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Weighted discrete sampling via Vose's alias method: O(k) construction,
+//! O(1) per draw. DReAMSim uses this for non-uniform choices among
+//! processor-configuration types and workload mixes.
+
+use crate::engine::RngCore;
+use crate::uniform;
+
+/// Pre-built alias table over `k` categories.
+///
+/// ```
+/// use dreamsim_rng::{discrete::AliasTable, Xoshiro256StarStar};
+///
+/// let table = AliasTable::new(&[10.0, 30.0, 60.0]).unwrap();
+/// let mut rng = Xoshiro256StarStar::seed_from(1);
+/// let i = table.sample(&mut rng);
+/// assert!(i < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability for each slot.
+    prob: Vec<f64>,
+    /// Alias category used when the acceptance test fails.
+    alias: Vec<usize>,
+}
+
+/// Error constructing an [`AliasTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight(usize),
+    /// All weights were zero.
+    ZeroMass,
+}
+
+impl std::fmt::Display for AliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "alias table requires at least one weight"),
+            Self::InvalidWeight(i) => write!(f, "weight {i} is negative or non-finite"),
+            Self::ZeroMass => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for AliasError {}
+
+impl AliasTable {
+    /// Build a table from nonnegative weights (not necessarily
+    /// normalized).
+    pub fn new(weights: &[f64]) -> Result<Self, AliasError> {
+        if weights.is_empty() {
+            return Err(AliasError::Empty);
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(AliasError::InvalidWeight(i));
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(AliasError::ZeroMass);
+        }
+        let k = weights.len();
+        // Scaled weights: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0f64; k];
+        let mut alias: Vec<usize> = (0..k).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries (numerical leftovers) keep prob = 1.
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let i = uniform::below(rng, self.prob.len() as u64) as usize;
+        if uniform::f64_unit(rng) < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Xoshiro256StarStar;
+
+    fn engine(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from(seed)
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(AliasTable::new(&[]).unwrap_err(), AliasError::Empty);
+        assert_eq!(
+            AliasTable::new(&[1.0, -0.5]).unwrap_err(),
+            AliasError::InvalidWeight(1)
+        );
+        assert_eq!(
+            AliasTable::new(&[1.0, f64::NAN]).unwrap_err(),
+            AliasError::InvalidWeight(1)
+        );
+        assert_eq!(
+            AliasTable::new(&[1.0, f64::INFINITY]).unwrap_err(),
+            AliasError::InvalidWeight(1)
+        );
+        assert_eq!(AliasTable::new(&[0.0, 0.0]).unwrap_err(), AliasError::ZeroMass);
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut e = engine(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut e), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut e = engine(2);
+        for _ in 0..100_000 {
+            let i = t.sample(&mut e);
+            assert!(i == 1 || i == 3, "drew zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [10.0, 20.0, 30.0, 40.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut e = engine(3);
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut e)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let want = weights[i] / total;
+            assert!((got - want).abs() < 0.005, "cat {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_behave_like_below() {
+        let t = AliasTable::new(&[1.0; 10]).unwrap();
+        let mut e = engine(4);
+        let n = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[t.sample(&mut e)] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        // 9 dof, 0.999 quantile ≈ 27.88.
+        assert!(chi2 < 27.88, "chi2={chi2}");
+    }
+
+    #[test]
+    fn extreme_weight_ratios() {
+        let t = AliasTable::new(&[1e-12, 1.0]).unwrap();
+        let mut e = engine(5);
+        let hits0 = (0..1_000_000).filter(|_| t.sample(&mut e) == 0).count();
+        assert!(hits0 <= 3, "tiny category drawn {hits0} times");
+    }
+
+    #[test]
+    fn many_categories_no_bias_sweep() {
+        // A ramp of weights 1..=100.
+        let weights: Vec<f64> = (1..=100).map(f64::from).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        assert_eq!(t.len(), 100);
+        assert!(!t.is_empty());
+        let mut e = engine(6);
+        let n = 1_000_000;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..n {
+            counts[t.sample(&mut e)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        // Compare average absolute relative deviation.
+        let mut dev = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let want = weights[i] / total * n as f64;
+            dev += ((c as f64 - want) / want).abs();
+        }
+        assert!(dev / 100.0 < 0.05, "mean rel deviation {}", dev / 100.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multinomial variates via the conditional-binomial decomposition: the
+//! count for each category in turn is `Bin(remaining, pᵢ / remaining
+//! mass)`, which yields an exact multinomial sample in `k − 1` binomial
+//! draws.
+
+use crate::binomial::binomial;
+use crate::engine::RngCore;
+
+/// Distribute `n` trials over `probs.len()` categories.
+///
+/// Weights are normalized internally, so any nonnegative weight vector
+/// with positive sum works (they need not sum to 1).
+///
+/// # Panics
+/// Panics if `probs` is empty, contains a negative or non-finite weight,
+/// or sums to zero while `n > 0`.
+pub fn multinomial<R: RngCore>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    assert!(!probs.is_empty(), "multinomial requires at least one category");
+    for (i, &w) in probs.iter().enumerate() {
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "multinomial weight {i} must be nonnegative and finite, got {w}"
+        );
+    }
+    let mut counts = vec![0u64; probs.len()];
+    if n == 0 {
+        return counts;
+    }
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "multinomial weights must not all be zero");
+
+    let mut remaining = n;
+    let mut mass = total;
+    for (i, &w) in probs.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if i == probs.len() - 1 {
+            counts[i] = remaining;
+            break;
+        }
+        if w <= 0.0 {
+            continue;
+        }
+        // Conditional probability of category i among the remaining mass.
+        let p = (w / mass).min(1.0);
+        let c = binomial(rng, p, remaining);
+        counts[i] = c;
+        remaining -= c;
+        mass -= w;
+        if mass <= 0.0 {
+            // All residual mass was in category i (within rounding).
+            break;
+        }
+    }
+    // Rounding in `mass` may leave trials unassigned only if all later
+    // weights were zero; give any remainder to the last positive-weight
+    // category to conserve the total.
+    let assigned: u64 = counts.iter().sum();
+    if assigned < n {
+        let last_pos = probs
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("checked: total > 0");
+        counts[last_pos] += n - assigned;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Xoshiro256StarStar;
+
+    fn engine(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from(seed)
+    }
+
+    #[test]
+    fn counts_always_sum_to_n() {
+        let mut e = engine(1);
+        let probs = [0.1, 0.0, 0.4, 0.2, 0.3];
+        for n in [0u64, 1, 7, 100, 10_000] {
+            for _ in 0..200 {
+                let c = multinomial(&mut e, n, &probs);
+                assert_eq!(c.iter().sum::<u64>(), n);
+                assert_eq!(c[1], 0, "zero-weight category must stay empty");
+            }
+        }
+    }
+
+    #[test]
+    fn single_category_gets_everything() {
+        let mut e = engine(2);
+        assert_eq!(multinomial(&mut e, 55, &[3.0]), vec![55]);
+    }
+
+    #[test]
+    fn category_means_match_probabilities() {
+        let mut e = engine(3);
+        let probs = [1.0, 2.0, 3.0, 4.0]; // unnormalized
+        let n = 1000u64;
+        let reps = 20_000;
+        let mut sums = [0u64; 4];
+        for _ in 0..reps {
+            let c = multinomial(&mut e, n, &probs);
+            for (s, &ci) in sums.iter_mut().zip(&c) {
+                *s += ci;
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        for (i, &s) in sums.iter().enumerate() {
+            let mean = s as f64 / reps as f64;
+            let expect = n as f64 * probs[i] / total;
+            assert!(
+                (mean - expect).abs() / expect < 0.01,
+                "cat {i}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn covariance_is_negative_between_categories() {
+        let mut e = engine(4);
+        let probs = [0.5, 0.5];
+        let n = 100u64;
+        let reps = 50_000usize;
+        let samples: Vec<(f64, f64)> = (0..reps)
+            .map(|_| {
+                let c = multinomial(&mut e, n, &probs);
+                (c[0] as f64, c[1] as f64)
+            })
+            .collect();
+        let m0 = samples.iter().map(|s| s.0).sum::<f64>() / reps as f64;
+        let m1 = samples.iter().map(|s| s.1).sum::<f64>() / reps as f64;
+        let cov = samples
+            .iter()
+            .map(|s| (s.0 - m0) * (s.1 - m1))
+            .sum::<f64>()
+            / reps as f64;
+        // Cov = −n p0 p1 = −25.
+        assert!((cov + 25.0).abs() < 1.5, "cov={cov}");
+    }
+
+    #[test]
+    fn trailing_zero_weights_conserve_total() {
+        let mut e = engine(5);
+        let c = multinomial(&mut e, 1000, &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(c.iter().sum::<u64>(), 1000);
+        assert_eq!(c[2] + c[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_probs_panics() {
+        multinomial(&mut engine(6), 10, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panics() {
+        multinomial(&mut engine(7), 10, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative and finite")]
+    fn negative_weight_panics() {
+        multinomial(&mut engine(8), 10, &[0.5, -0.1]);
+    }
+
+    #[test]
+    fn n_zero_with_zero_weights_is_fine() {
+        let mut e = engine(9);
+        assert_eq!(multinomial(&mut e, 0, &[0.0, 0.0]), vec![0, 0]);
+    }
+}

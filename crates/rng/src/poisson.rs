@@ -1,0 +1,204 @@
+//! Poisson variates.
+//!
+//! Two regimes:
+//!
+//! * `mean < 10` — Knuth's multiplication method: count uniforms until
+//!   their product drops below `e^{−mean}` (exact, O(mean) per draw).
+//! * `mean ≥ 10` — Hörmann's PTRS transformed-rejection algorithm
+//!   (*The transformed rejection method for generating Poisson random
+//!   variables*, Insurance: Mathematics and Economics 12, 1993): O(1)
+//!   expected time with an exact log-density acceptance test.
+
+use crate::engine::RngCore;
+use crate::special::ln_factorial;
+use crate::uniform;
+
+/// Threshold between the Knuth and PTRS regimes.
+const PTRS_CUTOFF: f64 = 10.0;
+
+/// Poisson variate with the given mean.
+///
+/// `mean <= 0` (including NaN) yields 0, matching the degenerate limit.
+///
+/// # Panics
+/// Panics if `mean` is infinite.
+pub fn poisson<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    assert!(!mean.is_infinite(), "poisson mean must be finite");
+    if !(mean > 0.0) {
+        return 0;
+    }
+    if mean < PTRS_CUTOFF {
+        knuth(rng, mean)
+    } else {
+        ptrs(rng, mean)
+    }
+}
+
+/// Knuth's multiplication method: exact for small means.
+fn knuth<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= uniform::f64_open(rng);
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Hörmann's PTRS: transformed rejection with squeeze, for `mean ≥ 10`.
+fn ptrs<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    let ln_mean = mean.ln();
+    loop {
+        let u = uniform::f64_unit(rng) - 0.5;
+        let v = uniform::f64_open(rng);
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64; // squeeze acceptance (most draws)
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        // Exact test in log space.
+        let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+        let rhs = k * ln_mean - mean - ln_factorial(k as u64);
+        if lhs <= rhs {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Xoshiro256StarStar;
+
+    fn engine(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from(seed)
+    }
+
+    fn sample(seed: u64, mean: f64, n: usize) -> Vec<u64> {
+        let mut e = engine(seed);
+        (0..n).map(|_| poisson(&mut e, mean)).collect()
+    }
+
+    fn mean_var(xs: &[u64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n;
+        (m, v)
+    }
+
+    #[test]
+    fn degenerate_means() {
+        let mut e = engine(1);
+        assert_eq!(poisson(&mut e, 0.0), 0);
+        assert_eq!(poisson(&mut e, -3.0), 0);
+        assert_eq!(poisson(&mut e, f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_mean_panics() {
+        poisson(&mut engine(2), f64::INFINITY);
+    }
+
+    #[test]
+    fn mean_equals_variance_small_regime() {
+        for (seed, mean) in [(3u64, 0.1), (4, 1.0), (5, 4.5), (6, 9.9)] {
+            let xs = sample(seed, mean, 200_000);
+            let (m, v) = mean_var(&xs);
+            assert!((m - mean).abs() < 0.03 * (1.0 + mean), "mean {m} vs {mean}");
+            assert!((v - mean).abs() < 0.05 * (1.0 + mean), "var {v} vs {mean}");
+        }
+    }
+
+    #[test]
+    fn mean_equals_variance_ptrs_regime() {
+        for (seed, mean) in [(7u64, 10.0), (8, 25.5), (9, 100.0), (10, 1234.5)] {
+            let xs = sample(seed, mean, 200_000);
+            let (m, v) = mean_var(&xs);
+            assert!((m - mean).abs() / mean < 0.01, "mean {m} vs {mean}");
+            assert!((v - mean).abs() / mean < 0.03, "var {v} vs {mean}");
+        }
+    }
+
+    #[test]
+    fn pmf_chi_squared_small_mean() {
+        // Exact PMF comparison for mean 3 over k = 0..=10.
+        let mean = 3.0;
+        let xs = sample(11, mean, 300_000);
+        let mut counts = [0u64; 12];
+        for &x in &xs {
+            counts[(x as usize).min(11)] += 1;
+        }
+        let mut pmf = vec![0.0f64; 12];
+        let mut p = (-mean).exp();
+        let mut cum = 0.0;
+        for (k, slot) in pmf.iter_mut().enumerate().take(11) {
+            *slot = p;
+            cum += p;
+            p *= mean / (k as f64 + 1.0);
+        }
+        pmf[11] = 1.0 - cum; // tail bucket
+        let n = xs.len() as f64;
+        let chi2: f64 = counts
+            .iter()
+            .zip(&pmf)
+            .map(|(&c, &q)| {
+                let e = q * n;
+                let d = c as f64 - e;
+                d * d / e.max(1e-9)
+            })
+            .sum();
+        // 11 dof, 0.999 quantile ≈ 31.26.
+        assert!(chi2 < 31.26, "chi2={chi2}");
+    }
+
+    #[test]
+    fn regimes_agree_at_the_cutoff() {
+        // Distributions at mean 9.99 (Knuth) and 10.01 (PTRS) must be
+        // statistically indistinguishable: compare means and P(X <= 10).
+        let a = sample(12, PTRS_CUTOFF - 0.01, 300_000);
+        let b = sample(13, PTRS_CUTOFF + 0.01, 300_000);
+        let (ma, _) = mean_var(&a);
+        let (mb, _) = mean_var(&b);
+        assert!((ma - mb).abs() < 0.06, "{ma} vs {mb}");
+        let ca = a.iter().filter(|&&x| x <= 10).count() as f64 / a.len() as f64;
+        let cb = b.iter().filter(|&&x| x <= 10).count() as f64 / b.len() as f64;
+        assert!((ca - cb).abs() < 0.01, "{ca} vs {cb}");
+    }
+
+    #[test]
+    fn skewness_decays_like_inverse_sqrt_mean() {
+        let mean = 64.0;
+        let xs = sample(14, mean, 300_000);
+        let (m, v) = mean_var(&xs);
+        let s3 = xs.iter().map(|&x| (x as f64 - m).powi(3)).sum::<f64>() / xs.len() as f64;
+        let skew = s3 / v.powf(1.5);
+        assert!((skew - 0.125).abs() < 0.03, "skew={skew}");
+    }
+
+    /// Independent cross-check: the sum of `k` Poisson(μ) draws is
+    /// Poisson(kμ); verify against a direct large-mean draw.
+    #[test]
+    fn additivity_across_regimes() {
+        let mut e = engine(15);
+        let n = 100_000;
+        let summed: Vec<u64> = (0..n)
+            .map(|_| (0..8).map(|_| poisson(&mut e, 2.5)).sum::<u64>())
+            .collect();
+        let direct = sample(16, 20.0, n);
+        let (ms, vs) = mean_var(&summed);
+        let (md, vd) = mean_var(&direct);
+        assert!((ms - md).abs() < 0.1, "{ms} vs {md}");
+        assert!((vs - vd).abs() / vd < 0.05, "{vs} vs {vd}");
+    }
+}

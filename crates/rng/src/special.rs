@@ -1,0 +1,133 @@
+//! Special functions needed by the discrete-distribution rejection
+//! algorithms: the log-gamma function and log-factorials.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, 9 coefficients; |relative error| < 1e-13 on the positive axis).
+///
+/// # Panics
+/// Panics for non-positive or non-finite input (the simulator only ever
+/// needs `ln Γ` on the positive axis).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x > 0.0 && x.is_finite(),
+        "ln_gamma requires positive finite input, got {x}"
+    );
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = C[0];
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln(k!)`, exact-tabulated for `k < 128`, `ln_gamma(k+1)` beyond.
+#[must_use]
+pub fn ln_factorial(k: u64) -> f64 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; 128]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; 128];
+        let mut acc = 0.0f64;
+        for (k, slot) in t.iter_mut().enumerate() {
+            if k > 0 {
+                acc += (k as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    });
+    if (k as usize) < table.len() {
+        table[k as usize]
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_integer_values_match_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            if n > 1 {
+                fact *= f64::from(n - 1);
+            }
+            let lg = ln_gamma(f64::from(n));
+            assert!(
+                (lg - fact.ln()).abs() < 1e-10 * (1.0 + fact.ln().abs()),
+                "n={n}: {lg} vs {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi).
+        let lg = ln_gamma(0.5);
+        assert!((lg - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+        // Γ(3/2) = sqrt(pi)/2.
+        let lg = ln_gamma(1.5);
+        let expect = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((lg - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // ln Γ(x+1) = ln Γ(x) + ln x, across a wide range.
+        for &x in &[0.1, 0.7, 1.3, 2.5, 10.0, 123.456, 1e4] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = ln_gamma(x) + x.ln();
+            assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling_regime() {
+        // Stirling: ln Γ(x) ≈ x ln x − x − ½ln(x/2π); relative agreement.
+        let x: f64 = 1e6;
+        let stirling = x * x.ln() - x - 0.5 * (x / (2.0 * std::f64::consts::PI)).ln();
+        let lg = ln_gamma(x);
+        assert!((lg - stirling).abs() / lg < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn ln_gamma_rejects_zero() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_tail_agree_at_boundary() {
+        for k in [0u64, 1, 5, 126, 127, 128, 129, 1000] {
+            let direct = ln_gamma(k as f64 + 1.0);
+            assert!(
+                (ln_factorial(k) - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "k={k}"
+            );
+        }
+    }
+}

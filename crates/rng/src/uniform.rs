@@ -1,0 +1,196 @@
+//! Uniform variates: unit-interval floats, unbiased bounded integers, and
+//! the inclusive integer ranges DReAMSim's Table II parameters are written
+//! in (e.g. node `TotalArea` ∈ `[1000..4000]` area units).
+
+use crate::engine::RngCore;
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits of one draw.
+#[inline]
+pub fn f64_unit<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `f64` in the open interval `(0, 1)`: safe to pass to `ln`.
+#[inline]
+pub fn f64_open<R: RngCore>(rng: &mut R) -> f64 {
+    loop {
+        let v = f64_unit(rng);
+        if v > 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Unbiased uniform integer in `[0, bound)` via Lemire's multiply-shift
+/// rejection (*Fast Random Integer Generation in an Interval*, 2019).
+///
+/// # Panics
+/// Panics if `bound == 0`.
+#[inline]
+pub fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "uniform::below requires a nonzero bound");
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    let mut lo = m as u64;
+    if lo < bound {
+        // Rejection threshold: 2^64 mod bound.
+        let t = bound.wrapping_neg() % bound;
+        while lo < t {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Unbiased uniform integer in the inclusive range `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+#[inline]
+pub fn inclusive<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "uniform::inclusive requires lo <= hi ({lo} > {hi})");
+    let span = hi - lo;
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    lo + below(rng, span + 1)
+}
+
+/// Bernoulli trial with success probability `p`; out-of-range `p` is
+/// clamped (`p <= 0` never succeeds, `p >= 1` always succeeds). NaN is
+/// treated as 0.
+#[inline]
+pub fn bernoulli<R: RngCore>(rng: &mut R, p: f64) -> bool {
+    if !(p > 0.0) {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    f64_unit(rng) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Xoshiro256StarStar;
+
+    fn engine(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from(seed)
+    }
+
+    #[test]
+    fn f64_unit_in_range_and_uses_53_bits() {
+        let mut e = engine(1);
+        for _ in 0..100_000 {
+            let v = f64_unit(&mut e);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_open_never_zero() {
+        let mut e = engine(2);
+        for _ in 0..100_000 {
+            assert!(f64_open(&mut e) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bound")]
+    fn below_zero_bound_panics() {
+        below(&mut engine(3), 0);
+    }
+
+    #[test]
+    fn below_small_bounds_exhaustive_coverage() {
+        let mut e = engine(4);
+        for bound in 1..=16u64 {
+            let mut seen = vec![false; bound as usize];
+            for _ in 0..2_000 {
+                let v = below(&mut e, bound);
+                assert!(v < bound);
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "bound {bound} missed a value");
+        }
+    }
+
+    #[test]
+    fn below_is_approximately_uniform() {
+        let mut e = engine(5);
+        let bound = 7u64;
+        let n = 700_000;
+        let mut counts = [0u64; 7];
+        for _ in 0..n {
+            counts[below(&mut e, bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        // Chi-squared with 6 dof; 0.999 quantile ≈ 22.46.
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 22.46, "chi2={chi2}");
+    }
+
+    #[test]
+    fn below_handles_non_power_of_two_near_max() {
+        let mut e = engine(6);
+        let bound = u64::MAX - 3;
+        for _ in 0..1000 {
+            assert!(below(&mut e, bound) < bound);
+        }
+    }
+
+    #[test]
+    fn inclusive_degenerate_range() {
+        let mut e = engine(7);
+        assert_eq!(inclusive(&mut e, 42, 42), 42);
+    }
+
+    #[test]
+    fn inclusive_full_u64_range_does_not_panic() {
+        let mut e = engine(8);
+        let _ = inclusive(&mut e, 0, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inclusive_reversed_range_panics() {
+        inclusive(&mut engine(9), 5, 4);
+    }
+
+    #[test]
+    fn inclusive_table_ii_node_area_mean() {
+        // U[1000..4000] has mean 2500.
+        let mut e = engine(10);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| inclusive(&mut e, 1000, 4000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2500.0).abs() < 10.0, "mean={mean}");
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut e = engine(11);
+        assert!(!bernoulli(&mut e, 0.0));
+        assert!(!bernoulli(&mut e, -1.0));
+        assert!(!bernoulli(&mut e, f64::NAN));
+        assert!(bernoulli(&mut e, 1.0));
+        assert!(bernoulli(&mut e, 2.0));
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        // The closest-match fraction in Table II is 15%.
+        let mut e = engine(12);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut e, 0.15)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.005, "rate={rate}");
+    }
+}

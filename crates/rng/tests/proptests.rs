@@ -1,0 +1,129 @@
+//! Property tests for the RNG substrate: range, determinism, and
+//! distribution-shape invariants under arbitrary seeds and parameters.
+
+use dreamsim_rng::{binomial, discrete::AliasTable, gamma, multinomial, poisson, uniform};
+use dreamsim_rng::{derive_stream, Rng, RngCore, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn uniform_below_always_in_range(seed: u64, bound in 1u64..u64::MAX) {
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(uniform::below(&mut e, bound) < bound);
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_always_in_range(seed: u64, lo: u64, span in 0u64..1_000_000) {
+        let hi = lo.saturating_add(span);
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..32 {
+            let v = uniform::inclusive(&mut e, lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_half_open_interval(seed: u64) {
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..64 {
+            let v = uniform::f64_unit(&mut e);
+            prop_assert!((0.0..1.0).contains(&v));
+            let w = uniform::f64_open(&mut e);
+            prop_assert!(w > 0.0 && w < 1.0);
+        }
+    }
+
+    #[test]
+    fn gamma_always_positive_and_finite(
+        seed: u64,
+        shape in 0.05f64..50.0,
+        scale in 0.05f64..50.0,
+    ) {
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..16 {
+            let g = gamma::gamma(&mut e, shape, scale);
+            prop_assert!(g.is_finite() && g > 0.0, "gamma({shape},{scale}) = {g}");
+        }
+    }
+
+    #[test]
+    fn poisson_never_panics_and_is_finite(seed: u64, mean in 0.0f64..5_000.0) {
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        let v = poisson::poisson(&mut e, mean);
+        // Crude tail bound: 10 sigma above the mean.
+        prop_assert!((v as f64) < mean + 10.0 * mean.sqrt() + 50.0);
+    }
+
+    #[test]
+    fn binomial_bounded_by_n(seed: u64, p in -0.2f64..1.2, n in 0u64..5_000) {
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        prop_assert!(binomial::binomial(&mut e, p, n) <= n);
+    }
+
+    #[test]
+    fn multinomial_conserves_total(
+        seed: u64,
+        n in 0u64..10_000,
+        weights in prop::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        let counts = multinomial::multinomial(&mut e, n, &weights);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(c, 0, "zero-weight category {} drawn", i);
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_never_yields_zero_weight_category(
+        seed: u64,
+        weights in prop::collection::vec(0.0f64..10.0, 1..10),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights).unwrap();
+        let mut e = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..64 {
+            let i = t.sample(&mut e);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "category {i} has zero weight");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive(seed: u64, index in 0u64..1_000) {
+        let a = derive_stream(seed, index);
+        let b = derive_stream(seed, index);
+        prop_assert_eq!(a, b);
+        let c = derive_stream(seed, index.wrapping_add(1));
+        prop_assert_ne!(a, c);
+    }
+
+    #[test]
+    fn facade_draws_are_replayable(seed: u64) {
+        let mut a = Rng::seed_from(seed);
+        let mut b = Rng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+            prop_assert_eq!(a.exponential().to_bits(), b.exponential().to_bits());
+            prop_assert_eq!(a.poisson(3.0), b.poisson(3.0));
+        }
+    }
+
+    #[test]
+    fn normal_and_exponential_are_finite(seed: u64) {
+        let mut r = Rng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(r.normal().is_finite());
+            let e = r.exponential();
+            prop_assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+}

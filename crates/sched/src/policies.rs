@@ -1,0 +1,101 @@
+//! Alternative allocation policies, demonstrating the framework claim
+//! that "the task scheduling manager can implement different scheduling
+//! policies" and feeding the policy ablation (DESIGN.md A1).
+//!
+//! Each wrapper is the case-study pipeline with a different
+//! allocation-phase strategy; the configuration/partial/reconfiguration
+//! phases and suspension semantics are identical, isolating the effect
+//! of the idle-instance choice.
+
+use crate::case_study::{AllocationStrategy, CaseStudyScheduler};
+use dreamsim_engine::sim::{Decision, Resume, SchedCtx, SchedulePolicy};
+use dreamsim_model::{EntryRef, NodeId, TaskId};
+
+macro_rules! wrapper_policy {
+    ($(#[$doc:meta])* $name:ident, $strategy:expr, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            inner: CaseStudyScheduler,
+        }
+
+        impl $name {
+            /// Construct the policy.
+            #[must_use]
+            pub fn new() -> Self {
+                Self {
+                    inner: CaseStudyScheduler::with_strategy($strategy),
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl SchedulePolicy for $name {
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn schedule(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Decision {
+                self.inner.schedule(ctx, task)
+            }
+
+            fn on_slot_freed(&mut self, ctx: &mut SchedCtx<'_>, freed: EntryRef) -> Vec<Resume> {
+                self.inner.on_slot_freed(ctx, freed)
+            }
+
+            fn on_node_repaired(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Vec<Resume> {
+                self.inner.on_node_repaired(ctx, node)
+            }
+        }
+    };
+}
+
+wrapper_policy!(
+    /// Allocation picks the first idle instance in list order.
+    FirstFitScheduler,
+    AllocationStrategy::FirstFit,
+    "first-fit"
+);
+
+wrapper_policy!(
+    /// Allocation picks the idle instance on the node with the largest
+    /// available area.
+    WorstFitScheduler,
+    AllocationStrategy::WorstFit,
+    "worst-fit"
+);
+
+wrapper_policy!(
+    /// Allocation picks a uniformly random idle instance.
+    RandomScheduler,
+    AllocationStrategy::Random,
+    "random"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrappers_report_their_names_and_strategies() {
+        assert_eq!(FirstFitScheduler::new().name(), "first-fit");
+        assert_eq!(WorstFitScheduler::new().name(), "worst-fit");
+        assert_eq!(RandomScheduler::new().name(), "random");
+        assert_eq!(
+            FirstFitScheduler::default().inner.strategy(),
+            AllocationStrategy::FirstFit
+        );
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(AllocationStrategy::BestFit.label(), "best-fit");
+        assert_eq!(AllocationStrategy::LeastLoaded.label(), "least-loaded");
+        assert_eq!(AllocationStrategy::default(), AllocationStrategy::BestFit);
+    }
+}

@@ -1,0 +1,241 @@
+//! Behavioural tests of the case-study scheduler against hand-built
+//! resource states: each Fig. 5 phase is exercised in isolation through
+//! a minimal driver harness.
+
+use dreamsim_engine::sim::{
+    Decision, DiscardReason, SchedCtx, SchedulePolicy, SourceYield, TaskSource, TaskSpec,
+};
+use dreamsim_engine::{PhaseKind, ReconfigMode, SimParams, Simulation};
+use dreamsim_model::{
+    ConfigId, PreferredConfig, ResourceManager, StepCounter, SuspensionQueue, Task, TaskId, Ticks,
+};
+use dreamsim_model::{Config, Node, NodeId};
+use dreamsim_rng::Rng;
+use dreamsim_sched::CaseStudyScheduler;
+
+/// Hand-built scheduling context for direct policy unit tests.
+struct Harness {
+    resources: ResourceManager,
+    suspension: SuspensionQueue,
+    tasks: dreamsim_engine::TaskTable,
+    steps: StepCounter,
+    rng: Rng,
+    mode: ReconfigMode,
+}
+
+impl Harness {
+    fn new(mode: ReconfigMode, configs: &[(u32, u64, u64)], nodes: &[u64]) -> Self {
+        let configs: Vec<Config> = configs
+            .iter()
+            .map(|&(id, area, ct)| Config::new(ConfigId(id), area, ct))
+            .collect();
+        let nodes: Vec<Node> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Node::new(NodeId::from_index(i), a, 2))
+            .collect();
+        Self {
+            resources: ResourceManager::new(nodes, configs),
+            suspension: SuspensionQueue::new(),
+            tasks: dreamsim_engine::TaskTable::new(),
+            steps: StepCounter::new(),
+            rng: Rng::seed_from(1),
+            mode,
+        }
+    }
+
+    fn add_task(&mut self, pref: PreferredConfig, needed_area: u64) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        self.tasks.push(Task::new(id, 0, 100, pref, needed_area));
+        id
+    }
+
+    fn schedule(&mut self, policy: &mut CaseStudyScheduler, task: TaskId) -> Decision {
+        let mut ctx = SchedCtx {
+            now: 0,
+            mode: self.mode,
+            suspension_enabled: true,
+            max_sus_retries: None,
+            resources: &mut self.resources,
+            suspension: &mut self.suspension,
+            tasks: &mut self.tasks,
+            steps: &mut self.steps,
+            rng: &mut self.rng,
+        };
+        policy.schedule(&mut ctx, task)
+    }
+}
+
+fn placed_phase(d: &Decision) -> PhaseKind {
+    match d {
+        Decision::Placed(p) => p.phase,
+        other => panic!("expected placement, got {other:?}"),
+    }
+}
+
+#[test]
+fn phase_configuration_used_on_blank_cluster() {
+    let mut h = Harness::new(ReconfigMode::Partial, &[(0, 500, 12)], &[2000, 1000]);
+    let mut policy = CaseStudyScheduler::new();
+    let t = h.add_task(PreferredConfig::Known(ConfigId(0)), 500);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(placed_phase(&d), PhaseKind::Configuration);
+    // Best blank = tightest fit = node 1 (1000).
+    if let Decision::Placed(p) = d {
+        assert_eq!(p.entry.node, NodeId(1));
+        assert_eq!(p.config_time, 12);
+    }
+    h.resources.check_invariants().unwrap();
+}
+
+#[test]
+fn phase_allocation_reuses_idle_instance() {
+    let mut h = Harness::new(ReconfigMode::Partial, &[(0, 500, 12)], &[2000]);
+    let mut policy = CaseStudyScheduler::new();
+    // Pre-configure the node and leave the slot idle.
+    let e = h
+        .resources
+        .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
+        .unwrap();
+    let t = h.add_task(PreferredConfig::Known(ConfigId(0)), 500);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(placed_phase(&d), PhaseKind::Allocation);
+    if let Decision::Placed(p) = d {
+        assert_eq!(p.entry, e);
+        assert_eq!(p.config_time, 0, "allocation pays no configuration time");
+    }
+}
+
+#[test]
+fn phase_partial_configuration_packs_alongside_running_task() {
+    let mut h = Harness::new(
+        ReconfigMode::Partial,
+        &[(0, 600, 10), (1, 700, 11)],
+        &[2000],
+    );
+    let mut policy = CaseStudyScheduler::new();
+    // Occupy the node with a running task on config 0.
+    let e = h
+        .resources
+        .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
+        .unwrap();
+    h.resources.assign_task(e, TaskId(99), &mut h.steps).unwrap();
+    let t = h.add_task(PreferredConfig::Known(ConfigId(1)), 700);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(placed_phase(&d), PhaseKind::PartialConfiguration);
+    assert_eq!(h.resources.node(NodeId(0)).configured_count(), 2);
+    assert_eq!(h.resources.node(NodeId(0)).running_count(), 2);
+    h.resources.check_invariants().unwrap();
+}
+
+#[test]
+fn full_mode_never_partially_configures() {
+    let mut h = Harness::new(ReconfigMode::Full, &[(0, 600, 10), (1, 700, 11)], &[2000]);
+    let mut policy = CaseStudyScheduler::new();
+    let e = h
+        .resources
+        .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
+        .unwrap();
+    h.resources.assign_task(e, TaskId(99), &mut h.steps).unwrap();
+    // Plenty of spare area, but full mode may not co-host: the only
+    // remaining option is suspension (node is busy and big enough).
+    let t = h.add_task(PreferredConfig::Known(ConfigId(1)), 700);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(d, Decision::Suspended);
+    assert_eq!(h.suspension.len(), 1);
+}
+
+#[test]
+fn phase_partial_reconfiguration_evicts_idle_regions() {
+    let mut h = Harness::new(
+        ReconfigMode::Partial,
+        &[(0, 900, 10), (1, 800, 11), (2, 1_200, 12)],
+        &[2000],
+    );
+    let mut policy = CaseStudyScheduler::new();
+    // Fill the node with two idle configs (900 + 800, 300 spare), one
+    // busy would block; keep both idle.
+    h.resources
+        .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
+        .unwrap();
+    h.resources
+        .configure_slot(NodeId(0), ConfigId(1), &mut h.steps)
+        .unwrap();
+    // Config 2 needs 1200: not blank, spare 300 < 1200, so Algorithm 1
+    // must evict idle regions.
+    let t = h.add_task(PreferredConfig::Known(ConfigId(2)), 1_200);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(placed_phase(&d), PhaseKind::PartialReconfiguration);
+    let node = h.resources.node(NodeId(0));
+    assert!(node.configured_count() >= 1);
+    h.resources.check_invariants().unwrap();
+}
+
+#[test]
+fn closest_match_path_and_discard_without_candidates() {
+    let mut h = Harness::new(ReconfigMode::Partial, &[(0, 500, 10), (1, 900, 11)], &[1000]);
+    let mut policy = CaseStudyScheduler::new();
+    // Phantom area 600 → closest match is config 1 (900 > 600).
+    let t = h.add_task(PreferredConfig::Phantom { area: 600 }, 600);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(placed_phase(&d), PhaseKind::Configuration);
+    assert_eq!(h.tasks.get(t).resolved_config, Some(ConfigId(1)));
+
+    // Phantom area 900 → nothing strictly larger → discard.
+    let t2 = h.add_task(PreferredConfig::Phantom { area: 900 }, 900);
+    let d2 = h.schedule(&mut policy, t2);
+    assert_eq!(d2, Decision::Discarded(DiscardReason::NoClosestConfig));
+}
+
+#[test]
+fn discard_when_nothing_ever_fits() {
+    // Node too small for the only config, nothing busy → NoFeasibleNode.
+    let mut h = Harness::new(ReconfigMode::Partial, &[(0, 1_500, 10)], &[1000]);
+    let mut policy = CaseStudyScheduler::new();
+    let t = h.add_task(PreferredConfig::Known(ConfigId(0)), 1_500);
+    let d = h.schedule(&mut policy, t);
+    assert_eq!(d, Decision::Discarded(DiscardReason::NoFeasibleNode));
+}
+
+#[test]
+fn retry_limit_discards_via_driver() {
+    // End-to-end: a tiny cluster with a retry limit discards tasks that
+    // keep failing rescans instead of holding them forever.
+    struct BigThenSmall(usize);
+    impl TaskSource for BigThenSmall {
+        fn next_task(&mut self, _now: Ticks, _rng: &mut Rng) -> SourceYield {
+            self.0 += 1;
+            match self.0 {
+                // Long-running task that hogs the single node.
+                1 => SourceYield::Task(TaskSpec {
+                    interarrival: 1,
+                    required_time: 10_000,
+                    preferred: PreferredConfig::Known(ConfigId(0)),
+                    needed_area: 0,
+                    data_bytes: 0,
+                }),
+                // A stream of short tasks that must suspend behind it.
+                2..=20 => SourceYield::Task(TaskSpec {
+                    interarrival: 1,
+                    required_time: 10,
+                    preferred: PreferredConfig::Known(ConfigId(0)),
+                    needed_area: 0,
+                    data_bytes: 0,
+                }),
+                _ => SourceYield::Exhausted,
+            }
+        }
+    }
+    let mut p = SimParams::paper(1, 20, ReconfigMode::Full);
+    p.seed = 9;
+    p.max_sus_retries = Some(2);
+    let result = Simulation::new(p, BigThenSmall(0), CaseStudyScheduler::new())
+        .unwrap()
+        .run();
+    // With one node, one config instance, and a retry cap, the queue
+    // drains one task per completion; everything still terminates.
+    assert_eq!(
+        result.metrics.total_tasks_completed + result.metrics.total_discarded_tasks,
+        result.metrics.total_tasks_generated
+    );
+}

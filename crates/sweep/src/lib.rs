@@ -1,0 +1,25 @@
+//! # dreamsim-sweep
+//!
+//! The experiment harness behind Section VI: deterministic, parallel
+//! parameter sweeps and regeneration of every figure in the paper.
+//!
+//! * [`runner`] — run one simulation from a declarative [`SweepPoint`]
+//!   (parameters + policy choice), or a whole batch across OS threads
+//!   with order-independent, seed-deterministic results.
+//! * [`figures`] — the paper's figure definitions (Fig. 6a–10): which
+//!   node count, which Table I metric, and which direction the paper
+//!   reports partial vs full reconfiguration to win. One
+//!   [`ExperimentGrid`] run yields every figure, because the figures all
+//!   read different metrics off the same (nodes × mode × tasks) runs.
+//! * [`ablations`] — the DESIGN.md A1–A4 ablation harnesses (allocation
+//!   strategy, data structures, suspension queue, driver equivalence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod runner;
+
+pub use figures::{ExperimentGrid, Figure, FigureSeries};
+pub use runner::{replicate, run_batch, run_point, PolicyConfig, Replicated, SweepPoint};

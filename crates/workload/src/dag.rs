@@ -1,0 +1,381 @@
+//! Task-graph (DAG) workloads — the paper's future work: "we will
+//! implement scheduling policies to schedule task graphs on the
+//! distributed system with reconfigurable nodes".
+//!
+//! A [`DagSpec`] declares tasks and precedence edges; [`DagSource`]
+//! releases a task only after **all** its parents have completed, using
+//! the engine's completion-gated source protocol
+//! ([`SourceYield::NotYet`] + `on_task_completed`). Tasks released
+//! together dispatch in declaration order.
+//!
+//! The source relies on the engine's id contract (the `k`-th yielded
+//! task gets `TaskId(k)`), so it must be the run's only task source.
+
+use dreamsim_engine::sim::{SourceYield, TaskSource, TaskSpec};
+use dreamsim_model::{Area, PreferredConfig, TaskId, Ticks};
+use dreamsim_rng::Rng;
+use std::collections::VecDeque;
+
+/// One task in a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagTask {
+    /// Execution time (`t_required`).
+    pub required_time: Ticks,
+    /// Preferred configuration.
+    pub preferred: PreferredConfig,
+    /// Area of the preferred configuration (phantoms only; in-list
+    /// preferences are filled from the configuration table).
+    pub needed_area: Area,
+    /// Input data size.
+    pub data_bytes: u64,
+    /// Dispatch latency once released (the inter-arrival delta the task
+    /// is injected with; models result-transfer/launch overhead between
+    /// dependent tasks).
+    pub release_latency: Ticks,
+}
+
+impl DagTask {
+    /// A task with the given runtime and preference, zero payload and
+    /// one tick of release latency.
+    #[must_use]
+    pub fn new(required_time: Ticks, preferred: PreferredConfig) -> Self {
+        let needed_area = match preferred {
+            PreferredConfig::Phantom { area } => area,
+            PreferredConfig::Known(_) => 0,
+        };
+        Self {
+            required_time,
+            preferred,
+            needed_area,
+            data_bytes: 0,
+            release_latency: 1,
+        }
+    }
+}
+
+/// Errors constructing a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint names a nonexistent task.
+    InvalidEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+        /// Number of tasks in the graph.
+        len: usize,
+    },
+    /// An edge from a task to itself.
+    SelfLoop(usize),
+    /// The edges contain a cycle, so some tasks can never be released.
+    Cycle,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::InvalidEdge { from, to, len } => {
+                write!(f, "edge {from}->{to} out of bounds for {len} tasks")
+            }
+            DagError::SelfLoop(i) => write!(f, "self-loop on task {i}"),
+            DagError::Cycle => write!(f, "task graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A task graph: tasks plus precedence edges (`from` must complete
+/// before `to` is released).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DagSpec {
+    tasks: Vec<DagTask>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DagSpec {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task; returns its graph index.
+    pub fn add_task(&mut self, task: DagTask) -> usize {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Add a precedence edge `from → to`.
+    pub fn add_edge(&mut self, from: usize, to: usize) -> Result<(), DagError> {
+        let len = self.tasks.len();
+        if from >= len || to >= len {
+            return Err(DagError::InvalidEdge { from, to, len });
+        }
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The precedence edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// A linear pipeline `t0 → t1 → … `.
+    #[must_use]
+    pub fn chain(tasks: Vec<DagTask>) -> Self {
+        let mut spec = Self::new();
+        let ids: Vec<usize> = tasks.into_iter().map(|t| spec.add_task(t)).collect();
+        for w in ids.windows(2) {
+            spec.add_edge(w[0], w[1]).expect("chain edges are valid");
+        }
+        spec
+    }
+
+    /// A fork-join: `source → each worker → sink`.
+    #[must_use]
+    pub fn fork_join(source: DagTask, workers: Vec<DagTask>, sink: DagTask) -> Self {
+        let mut spec = Self::new();
+        let s = spec.add_task(source);
+        let ws: Vec<usize> = workers.into_iter().map(|t| spec.add_task(t)).collect();
+        let k = spec.add_task(sink);
+        for w in ws {
+            spec.add_edge(s, w).expect("valid");
+            spec.add_edge(w, k).expect("valid");
+        }
+        spec
+    }
+
+    /// Validate acyclicity (Kahn's algorithm) and return the topological
+    /// level of each task (0 = roots).
+    pub fn validate(&self) -> Result<Vec<usize>, DagError> {
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(from, to) in &self.edges {
+            if from >= n || to >= n {
+                return Err(DagError::InvalidEdge { from, to, len: n });
+            }
+            indegree[to] += 1;
+            children[from].push(to);
+        }
+        let mut level = vec![0usize; n];
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop_front() {
+            seen += 1;
+            for &v in &children[u] {
+                level[v] = level[v].max(level[u] + 1);
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(level)
+    }
+}
+
+/// Completion-gated source over a validated [`DagSpec`].
+#[derive(Clone, Debug)]
+pub struct DagSource {
+    tasks: Vec<DagTask>,
+    children: Vec<Vec<usize>>,
+    indegree: Vec<usize>,
+    ready: VecDeque<usize>,
+    /// Yield order → graph index (engine id contract).
+    yielded: Vec<usize>,
+}
+
+impl DagSource {
+    /// Build a source; fails on cyclic or malformed graphs.
+    pub fn new(spec: DagSpec) -> Result<Self, DagError> {
+        spec.validate()?;
+        let n = spec.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(from, to) in &spec.edges {
+            indegree[to] += 1;
+            children[from].push(to);
+        }
+        let ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        Ok(Self {
+            tasks: spec.tasks,
+            children,
+            indegree,
+            ready,
+            yielded: Vec::new(),
+        })
+    }
+
+    /// Number of tasks not yet yielded.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.tasks.len() - self.yielded.len()
+    }
+}
+
+impl TaskSource for DagSource {
+    fn next_task(&mut self, _now: Ticks, _rng: &mut Rng) -> SourceYield {
+        match self.ready.pop_front() {
+            Some(idx) => {
+                self.yielded.push(idx);
+                let t = &self.tasks[idx];
+                SourceYield::Task(TaskSpec {
+                    interarrival: t.release_latency,
+                    required_time: t.required_time,
+                    preferred: t.preferred,
+                    needed_area: t.needed_area,
+                    data_bytes: t.data_bytes,
+                })
+            }
+            None if self.yielded.len() == self.tasks.len() => SourceYield::Exhausted,
+            None => SourceYield::NotYet,
+        }
+    }
+
+    fn on_task_completed(&mut self, task: TaskId, _now: Ticks) {
+        let Some(&idx) = self.yielded.get(task.index()) else {
+            return; // not ours (defensive; ids are dense in yield order)
+        };
+        for child_pos in 0..self.children[idx].len() {
+            let child = self.children[idx][child_pos];
+            debug_assert!(self.indegree[child] > 0);
+            self.indegree[child] -= 1;
+            if self.indegree[child] == 0 {
+                self.ready.push_back(child);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dreamsim_model::ConfigId;
+
+    fn t(rt: Ticks) -> DagTask {
+        DagTask::new(rt, PreferredConfig::Known(ConfigId(0)))
+    }
+
+    #[test]
+    fn chain_releases_one_at_a_time() {
+        let spec = DagSpec::chain(vec![t(10), t(20), t(30)]);
+        let mut src = DagSource::new(spec).unwrap();
+        let mut rng = Rng::seed_from(0);
+        // Only the root is ready.
+        assert!(matches!(src.next_task(0, &mut rng), SourceYield::Task(s) if s.required_time == 10));
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::NotYet);
+        // Completing task 0 unlocks task 1.
+        src.on_task_completed(TaskId(0), 100);
+        assert!(matches!(src.next_task(100, &mut rng), SourceYield::Task(s) if s.required_time == 20));
+        assert_eq!(src.next_task(100, &mut rng), SourceYield::NotYet);
+        src.on_task_completed(TaskId(1), 200);
+        assert!(matches!(src.next_task(200, &mut rng), SourceYield::Task(s) if s.required_time == 30));
+        src.on_task_completed(TaskId(2), 300);
+        assert_eq!(src.next_task(300, &mut rng), SourceYield::Exhausted);
+    }
+
+    #[test]
+    fn fork_join_gates_sink_on_all_workers() {
+        let spec = DagSpec::fork_join(t(1), vec![t(2), t(3)], t(4));
+        let mut src = DagSource::new(spec).unwrap();
+        let mut rng = Rng::seed_from(0);
+        // Root.
+        assert!(matches!(src.next_task(0, &mut rng), SourceYield::Task(_)));
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::NotYet);
+        src.on_task_completed(TaskId(0), 10);
+        // Both workers release.
+        assert!(matches!(src.next_task(10, &mut rng), SourceYield::Task(_)));
+        assert!(matches!(src.next_task(10, &mut rng), SourceYield::Task(_)));
+        assert_eq!(src.next_task(10, &mut rng), SourceYield::NotYet);
+        // One worker done: sink still gated.
+        src.on_task_completed(TaskId(1), 20);
+        assert_eq!(src.next_task(20, &mut rng), SourceYield::NotYet);
+        src.on_task_completed(TaskId(2), 30);
+        assert!(matches!(src.next_task(30, &mut rng), SourceYield::Task(s) if s.required_time == 4));
+        src.on_task_completed(TaskId(3), 40);
+        assert_eq!(src.next_task(40, &mut rng), SourceYield::Exhausted);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut spec = DagSpec::new();
+        let a = spec.add_task(t(1));
+        let b = spec.add_task(t(2));
+        spec.add_edge(a, b).unwrap();
+        spec.add_edge(b, a).unwrap();
+        assert_eq!(DagSource::new(spec.clone()).unwrap_err(), DagError::Cycle);
+        assert_eq!(spec.validate().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let mut spec = DagSpec::new();
+        let a = spec.add_task(t(1));
+        assert_eq!(
+            spec.add_edge(a, 5).unwrap_err(),
+            DagError::InvalidEdge {
+                from: 0,
+                to: 5,
+                len: 1
+            }
+        );
+        assert_eq!(spec.add_edge(a, a).unwrap_err(), DagError::SelfLoop(0));
+    }
+
+    #[test]
+    fn levels_reflect_depth() {
+        let spec = DagSpec::fork_join(t(1), vec![t(2), t(3)], t(4));
+        let levels = spec.validate().unwrap();
+        assert_eq!(levels, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn independent_tasks_all_ready_immediately() {
+        let mut spec = DagSpec::new();
+        for i in 0..5 {
+            spec.add_task(t(i + 1));
+        }
+        let mut src = DagSource::new(spec).unwrap();
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..5 {
+            assert!(matches!(src.next_task(0, &mut rng), SourceYield::Task(_)));
+        }
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Exhausted);
+    }
+
+    #[test]
+    fn empty_graph_is_immediately_exhausted() {
+        let mut src = DagSource::new(DagSpec::new()).unwrap();
+        let mut rng = Rng::seed_from(0);
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Exhausted);
+    }
+
+    #[test]
+    fn dag_task_phantom_carries_area() {
+        let task = DagTask::new(5, PreferredConfig::Phantom { area: 777 });
+        assert_eq!(task.needed_area, 777);
+    }
+}

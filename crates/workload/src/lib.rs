@@ -1,0 +1,32 @@
+//! # dreamsim-workload
+//!
+//! The DReAMSim input subsystem: sources of application tasks.
+//!
+//! * [`synthetic`] — the paper's synthetic task generation: uniform
+//!   inter-arrival intervals (Table II), `t_required` drawn from a range,
+//!   and a configurable fraction of tasks preferring a configuration
+//!   that is *not* in the configuration list (15 % in the paper),
+//!   exercising the closest-match path. Poisson and geometric arrival
+//!   processes are available, matching the input subsystem's promise of
+//!   user-specified "arrival rate and arrival distribution functions".
+//! * [`trace`] — a plain-text trace format for "real workloads": record
+//!   a synthetic run to a trace, edit or import external traces, and
+//!   replay them deterministically.
+//! * [`dag`] — task-graph workloads (the paper's future work:
+//!   "scheduling policies to schedule task graphs"): a DAG of tasks
+//!   whose children are released only when all parents have completed,
+//!   driven through the engine's completion-gated
+//!   [`TaskSource`](dreamsim_engine::TaskSource) protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod swf;
+pub mod synthetic;
+pub mod trace;
+
+pub use dag::{DagError, DagSource, DagSpec, DagTask};
+pub use swf::{import_swf, SwfError, SwfOptions};
+pub use synthetic::SyntheticSource;
+pub use trace::{ParseError, RecordingSource, TraceSource};

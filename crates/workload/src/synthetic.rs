@@ -1,0 +1,183 @@
+//! Synthetic task generation (the paper's evaluation workload).
+//!
+//! Per Table II: inter-arrival interval U\[1..`NextTaskMaxInterval`\],
+//! `t_required` U\[100..100 000\], preferred configuration uniform over
+//! the configuration list except that a `closest_match_fraction` of
+//! tasks (15 %) prefer a phantom configuration whose area is drawn from
+//! the configuration-area range, forcing the scheduler down the
+//! closest-match path.
+
+use dreamsim_engine::params::{ArrivalDistribution, SimParams};
+use dreamsim_engine::sim::{SourceYield, TaskSource, TaskSpec};
+use dreamsim_model::{ConfigId, PreferredConfig, Ticks};
+use dreamsim_rng::Rng;
+
+/// Parameterized random task stream.
+#[derive(Clone, Debug)]
+pub struct SyntheticSource {
+    /// Upper bound of the uniform inter-arrival interval.
+    max_interval: u64,
+    /// Arrival process.
+    arrival: ArrivalDistribution,
+    /// `t_required` bounds (inclusive).
+    time_lo: u64,
+    time_hi: u64,
+    /// Phantom-preference area bounds (inclusive; the config-area range).
+    area_lo: u64,
+    area_hi: u64,
+    /// Number of configurations preferences index into.
+    num_configs: usize,
+    /// Fraction of tasks with a phantom preference.
+    phantom_fraction: f64,
+}
+
+impl SyntheticSource {
+    /// Build the generator the paper's experiments use, directly from
+    /// the simulation parameters.
+    #[must_use]
+    pub fn from_params(params: &SimParams) -> Self {
+        Self {
+            max_interval: params.next_task_max_interval,
+            arrival: params.arrival,
+            time_lo: params.task_time.lo,
+            time_hi: params.task_time.hi,
+            area_lo: params.config_area.lo,
+            area_hi: params.config_area.hi,
+            num_configs: params.total_configs,
+            phantom_fraction: params.closest_match_fraction,
+        }
+    }
+
+    fn draw_interarrival(&self, rng: &mut Rng) -> Ticks {
+        let mean = (1.0 + self.max_interval as f64) / 2.0;
+        match self.arrival {
+            ArrivalDistribution::Uniform => rng.uniform_inclusive(1, self.max_interval),
+            // Mean-matched alternatives; clamped to ≥ 1 tick.
+            ArrivalDistribution::Poisson => rng.poisson(mean).max(1),
+            ArrivalDistribution::Exponential => {
+                (rng.exponential_with_mean(mean).round() as u64).max(1)
+            }
+        }
+    }
+}
+
+impl TaskSource for SyntheticSource {
+    fn next_task(&mut self, _now: Ticks, rng: &mut Rng) -> SourceYield {
+        let interarrival = self.draw_interarrival(rng);
+        let required_time = rng.uniform_inclusive(self.time_lo, self.time_hi);
+        let phantom = rng.bernoulli(self.phantom_fraction);
+        let (preferred, needed_area) = if phantom || self.num_configs == 0 {
+            let area = rng.uniform_inclusive(self.area_lo, self.area_hi);
+            (PreferredConfig::Phantom { area }, area)
+        } else {
+            let c = ConfigId::from_index(rng.index(self.num_configs));
+            // NeededArea for in-list preferences is filled in by the
+            // driver from the configuration table.
+            (PreferredConfig::Known(c), 0)
+        };
+        // Data payload: loosely proportional to compute time (bytes).
+        let data_bytes = required_time.saturating_mul(8);
+        SourceYield::Task(TaskSpec {
+            interarrival,
+            required_time,
+            preferred,
+            needed_area,
+            data_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dreamsim_engine::params::ReconfigMode;
+
+    fn specs(n: usize, f: impl FnOnce(&mut SimParams)) -> Vec<TaskSpec> {
+        let mut p = SimParams::paper(100, n, ReconfigMode::Partial);
+        f(&mut p);
+        let mut src = SyntheticSource::from_params(&p);
+        let mut rng = Rng::seed_from(9);
+        (0..n)
+            .map(|_| match src.next_task(0, &mut rng) {
+                SourceYield::Task(t) => t,
+                other => panic!("synthetic source yielded {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fields_respect_table_ii_ranges() {
+        for s in specs(20_000, |_| {}) {
+            assert!((1..=50).contains(&s.interarrival));
+            assert!((100..=100_000).contains(&s.required_time));
+            match s.preferred {
+                PreferredConfig::Known(c) => assert!(c.index() < 50),
+                PreferredConfig::Phantom { area } => {
+                    assert!((200..=2000).contains(&area));
+                    assert_eq!(s.needed_area, area);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phantom_fraction_close_to_fifteen_percent() {
+        let ss = specs(50_000, |_| {});
+        let phantoms = ss
+            .iter()
+            .filter(|s| matches!(s.preferred, PreferredConfig::Phantom { .. }))
+            .count();
+        let rate = phantoms as f64 / ss.len() as f64;
+        assert!((rate - 0.15).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn known_preferences_cover_the_config_list() {
+        let ss = specs(20_000, |_| {});
+        let mut seen = [false; 50];
+        for s in &ss {
+            if let PreferredConfig::Known(c) = s.preferred {
+                seen[c.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every config preferred at least once");
+    }
+
+    #[test]
+    fn zero_phantom_fraction_yields_only_known() {
+        let ss = specs(5_000, |p| p.closest_match_fraction = 0.0);
+        assert!(ss
+            .iter()
+            .all(|s| matches!(s.preferred, PreferredConfig::Known(_))));
+    }
+
+    #[test]
+    fn all_phantom_when_fraction_is_one() {
+        let ss = specs(5_000, |p| p.closest_match_fraction = 1.0);
+        assert!(ss
+            .iter()
+            .all(|s| matches!(s.preferred, PreferredConfig::Phantom { .. })));
+    }
+
+    #[test]
+    fn poisson_and_exponential_arrivals_match_uniform_mean() {
+        let mean_of = |d: ArrivalDistribution| {
+            let ss = specs(50_000, |p| p.arrival = d);
+            ss.iter().map(|s| s.interarrival as f64).sum::<f64>() / ss.len() as f64
+        };
+        let u = mean_of(ArrivalDistribution::Uniform);
+        let p = mean_of(ArrivalDistribution::Poisson);
+        let e = mean_of(ArrivalDistribution::Exponential);
+        assert!((u - 25.5).abs() < 0.5, "uniform mean {u}");
+        assert!((p - 25.5).abs() < 0.5, "poisson mean {p}");
+        // The ≥1 clamp slightly inflates the geometric mean.
+        assert!((e - 25.5).abs() < 1.5, "exponential mean {e}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = specs(100, |_| {});
+        let b = specs(100, |_| {});
+        assert_eq!(a, b);
+    }
+}

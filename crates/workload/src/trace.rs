@@ -1,0 +1,302 @@
+//! Plain-text workload traces ("real workloads" input path).
+//!
+//! The format is line-oriented, inspired by the Standard Workload Format
+//! used by grid archives:
+//!
+//! ```text
+//! # dreamsim-trace v1
+//! # interarrival required_time pref data_bytes
+//! 12 5000 c7 4096        # prefers configuration 7
+//! 3  800  p1500 0        # prefers a phantom config of area 1500
+//! ```
+//!
+//! * blank lines and `#` comments are ignored (inline comments allowed);
+//! * `pref` is `c<id>` for an in-list configuration or `p<area>` for a
+//!   phantom preference;
+//! * fields are whitespace-separated.
+//!
+//! [`TraceSource`] replays a trace; [`RecordingSource`] tees another
+//! source into a trace so synthetic runs can be captured and re-run
+//! identically (record → replay is property-tested).
+
+use dreamsim_engine::sim::{SourceYield, TaskSource, TaskSpec};
+use dreamsim_model::{ConfigId, PreferredConfig, TaskId, Ticks};
+use dreamsim_rng::Rng;
+use std::fmt::Write as _;
+
+/// Trace parse error, with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize specs into the trace format.
+#[must_use]
+pub fn write_trace(specs: &[TaskSpec]) -> String {
+    let mut out = String::from("# dreamsim-trace v1\n# interarrival required_time pref data_bytes\n");
+    for s in specs {
+        let pref = match s.preferred {
+            PreferredConfig::Known(c) => format!("c{}", c.0),
+            PreferredConfig::Phantom { area } => format!("p{area}"),
+        };
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            s.interarrival, s.required_time, pref, s.data_bytes
+        );
+    }
+    out
+}
+
+/// Parse a trace into task specs.
+pub fn parse_trace(text: &str) -> Result<Vec<TaskSpec>, ParseError> {
+    let mut specs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseError {
+                line,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<u64, ParseError> {
+            s.parse().map_err(|_| ParseError {
+                line,
+                message: format!("invalid {what}: {s:?}"),
+            })
+        };
+        let interarrival = num(fields[0], "interarrival")?;
+        let required_time = num(fields[1], "required_time")?;
+        let pref = fields[2];
+        // Split off the one-character kind tag without assuming the
+        // field is ASCII (a byte-based `split_at(1)` panics on
+        // multibyte garbage instead of reporting a parse error).
+        let mut pref_chars = pref.chars();
+        let kind = pref_chars.next().map(String::from).unwrap_or_default();
+        let rest = pref_chars.as_str();
+        let (preferred, needed_area) = match (kind.as_str(), rest) {
+            ("c", id) => {
+                let id = num(id, "config id")?;
+                let id = u32::try_from(id).map_err(|_| ParseError {
+                    line,
+                    message: format!("config id {id} too large"),
+                })?;
+                (PreferredConfig::Known(ConfigId(id)), 0)
+            }
+            ("p", area) => {
+                let area = num(area, "phantom area")?;
+                (PreferredConfig::Phantom { area }, area)
+            }
+            _ => {
+                return Err(ParseError {
+                    line,
+                    message: format!("preference must be c<id> or p<area>, got {pref:?}"),
+                })
+            }
+        };
+        let data_bytes = num(fields[3], "data_bytes")?;
+        specs.push(TaskSpec {
+            interarrival,
+            required_time,
+            preferred,
+            needed_area,
+            data_bytes,
+        });
+    }
+    Ok(specs)
+}
+
+/// Replays a parsed trace in order; exhausted when the trace ends.
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    specs: Vec<TaskSpec>,
+    next: usize,
+}
+
+impl TraceSource {
+    /// Parse trace text into a replayable source.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        Ok(Self {
+            specs: parse_trace(text)?,
+            next: 0,
+        })
+    }
+
+    /// Wrap already-parsed specs.
+    #[must_use]
+    pub fn from_specs(specs: Vec<TaskSpec>) -> Self {
+        Self { specs, next: 0 }
+    }
+
+    /// Number of tasks in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl TaskSource for TraceSource {
+    fn next_task(&mut self, _now: Ticks, _rng: &mut Rng) -> SourceYield {
+        match self.specs.get(self.next) {
+            Some(&s) => {
+                self.next += 1;
+                SourceYield::Task(s)
+            }
+            None => SourceYield::Exhausted,
+        }
+    }
+}
+
+/// Tees an inner source, recording everything it yields so the run can
+/// be written out as a trace afterwards.
+#[derive(Clone, Debug)]
+pub struct RecordingSource<S> {
+    inner: S,
+    recorded: Vec<TaskSpec>,
+}
+
+impl<S> RecordingSource<S> {
+    /// Wrap `inner`.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Everything yielded so far.
+    #[must_use]
+    pub fn recorded(&self) -> &[TaskSpec] {
+        &self.recorded
+    }
+
+    /// Serialize the recording as trace text.
+    #[must_use]
+    pub fn to_trace(&self) -> String {
+        write_trace(&self.recorded)
+    }
+}
+
+impl<S: TaskSource> TaskSource for RecordingSource<S> {
+    fn next_task(&mut self, now: Ticks, rng: &mut Rng) -> SourceYield {
+        let y = self.inner.next_task(now, rng);
+        if let SourceYield::Task(spec) = y {
+            self.recorded.push(spec);
+        }
+        y
+    }
+
+    fn on_task_completed(&mut self, task: TaskId, now: Ticks) {
+        self.inner.on_task_completed(task, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(ia: u64, rt: u64, pref: PreferredConfig, area: u64) -> TaskSpec {
+        TaskSpec {
+            interarrival: ia,
+            required_time: rt,
+            preferred: pref,
+            needed_area: area,
+            data_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn round_trip_write_parse() {
+        let specs = vec![
+            spec(12, 5000, PreferredConfig::Known(ConfigId(7)), 0),
+            spec(3, 800, PreferredConfig::Phantom { area: 1500 }, 1500),
+            spec(1, 1, PreferredConfig::Known(ConfigId(0)), 0),
+        ];
+        let text = write_trace(&specs);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(specs, back);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_inline_comments() {
+        let text = "\n# header\n  \n5 100 c2 0  # inline\n\n7 200 p300 8\n";
+        let specs = parse_trace(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].interarrival, 5);
+        assert_eq!(specs[1].preferred, PreferredConfig::Phantom { area: 300 });
+        assert_eq!(specs[1].needed_area, 300);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_trace("5 100 c2 0\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("4 fields"), "{}", err.message);
+
+        let err = parse_trace("5 100 x2 0\n").unwrap_err();
+        assert!(err.message.contains("c<id> or p<area>"), "{}", err.message);
+
+        // Multibyte garbage must be a parse error, not a panic.
+        let err = parse_trace("5 100 ü2 0\n").unwrap_err();
+        assert!(err.message.contains("c<id> or p<area>"), "{}", err.message);
+        let err = parse_trace("5 100 Ａ1 0\n").unwrap_err();
+        assert!(err.message.contains("c<id> or p<area>"), "{}", err.message);
+
+        let err = parse_trace("5 abc c2 0\n").unwrap_err();
+        assert!(err.message.contains("required_time"), "{}", err.message);
+
+        let err = parse_trace("5 100 c99999999999 0\n").unwrap_err();
+        assert!(err.message.contains("too large"), "{}", err.message);
+    }
+
+    #[test]
+    fn trace_source_replays_in_order_then_exhausts() {
+        let specs = vec![
+            spec(1, 10, PreferredConfig::Known(ConfigId(0)), 0),
+            spec(2, 20, PreferredConfig::Known(ConfigId(1)), 0),
+        ];
+        let mut src = TraceSource::from_specs(specs.clone());
+        assert_eq!(src.len(), 2);
+        assert!(!src.is_empty());
+        let mut rng = Rng::seed_from(0);
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Task(specs[0]));
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Task(specs[1]));
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Exhausted);
+        assert_eq!(src.next_task(0, &mut rng), SourceYield::Exhausted);
+    }
+
+    #[test]
+    fn recording_source_captures_yields() {
+        let specs = vec![spec(1, 10, PreferredConfig::Known(ConfigId(0)), 0)];
+        let mut rec = RecordingSource::new(TraceSource::from_specs(specs.clone()));
+        let mut rng = Rng::seed_from(0);
+        let _ = rec.next_task(0, &mut rng);
+        let _ = rec.next_task(0, &mut rng); // exhausted; not recorded
+        assert_eq!(rec.recorded(), &specs[..]);
+        let replay = parse_trace(&rec.to_trace()).unwrap();
+        assert_eq!(replay, specs);
+    }
+}

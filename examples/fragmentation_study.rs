@@ -1,0 +1,64 @@
+//! Extension study: how optimistic is the paper's scalar area model?
+//!
+//! Runs the same workload under the scalar model (Eq. 4) and under
+//! contiguous 1-D placement (configurations must fit a contiguous gap of
+//! fabric columns), and also with capability constraints (configurations
+//! demanding DSP slices, embedded memory, … of their host node).
+//!
+//! ```sh
+//! cargo run --release --example fragmentation_study
+//! ```
+
+use dreamsim::engine::{Metrics, PlacementModel, ReconfigMode, SimParams};
+use dreamsim::sweep::runner::{run_point, SweepPoint};
+
+fn run(label: &str, params: SimParams) -> (String, Metrics) {
+    (label.to_string(), run_point(&SweepPoint::new(label, params)).metrics)
+}
+
+fn main() {
+    let base = {
+        let mut p = SimParams::paper(100, 3_000, ReconfigMode::Partial);
+        p.seed = 31;
+        p
+    };
+
+    let mut rows = Vec::new();
+    rows.push(run("scalar (paper)", base.clone()));
+
+    let mut contiguous = base.clone();
+    contiguous.placement = PlacementModel::Contiguous;
+    rows.push(run("contiguous", contiguous));
+
+    let mut caps = base.clone();
+    caps.capability_requirement_prob = 0.25;
+    rows.push(run("caps p=0.25", caps));
+
+    let mut both = base.clone();
+    both.placement = PlacementModel::Contiguous;
+    both.capability_requirement_prob = 0.25;
+    rows.push(run("contiguous+caps", both));
+
+    println!(
+        "{:<16} {:>9} {:>9} {:>12} {:>10} {:>14} {:>8}",
+        "model", "completed", "discarded", "avg wait", "wait p95", "reconf/node", "frag"
+    );
+    for (label, m) in &rows {
+        println!(
+            "{label:<16} {:>9} {:>9} {:>12.0} {:>10} {:>14.2} {:>8.3}",
+            m.total_tasks_completed,
+            m.total_discarded_tasks,
+            m.avg_waiting_time_per_task,
+            m.wait_p95,
+            m.avg_reconfig_count_per_node,
+            m.mean_fragmentation_end,
+        );
+    }
+
+    println!(
+        "\nContiguity and capability constraints can only shrink the feasible\n\
+         placement set, so completions should not rise and waits should not\n\
+         fall relative to the scalar baseline — the gap quantifies how much\n\
+         the paper's scalar area model overestimates schedulable capacity."
+    );
+}

@@ -1,0 +1,90 @@
+//! The paper's headline experiment: the same workload scheduled with and
+//! without partial reconfiguration, side by side (Section VI).
+//!
+//! Expected directions (every figure of the paper):
+//! partial reconfiguration *lowers* wasted area, waiting time,
+//! scheduling steps, and scheduler workload, at the price of *more*
+//! reconfigurations per node and configuration time per task.
+//!
+//! ```sh
+//! cargo run --release --example full_vs_partial
+//! ```
+
+use dreamsim::engine::{Metrics, ReconfigMode, SimParams};
+use dreamsim::sweep::runner::{run_point, SweepPoint};
+
+fn row(name: &str, full: f64, partial: f64, lower_is_partial_win: bool) {
+    let winner = match (partial < full, lower_is_partial_win) {
+        (true, true) | (false, false) => "partial ✓ (expected)",
+        _ if (partial - full).abs() < f64::EPSILON => "tie",
+        _ => "full (unexpected)",
+    };
+    println!("  {name:<38} {full:>14.2} {partial:>14.2}   {winner}");
+}
+
+fn run(mode: ReconfigMode, nodes: usize, tasks: usize, seed: u64) -> Metrics {
+    let mut params = SimParams::paper(nodes, tasks, mode);
+    params.seed = seed;
+    run_point(&SweepPoint::new(mode.label(), params)).metrics
+}
+
+fn main() {
+    let (nodes, tasks, seed) = (200, 5_000, 42);
+    println!("Scheduling {tasks} tasks on {nodes} nodes (seed {seed})\n");
+    let full = run(ReconfigMode::Full, nodes, tasks, seed);
+    let partial = run(ReconfigMode::Partial, nodes, tasks, seed);
+
+    println!("  metric {:>45} {:>14}", "full", "partial");
+    row(
+        "avg wasted area per task",
+        full.avg_wasted_area_per_task,
+        partial.avg_wasted_area_per_task,
+        true,
+    );
+    row(
+        "avg waiting time per task",
+        full.avg_waiting_time_per_task,
+        partial.avg_waiting_time_per_task,
+        true,
+    );
+    row(
+        "avg scheduling steps per task",
+        full.avg_scheduling_steps_per_task,
+        partial.avg_scheduling_steps_per_task,
+        true,
+    );
+    row(
+        "total scheduler workload",
+        full.total_scheduler_workload as f64,
+        partial.total_scheduler_workload as f64,
+        true,
+    );
+    row(
+        "avg reconfiguration count per node",
+        full.avg_reconfig_count_per_node,
+        partial.avg_reconfig_count_per_node,
+        false, // partial is expected to reconfigure MORE
+    );
+    row(
+        "avg configuration time per task",
+        full.avg_config_time_per_task,
+        partial.avg_config_time_per_task,
+        false,
+    );
+
+    println!("\nPlacement phase mix:");
+    for (label, m) in [("full", &full), ("partial", &partial)] {
+        let p = &m.phases;
+        println!(
+            "  {label:<8} allocation {:>6}  configuration {:>6}  partial-config {:>6}  reconfig {:>6}  resumed {:>6}",
+            p.allocation, p.configuration, p.partial_configuration, p.partial_reconfiguration, p.resumed
+        );
+    }
+    println!(
+        "\ncompleted: full {} / partial {}   discarded: full {} / partial {}",
+        full.total_tasks_completed,
+        partial.total_tasks_completed,
+        full.total_discarded_tasks,
+        partial.total_discarded_tasks
+    );
+}

@@ -1,0 +1,57 @@
+//! Workload traces: record a synthetic workload to the trace format,
+//! replay it, and confirm the replay is bit-identical — the "real
+//! workloads" input path of the framework.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use dreamsim::engine::sim::{SourceYield, TaskSource};
+use dreamsim::engine::{ReconfigMode, SimParams, Simulation};
+use dreamsim::rng::Rng;
+use dreamsim::sched::CaseStudyScheduler;
+use dreamsim::workload::{trace, SyntheticSource, TraceSource};
+
+fn main() {
+    let mut params = SimParams::paper(50, 800, ReconfigMode::Partial);
+    params.seed = 99;
+
+    // 1. Draw a synthetic workload up front and serialize it.
+    let mut synth = SyntheticSource::from_params(&params);
+    let mut rng = Rng::seed_from(1234);
+    let mut specs = Vec::new();
+    while specs.len() < params.total_tasks {
+        match synth.next_task(0, &mut rng) {
+            SourceYield::Task(s) => specs.push(s),
+            _ => break,
+        }
+    }
+    let text = trace::write_trace(&specs);
+    println!("trace: {} tasks, {} bytes", specs.len(), text.len());
+    println!("first lines:");
+    for line in text.lines().take(5) {
+        println!("  {line}");
+    }
+
+    // 2. Replay it twice; identical traces must give identical metrics.
+    let run = |text: &str| {
+        let source = TraceSource::from_text(text).expect("trace round-trips");
+        Simulation::new(params.clone(), source, CaseStudyScheduler::new())
+            .expect("params validate")
+            .run()
+            .metrics
+    };
+    let a = run(&text);
+    let b = run(&text);
+    assert_eq!(a, b, "replay must be deterministic");
+
+    println!("\nreplayed {} tasks deterministically:", a.total_tasks_generated);
+    println!("  completed {} | discarded {}", a.total_tasks_completed, a.total_discarded_tasks);
+    println!("  avg waiting time {:.1} ticks", a.avg_waiting_time_per_task);
+    println!("  avg wasted area {:.2} units/task", a.avg_wasted_area_per_task);
+
+    // 3. The parsed trace also round-trips through text exactly.
+    let reparsed = trace::parse_trace(&text).expect("parses");
+    assert_eq!(reparsed, specs);
+    println!("\ntrace text round-trip: OK ({} tasks)", reparsed.len());
+}

@@ -1,0 +1,27 @@
+//! # DReAMSim
+//!
+//! Facade crate for the DReAMSim workspace: a simulation framework for
+//! task scheduling in large-scale distributed systems with partially
+//! reconfigurable processing elements, reproducing Nadeem et al.,
+//! IPDPSW 2012.
+//!
+//! Re-exports every sub-crate under one roof so applications can depend
+//! on `dreamsim` alone. See the individual crates for the deep API docs:
+//!
+//! * [`rng`] — random number substrate (Ziggurat, Marsaglia–Tsang gamma).
+//! * [`model`] — nodes, configurations, tasks, dynamic data structures.
+//! * [`engine`] — discrete-event core, statistics, reports.
+//! * [`sched`] — scheduling policies including the paper's case study.
+//! * [`workload`] — synthetic/trace/DAG workloads.
+//! * [`sweep`] — parallel experiment harness and paper figures.
+
+pub use dreamsim_engine as engine;
+pub use dreamsim_model as model;
+pub use dreamsim_rng as rng;
+pub use dreamsim_sched as sched;
+pub use dreamsim_sweep as sweep;
+pub use dreamsim_workload as workload;
+
+pub use dreamsim_engine::params::{ReconfigMode, SimParams};
+pub use dreamsim_engine::sim::Simulation;
+pub use dreamsim_rng::Rng;

@@ -1,0 +1,82 @@
+//! Output-subsystem integration: the XML report is well formed, the
+//! JSON report round-trips, and the CSV row matches its header.
+
+use dreamsim::engine::{ReconfigMode, Report, SimParams};
+use dreamsim::sweep::runner::{run_point, SweepPoint};
+
+fn report() -> Report {
+    let mut p = SimParams::paper(25, 200, ReconfigMode::Partial);
+    p.seed = 5;
+    run_point(&SweepPoint::new("report", p))
+}
+
+/// Minimal XML well-formedness check: tags balance like parentheses and
+/// text content contains no raw markup characters.
+fn assert_well_formed_xml(xml: &str) {
+    let mut stack: Vec<String> = Vec::new();
+    let mut rest = xml;
+    // Skip the declaration.
+    if let Some(pos) = rest.find("?>") {
+        rest = &rest[pos + 2..];
+    }
+    while let Some(open) = rest.find('<') {
+        let text = &rest[..open];
+        assert!(
+            !text.contains('&') || text.contains("&amp;") || text.contains("&lt;")
+                || text.contains("&gt;") || text.contains("&quot;") || text.contains("&apos;"),
+            "unescaped ampersand in text {text:?}"
+        );
+        let close = rest[open..].find('>').expect("tag closes") + open;
+        let tag = &rest[open + 1..close];
+        if let Some(name) = tag.strip_prefix('/') {
+            let top = stack.pop().unwrap_or_else(|| panic!("unbalanced </{name}>"));
+            assert_eq!(top, name, "mismatched close tag");
+        } else if !tag.ends_with('/') {
+            stack.push(tag.split_whitespace().next().unwrap().to_string());
+        }
+        rest = &rest[close + 1..];
+    }
+    assert!(stack.is_empty(), "unclosed tags: {stack:?}");
+}
+
+#[test]
+fn xml_report_is_well_formed() {
+    let r = report();
+    let xml = r.to_xml();
+    assert_well_formed_xml(&xml);
+    assert!(xml.contains("<dreamsim-report>"));
+    assert!(xml.contains("<metrics>"));
+    assert!(xml.contains(&format!(
+        "<total-tasks-generated>{}</total-tasks-generated>",
+        r.metrics.total_tasks_generated
+    )));
+}
+
+#[test]
+fn json_report_round_trips_exactly() {
+    let r = report();
+    let back: Report = serde_json::from_str(&r.to_json()).expect("valid JSON");
+    assert_eq!(r, back);
+}
+
+#[test]
+fn csv_row_matches_header_arity_and_mode() {
+    let r = report();
+    let header = Report::csv_header();
+    let row = r.to_csv_row();
+    assert_eq!(header.split(',').count(), row.split(',').count());
+    assert!(row.starts_with("partial,25,200,"));
+}
+
+#[test]
+fn figure_series_csv_shape() {
+    use dreamsim::sweep::figures::{ExperimentGrid, Figure};
+    let grid = ExperimentGrid::run(&[200], &[150, 300], 13, 2);
+    let s = grid.figure(Figure::Fig9b);
+    let csv = s.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "tasks,without_partial,with_partial");
+    assert_eq!(lines.len(), 3);
+    assert!(lines[1].starts_with("150,"));
+    assert!(lines[2].starts_with("300,"));
+}

@@ -1,0 +1,150 @@
+//! The paper's headline directional claims (Section VI), asserted as
+//! integration tests over full simulation runs.
+//!
+//! These are the qualitative shapes of Figures 6–10: with partial
+//! reconfiguration the scheduler wastes less area, makes tasks wait
+//! less, and does less search work; in exchange nodes are reconfigured
+//! more often and configuration time per task rises.
+
+use dreamsim::engine::{Metrics, ReconfigMode, SimParams};
+use dreamsim::sweep::runner::{run_point, SweepPoint};
+
+fn run(nodes: usize, tasks: usize, mode: ReconfigMode, seed: u64) -> Metrics {
+    let mut params = SimParams::paper(nodes, tasks, mode);
+    params.seed = seed;
+    run_point(&SweepPoint::new("repro", params)).metrics
+}
+
+fn pair(nodes: usize, tasks: usize, seed: u64) -> (Metrics, Metrics) {
+    (
+        run(nodes, tasks, ReconfigMode::Full, seed),
+        run(nodes, tasks, ReconfigMode::Partial, seed),
+    )
+}
+
+#[test]
+fn fig6_partial_wastes_less_area_per_task() {
+    for (nodes, seed) in [(100, 1u64), (200, 2)] {
+        let (full, partial) = pair(nodes, 1_500, seed);
+        assert!(
+            partial.avg_wasted_area_per_task <= full.avg_wasted_area_per_task,
+            "{nodes} nodes: partial {} vs full {}",
+            partial.avg_wasted_area_per_task,
+            full.avg_wasted_area_per_task
+        );
+    }
+}
+
+#[test]
+fn fig7_partial_reconfigures_nodes_more() {
+    for (nodes, seed) in [(100, 3u64), (200, 4)] {
+        let (full, partial) = pair(nodes, 1_500, seed);
+        assert!(
+            partial.avg_reconfig_count_per_node >= full.avg_reconfig_count_per_node,
+            "{nodes} nodes: partial {} vs full {}",
+            partial.avg_reconfig_count_per_node,
+            full.avg_reconfig_count_per_node
+        );
+    }
+}
+
+#[test]
+fn fig8_partial_tasks_wait_less() {
+    for (nodes, seed) in [(100, 5u64), (200, 6)] {
+        let (full, partial) = pair(nodes, 1_500, seed);
+        assert!(
+            partial.avg_waiting_time_per_task <= full.avg_waiting_time_per_task,
+            "{nodes} nodes: partial {} vs full {}",
+            partial.avg_waiting_time_per_task,
+            full.avg_waiting_time_per_task
+        );
+    }
+}
+
+#[test]
+fn fig9a_partial_needs_fewer_scheduling_steps() {
+    let (full, partial) = pair(200, 1_500, 7);
+    assert!(
+        partial.avg_scheduling_steps_per_task <= full.avg_scheduling_steps_per_task,
+        "partial {} vs full {}",
+        partial.avg_scheduling_steps_per_task,
+        full.avg_scheduling_steps_per_task
+    );
+}
+
+#[test]
+fn fig9b_partial_lowers_total_scheduler_workload() {
+    let (full, partial) = pair(200, 1_500, 8);
+    assert!(
+        partial.total_scheduler_workload <= full.total_scheduler_workload,
+        "partial {} vs full {}",
+        partial.total_scheduler_workload,
+        full.total_scheduler_workload
+    );
+}
+
+#[test]
+fn fig10_partial_pays_more_configuration_time_per_task() {
+    let (full, partial) = pair(200, 1_500, 9);
+    assert!(
+        partial.avg_config_time_per_task >= full.avg_config_time_per_task,
+        "partial {} vs full {}",
+        partial.avg_config_time_per_task,
+        full.avg_config_time_per_task
+    );
+}
+
+#[test]
+fn saturated_small_cluster_waits_longer_than_large_one() {
+    // The paper's 100-node runs show far higher waiting times than the
+    // 200-node runs under the same arrival process.
+    let small = run(100, 1_500, ReconfigMode::Partial, 10);
+    let large = run(200, 1_500, ReconfigMode::Partial, 10);
+    assert!(
+        small.avg_waiting_time_per_task >= large.avg_waiting_time_per_task,
+        "100 nodes {} vs 200 nodes {}",
+        small.avg_waiting_time_per_task,
+        large.avg_waiting_time_per_task
+    );
+}
+
+#[test]
+fn accounting_identities_hold() {
+    for mode in [ReconfigMode::Full, ReconfigMode::Partial] {
+        let m = run(100, 1_000, mode, 11);
+        assert_eq!(
+            m.total_tasks_completed + m.total_discarded_tasks,
+            m.total_tasks_generated,
+            "{mode}: every task ends terminal"
+        );
+        assert_eq!(
+            m.total_scheduler_workload,
+            m.scheduler_search_length + m.housekeeping_steps,
+            "{mode}: workload is search + housekeeping"
+        );
+        let placed = m.phases.allocation
+            + m.phases.configuration
+            + m.phases.partial_configuration
+            + m.phases.partial_reconfiguration;
+        assert!(placed >= m.total_tasks_completed, "{mode}: placements cover completions");
+        assert!(m.total_used_nodes <= m.total_nodes, "{mode}");
+        if mode == ReconfigMode::Full {
+            assert_eq!(
+                m.phases.partial_configuration, 0,
+                "full mode never partially configures"
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_mode_actually_co_hosts_tasks() {
+    // The defining capability: at least some placements use the
+    // partial-configuration phase (multiple configs per node).
+    let m = run(200, 1_500, ReconfigMode::Partial, 12);
+    assert!(
+        m.phases.partial_configuration > 0,
+        "expected partial configurations, got {:?}",
+        m.phases
+    );
+}
