@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace uses `rand` only in tests, as an *independent* random
+//! source to cross-check the from-scratch `dreamsim-rng` distributions
+//! (and in the standalone bench crate). This shim supplies that role
+//! with a splitmix64 generator — deliberately a different algorithm
+//! from `dreamsim-rng`'s xoshiro256** so the cross-checks stay
+//! meaningful — behind the familiar `RngCore`/`SeedableRng`/`Rng`
+//! trait shapes of rand 0.8.
+
+/// Minimal uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution sampling sugar over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the "standard" distribution of `T` (unit interval
+    /// for floats, full range for integers).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range on empty range");
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard: PartialOrd + Copy {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draw one value from `[range.start, range.end)`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let unit = f64::sample(rng);
+        let v = range.start + unit * (range.end - range.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                let span = (range.end as i128 - range.start as i128) as u64;
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator (splitmix64; *not* the real
+    /// crate's ChaCha12, but fit for statistical cross-checks).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        use rngs::StdRng;
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            let f: f64 = a.gen();
+            assert!((0.0..1.0).contains(&f));
+            let r = a.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(r > 0.0 && r < 1.0);
+            let n = a.gen_range(5u64..10);
+            assert!((5..10).contains(&n));
+            b.gen::<f64>();
+            b.gen_range(f64::MIN_POSITIVE..1.0);
+            b.gen_range(5u64..10);
+        }
+    }
+}

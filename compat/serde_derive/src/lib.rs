@@ -1,0 +1,433 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` shim.
+//!
+//! crates.io is unreachable in this build environment, so instead of
+//! `syn`/`quote` this crate walks the raw [`proc_macro::TokenStream`] of
+//! the deriving item and emits impls of the shim's value-tree traits as
+//! formatted source text. Supported shapes: non-generic structs (named,
+//! tuple, unit) and enums (unit, newtype, tuple, struct variants) with
+//! optional `#[serde(skip)]` / `#[serde(default)]` field attributes —
+//! exactly the surface the DReAMSim workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+/// One field of a named-field struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: omitted on serialize, defaulted on deserialize.
+    skip: bool,
+    /// `#[serde(default)]`: defaulted when missing on deserialize.
+    default: bool,
+}
+
+/// Shape of a struct body or enum-variant payload.
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Inspect one `#[...]` attribute body; record `serde(...)` options.
+fn scan_attr(attr: &TokenTree, skip: &mut bool, default: &mut bool) {
+    let TokenTree::Group(g) = attr else { return };
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.first().and_then(ident_of).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    for opt in inner.stream() {
+        match ident_of(&opt).as_deref() {
+            Some("skip") => *skip = true,
+            Some("default") => *default = true,
+            Some(other) => panic!("serde shim: unsupported attribute `serde({other})`"),
+            None => {} // separating commas
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` body.
+fn parse_named(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (mut skip, mut default) = (false, false);
+        while is_punct(&toks[i], '#') {
+            scan_attr(&toks[i + 1], &mut skip, &mut default);
+            i += 2;
+        }
+        if ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = ident_of(&toks[i]).expect("field name");
+        i += 2; // name, ':'
+                // Skip the type: everything up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    for tok in stream {
+        if is_punct(&tok, '<') {
+            depth += 1;
+        } else if is_punct(&tok, '>') {
+            depth -= 1;
+        } else if is_punct(&tok, ',') && depth == 0 {
+            count += 1;
+            any = false;
+            continue;
+        }
+        any = true;
+    }
+    count + usize::from(any)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(&toks[i], '#') {
+            i += 2; // variant attributes (docs, #[default]) carry no serde options
+        }
+        let name = ident_of(&toks[i]).expect("variant name");
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        if i < toks.len() {
+            assert!(
+                is_punct(&toks[i], ','),
+                "serde shim: unsupported token after enum variant {name}"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        if is_punct(&toks[i], '#') {
+            i += 2;
+        } else if ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let kind = ident_of(&toks[i]).expect("struct or enum keyword");
+    let name = ident_of(&toks[i + 1]).expect("item name");
+    i += 2;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde shim: generic type {name} is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Body::Unit,
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("serde shim: malformed enum {name}");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Serialize expression for a named-field body, given an accessor prefix
+/// (`&self.` for structs, `` for bound variant fields).
+fn named_to_value(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new(); ");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let _ = write!(
+            out,
+            "__fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value({acc})));",
+            name = f.name,
+            acc = accessor(&f.name)
+        );
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+    out
+}
+
+/// Deserialize expression rebuilding a named-field body from `__obj`.
+fn named_from_obj(type_path: &str, ctx: &str, fields: &[Field]) -> String {
+    let mut out = format!("{type_path} {{ ");
+    for f in fields {
+        if f.skip {
+            let _ = write!(out, "{}: ::std::default::Default::default(), ", f.name);
+        } else if f.default {
+            let _ = write!(
+                out,
+                "{name}: match ::serde::__find(__obj, \"{name}\") {{ \
+                   Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   None => ::std::default::Default::default(), }}, ",
+                name = f.name
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{name}: ::serde::Deserialize::from_value(::serde::__find(__obj, \"{name}\")\
+                   .ok_or_else(|| ::serde::Error::custom(\"{ctx}: missing field {name}\"))?)?, ",
+                name = f.name
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { body, .. } => match body {
+            Body::Unit => "::serde::Value::Null".to_string(),
+            Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Body::Named(fields) => named_to_value(fields, |f| format!("&self.{f}")),
+        },
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.body {
+                    Body::Unit => {
+                        format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+                    }
+                    Body::Tuple(1) => format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_to_value(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    let body = match item {
+        Item::Struct { body, .. } => match body {
+            Body::Unit => format!("let _ = __v; Ok({name})"),
+            Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                       ::serde::Error::custom(\"{name}: expected array\"))?; \
+                     if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                       \"{name}: expected {n} elements\")); }} \
+                     Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            }
+            Body::Named(fields) => format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                   ::serde::Error::custom(\"{name}: expected object\"))?; \
+                 Ok({built})",
+                built = named_from_obj(name, name, fields)
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "if __s == \"{vn}\" {{ return Ok({name}::{vn}); }} "
+                        );
+                    }
+                    Body::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "if __k == \"{vn}\" {{ return Ok({name}::{vn}(\
+                               ::serde::Deserialize::from_value(__inner)?)); }} "
+                        );
+                    }
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "if __k == \"{vn}\" {{ \
+                               let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{name}::{vn}: expected array\"))?; \
+                               if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"{name}::{vn}: expected {n} elements\")); }} \
+                               return Ok({name}::{vn}({items})); }} ",
+                            items = items.join(", ")
+                        );
+                    }
+                    Body::Named(fields) => {
+                        let built = named_from_obj(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                        );
+                        let _ = write!(
+                            data_arms,
+                            "if __k == \"{vn}\" {{ \
+                               let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{name}::{vn}: expected object\"))?; \
+                               return Ok({built}); }} "
+                        );
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{ {unit_arms} \
+                   return Err(::serde::Error::custom(format!(\"{name}: unknown variant {{__s}}\"))); }} \
+                 if let Some(__pairs) = __v.as_object() {{ \
+                   if __pairs.len() == 1 {{ \
+                     let (__k, __inner) = (&__pairs[0].0, &__pairs[0].1); \
+                     let _ = __inner; \
+                     {data_arms} \
+                     return Err(::serde::Error::custom(format!(\"{name}: unknown variant {{__k}}\"))); }} }} \
+                 Err(::serde::Error::custom(\"{name}: expected variant\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             {body} }} }}"
+    )
+}

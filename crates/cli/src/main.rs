@@ -35,6 +35,9 @@ USAGE:
                [--policy best-fit|first-fit|worst-fit|random|least-loaded]
                [--arrival uniform|poisson|exponential]
                [--no-suspension] [--mtbf TICKS] [--mttr TICKS]
+               [--mttf TICKS] [--reconfig-fail-prob P] [--task-fail-prob P]
+               [--max-retries N] [--suspension-deadline TICKS]
+               [--no-resubmit]
                [--placement scalar|contiguous] [--replay TRACE]
                [--swf FILE [--ticks-per-second N] [--max-jobs N]]
                [--report table|xml|json|csv] [--out FILE]
@@ -49,6 +52,15 @@ USAGE:
 Defaults follow Table II of the paper: 50 configs, arrival U[1..50],
 config area U[200..2000], node area U[1000..4000], task time
 U[100..100000], config time U[10..20], 15% closest-match tasks.
+
+Fault injection (all off by default): --mttf enables per-node exponential
+failure/repair processes (repair time --mttr, default 1000); it is mutually
+exclusive with the legacy global --mtbf process. --reconfig-fail-prob makes
+bitstream loads fail with probability P (retried --max-retries times with
+exponential backoff, then degraded to the closest larger configuration);
+--task-fail-prob kills running tasks mid-execution; --suspension-deadline
+discards tasks suspended longer than TICKS. Fault-killed tasks are
+resubmitted unless --no-resubmit is given.
 ";
 
 fn main() -> ExitCode {
@@ -84,7 +96,9 @@ fn parse_mode(s: &str) -> Result<ReconfigMode, ArgError> {
     match s {
         "full" => Ok(ReconfigMode::Full),
         "partial" => Ok(ReconfigMode::Partial),
-        _ => Err(ArgError(format!("--mode must be full or partial, got {s:?}"))),
+        _ => Err(ArgError(format!(
+            "--mode must be full or partial, got {s:?}"
+        ))),
     }
 }
 
@@ -125,14 +139,30 @@ fn params_from_args(args: &Args) -> Result<SimParams, ArgError> {
         p.node_mtbf = Some(args.get_num("mtbf", 0u64)?);
     }
     p.node_mttr = args.get_num("mttr", p.node_mttr)?;
+    if args.has("mttf") {
+        p.faults.node_mttf = Some(args.get_num("mttf", 0u64)?);
+    }
+    // --mttr sets the repair time for whichever failure model is active.
+    p.faults.node_mttr = args.get_num("mttr", p.faults.node_mttr)?;
+    p.faults.reconfig_fail_prob =
+        args.get_num("reconfig-fail-prob", p.faults.reconfig_fail_prob)?;
+    p.faults.task_fail_prob = args.get_num("task-fail-prob", p.faults.task_fail_prob)?;
+    p.faults.max_retries = args.get_num("max-retries", p.faults.max_retries)?;
+    if args.has("suspension-deadline") {
+        p.faults.suspension_deadline = Some(args.get_num("suspension-deadline", 0u64)?);
+    }
+    if args.has("no-resubmit") {
+        p.faults.resubmit = false;
+    }
     p.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(p)
 }
 
 fn write_or_print(out: Option<&str>, content: &str) -> Result<(), ArgError> {
     match out {
-        Some(path) => std::fs::write(path, content)
-            .map_err(|e| ArgError(format!("writing {path}: {e}"))),
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| ArgError(format!("writing {path}: {e}")))
+        }
         None => {
             print!("{content}");
             Ok(())
@@ -142,7 +172,7 @@ fn write_or_print(out: Option<&str>, content: &str) -> Result<(), ArgError> {
 
 fn metrics_table(report: &Report) -> String {
     let m = &report.metrics;
-    format!(
+    let mut table = format!(
         "mode: {} | nodes: {} | policy defaults Table II\n\
          tasks generated / completed / discarded : {} / {} / {}\n\
          avg wasted area per task                : {:.2}\n\
@@ -177,7 +207,34 @@ fn metrics_table(report: &Report) -> String {
         m.phases.partial_configuration,
         m.phases.partial_reconfiguration,
         m.phases.resumed,
-    )
+    );
+    // Only fault-injection runs get the extra lines, so fault-free output
+    // stays byte-identical to earlier releases.
+    if m.node_failures != 0 || m.node_downtime != 0 {
+        table.push_str(&format!(
+            "node failures / killed / downtime       : {} / {} / {}\n",
+            m.node_failures, m.failure_killed, m.node_downtime
+        ));
+    }
+    if m.reconfig_failures != 0 {
+        table.push_str(&format!(
+            "reconfig failures (retries)             : {} ({})\n",
+            m.reconfig_failures, m.reconfig_retries
+        ));
+    }
+    if m.task_failures != 0 {
+        table.push_str(&format!(
+            "task failures                           : {}\n",
+            m.task_failures
+        ));
+    }
+    if m.resubmissions != 0 || m.tasks_lost != 0 {
+        table.push_str(&format!(
+            "resubmissions / tasks lost to faults    : {} / {}\n",
+            m.resubmissions, m.tasks_lost
+        ));
+    }
+    table
 }
 
 fn render_report(report: &Report, format: &str) -> Result<String, ArgError> {
@@ -185,7 +242,11 @@ fn render_report(report: &Report, format: &str) -> Result<String, ArgError> {
         "table" => Ok(metrics_table(report)),
         "xml" => Ok(report.to_xml()),
         "json" => Ok(report.to_json()),
-        "csv" => Ok(format!("{}\n{}\n", Report::csv_header(), report.to_csv_row())),
+        "csv" => Ok(format!(
+            "{}\n{}\n",
+            Report::csv_header(),
+            report.to_csv_row()
+        )),
         other => Err(ArgError(format!("unknown --report format {other:?}"))),
     }
 }
@@ -198,16 +259,16 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
         // Real-workload import: Standard Workload Format (Parallel
         // Workloads Archive).
         let path = args.get("swf", "");
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
         let swf_opts = dreamsim_workload::SwfOptions {
             ticks_per_second: args.get_num("ticks-per-second", 1u64)?,
             num_configs: params.total_configs,
             skip_failed: true,
             max_jobs: args.get_num("max-jobs", 0usize)?,
         };
-        let specs = dreamsim_workload::import_swf(&text, &swf_opts)
-            .map_err(|e| ArgError(e.to_string()))?;
+        let specs =
+            dreamsim_workload::import_swf(&text, &swf_opts).map_err(|e| ArgError(e.to_string()))?;
         eprintln!("imported {} jobs from {path}", specs.len());
         let mut p = params;
         p.total_tasks = specs.len();
@@ -216,10 +277,9 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
             .run()
     } else if args.has("replay") {
         let path = args.get("replay", "");
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-        let source =
-            TraceSource::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let source = TraceSource::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
         let mut p = params;
         // Replay exactly the trace, whatever --tasks said.
         p.total_tasks = source.len();
@@ -241,8 +301,7 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
     let figs: Vec<Figure> = if which == "all" {
         Figure::ALL.to_vec()
     } else {
-        vec![Figure::parse(which)
-            .ok_or_else(|| ArgError(format!("unknown figure {which:?}")))?]
+        vec![Figure::parse(which).ok_or_else(|| ArgError(format!("unknown figure {which:?}")))?]
     };
     let max_tasks = args.get_num("max-tasks", 10_000usize)?;
     let threads = args.get_num("threads", 0usize)?;
@@ -259,7 +318,11 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
     eprintln!(
         "running grid: nodes {node_counts:?} x modes [full, partial] x tasks {task_counts:?} \
          (seed {seed}, threads {})",
-        if threads == 0 { "auto".to_string() } else { threads.to_string() }
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
     );
     let grid = ExperimentGrid::run(&node_counts, &task_counts, seed, threads);
     let out_dir = args.get("out-dir", "");
@@ -306,7 +369,10 @@ fn cmd_ablations(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(format!("unknown --which {which:?}")));
     }
     if run_a1 {
-        println!("A1 — allocation strategies ({} nodes, {} tasks):", base.total_nodes, base.total_tasks);
+        println!(
+            "A1 — allocation strategies ({} nodes, {} tasks):",
+            base.total_nodes, base.total_tasks
+        );
         println!("  strategy      wasted-area  waiting-time  sched-steps  discarded");
         for (label, m) in ablations::policy_comparison(&base, threads) {
             println!(
@@ -396,4 +462,3 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
     println!("wrote {tasks} tasks to {out}");
     Ok(())
 }
-

@@ -36,7 +36,10 @@ fn run_table_report() {
     let out = run_ok(&[
         "run", "--nodes", "20", "--tasks", "100", "--mode", "partial", "--seed", "3",
     ]);
-    assert!(out.contains("tasks generated / completed / discarded : 100 /"), "{out}");
+    assert!(
+        out.contains("tasks generated / completed / discarded : 100 /"),
+        "{out}"
+    );
     assert!(out.contains("avg waiting time per task"));
 }
 
@@ -92,8 +95,8 @@ fn trace_generate_then_replay_roundtrip() {
     let out = run_ok(&["trace", "--out", trace_str, "--tasks", "40", "--seed", "8"]);
     assert!(out.contains("wrote 40 tasks"));
     let replay = run_ok(&[
-        "run", "--replay", trace_str, "--nodes", "10", "--tasks", "40", "--seed", "8",
-        "--report", "csv",
+        "run", "--replay", trace_str, "--nodes", "10", "--tasks", "40", "--seed", "8", "--report",
+        "csv",
     ]);
     assert!(replay.lines().nth(1).unwrap().contains(",40,"), "{replay}");
     std::fs::remove_dir_all(&dir).ok();
@@ -104,7 +107,15 @@ fn figures_single_figure_to_dir() {
     let dir = std::env::temp_dir().join(format!("dreamsim-figs-{}", std::process::id()));
     let dir_str = dir.to_str().unwrap();
     let out = run_ok(&[
-        "figures", "--fig", "9b", "--tasks", "100,200", "--seed", "6", "--out-dir", dir_str,
+        "figures",
+        "--fig",
+        "9b",
+        "--tasks",
+        "100,200",
+        "--seed",
+        "6",
+        "--out-dir",
+        dir_str,
     ]);
     assert!(out.contains("Figure 9b"), "{out}");
     let csv = std::fs::read_to_string(dir.join("fig9b.csv")).expect("csv written");
@@ -126,10 +137,20 @@ fn swf_import_runs_end_to_end() {
     )
     .unwrap();
     let out = run_ok(&[
-        "run", "--swf", swf.to_str().unwrap(), "--nodes", "10", "--seed", "2",
-        "--report", "csv",
+        "run",
+        "--swf",
+        swf.to_str().unwrap(),
+        "--nodes",
+        "10",
+        "--seed",
+        "2",
+        "--report",
+        "csv",
     ]);
-    assert!(out.lines().nth(1).unwrap().contains(",2,"), "two jobs imported: {out}");
+    assert!(
+        out.lines().nth(1).unwrap().contains(",2,"),
+        "two jobs imported: {out}"
+    );
     // Malformed SWF fails cleanly.
     std::fs::write(&swf, "1 2 3\n").unwrap();
     let bad = dreamsim()
@@ -144,7 +165,15 @@ fn swf_import_runs_end_to_end() {
 #[test]
 fn ablations_run_end_to_end() {
     let out = run_ok(&[
-        "ablations", "--which", "all", "--nodes", "15", "--tasks", "120", "--seed", "2",
+        "ablations",
+        "--which",
+        "all",
+        "--nodes",
+        "15",
+        "--tasks",
+        "120",
+        "--seed",
+        "2",
     ]);
     assert!(out.contains("A1"), "{out}");
     assert!(out.contains("A2"));

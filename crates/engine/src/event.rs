@@ -23,6 +23,11 @@ pub enum Event {
         task: TaskId,
         /// Where it ran.
         entry: EntryRef,
+        /// When this run of the task was placed. Fault injection can
+        /// kill and resubmit a task while its completion is pending, so
+        /// handlers match this against `Task::start_time` to discard
+        /// events from superseded runs.
+        started_at: Ticks,
     },
     /// A node fails (failure-injection extension): all its work is lost.
     NodeFailure {
@@ -33,6 +38,32 @@ pub enum Event {
     NodeRepair {
         /// The repaired node.
         node: NodeId,
+    },
+    /// A bitstream load failed (fault-injection extension); the task
+    /// re-enters scheduling after its backoff delay.
+    ReconfigFailed {
+        /// The task whose reconfiguration failed.
+        task: TaskId,
+    },
+    /// A running task failed mid-execution (fault-injection extension)
+    /// and frees its slot without completing.
+    TaskFailed {
+        /// The failing task.
+        task: TaskId,
+        /// Where it was running.
+        entry: EntryRef,
+        /// When this run of the task was placed (staleness stamp, as in
+        /// [`Event::TaskCompletion`]).
+        started_at: Ticks,
+    },
+    /// A suspended task exceeded the suspension-queue deadline
+    /// (fault-injection extension) and is discarded.
+    SuspensionTimeout {
+        /// The timed-out task.
+        task: TaskId,
+        /// When the task entered the suspension queue; a resume and
+        /// re-suspension in the meantime makes this event stale.
+        enqueued_at: Ticks,
     },
 }
 
@@ -169,6 +200,57 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_due_preserves_insertion_order_for_same_tick_events() {
+        // Mixed event kinds scheduled for the same tick must drain in
+        // exactly the order they were pushed — the determinism contract
+        // the tick-stepped driver relies on.
+        let mut q = EventQueue::new();
+        let same_tick: Vec<Event> = vec![
+            Event::TaskArrival { task: TaskId(3) },
+            Event::NodeFailure { node: NodeId(1) },
+            Event::ReconfigFailed { task: TaskId(9) },
+            Event::SuspensionTimeout {
+                task: TaskId(4),
+                enqueued_at: 2,
+            },
+            Event::NodeRepair { node: NodeId(1) },
+            Event::TaskArrival { task: TaskId(5) },
+        ];
+        for e in &same_tick {
+            q.push(7, *e);
+        }
+        let mut drained = Vec::new();
+        while let Some((t, e)) = q.pop_due(7) {
+            assert_eq!(t, 7);
+            drained.push(e);
+        }
+        assert_eq!(drained, same_tick);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_due_tie_break_is_stable_across_earlier_pops() {
+        // Sequence numbers keep incrementing across pops, so later
+        // same-tick pushes still drain in insertion order even after
+        // the heap has been partially consumed.
+        let mut q = EventQueue::new();
+        q.push(1, arrival(0));
+        assert_eq!(q.pop_due(1).unwrap().0, 1);
+        q.push(4, arrival(10));
+        q.push(4, arrival(11));
+        q.push(3, arrival(12));
+        q.push(4, arrival(13));
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop_due(4).map(|(_, e)| match e {
+                Event::TaskArrival { task } => task.0,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![12, 10, 11, 13]);
     }
 
     #[test]

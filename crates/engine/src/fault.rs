@@ -1,0 +1,360 @@
+//! Fault injection: node failures, bitstream-load failures, task
+//! execution failures, and suspension deadlines.
+//!
+//! The paper's evaluation assumes every node, bitstream load, and task
+//! execution succeeds; at the scale it targets (thousands of
+//! reconfigurable nodes) failures are the common case. [`FaultModel`]
+//! owns all fault randomness and bookkeeping:
+//!
+//! - **Node failures** — each node fails independently with an
+//!   exponentially distributed time-to-failure (mean
+//!   [`FaultParams::node_mttf`]) and is repaired after an exponentially
+//!   distributed time-to-repair (mean [`FaultParams::node_mttr`]).
+//!   This is a *per-node* process, unlike the legacy `node_mtbf`
+//!   parameter's single global chain; the two are mutually exclusive
+//!   (enforced by `SimParams::validate`).
+//! - **Reconfiguration failures** — each bitstream-load attempt fails
+//!   with probability [`FaultParams::reconfig_fail_prob`]; the driver
+//!   retries with bounded exponential [`backoff`](FaultModel::backoff)
+//!   before degrading to the closest-match configuration.
+//! - **Execution failures** — each placed task fails mid-run with
+//!   probability [`FaultParams::task_fail_prob`], at a point uniformly
+//!   distributed over its required time.
+//! - **Suspension deadline** — suspended tasks are discarded after
+//!   [`FaultParams::suspension_deadline`] ticks in the queue.
+//!
+//! All draws come from a dedicated RNG stream derived from the run seed
+//! (`Rng::derive(seed, FAULT_STREAM)`), so enabling or disabling faults
+//! never perturbs workload or platform generation, and a disabled model
+//! draws nothing at all — failure-free runs stay bit-identical to the
+//! pre-fault simulator.
+
+use crate::params::SimParams;
+use dreamsim_model::{NodeId, Ticks};
+use dreamsim_rng::Rng;
+
+/// Stream index for the fault RNG, far away from the small indices the
+/// sweep harness uses for seed replication.
+const FAULT_STREAM: u64 = 0xFA17;
+
+/// Per-run fault state: parameters, the dedicated RNG stream, and node
+/// downtime accounting.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    params: crate::params::FaultParams,
+    enabled: bool,
+    rng: Rng,
+    /// `down_since[node] = Some(t)` while the node is down; empty when
+    /// no failure process (legacy or fault-model) is configured.
+    down_since: Vec<Option<Ticks>>,
+    downtime: Ticks,
+}
+
+impl FaultModel {
+    /// Build the model for one run. Downtime tracking is allocated when
+    /// either failure process (the fault model's `node_mttf` or the
+    /// legacy `node_mtbf`) can take nodes down.
+    #[must_use]
+    pub fn new(params: &SimParams) -> Self {
+        let f = params.faults;
+        let track_downtime = f.node_mttf.is_some() || params.node_mtbf.is_some();
+        Self {
+            params: f,
+            enabled: f.enabled(),
+            rng: Rng::derive(params.seed, FAULT_STREAM),
+            down_since: if track_downtime {
+                vec![None; params.total_nodes]
+            } else {
+                Vec::new()
+            },
+            downtime: 0,
+        }
+    }
+
+    /// Whether any fault feature is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether the per-node MTTF failure process is active.
+    #[must_use]
+    pub fn mttf_active(&self) -> bool {
+        self.params.node_mttf.is_some()
+    }
+
+    /// Whether bitstream-load attempts can fail.
+    #[must_use]
+    pub fn reconfig_faults_enabled(&self) -> bool {
+        self.params.reconfig_fail_prob > 0.0
+    }
+
+    /// Whether task executions can fail.
+    #[must_use]
+    pub fn task_faults_enabled(&self) -> bool {
+        self.params.task_fail_prob > 0.0
+    }
+
+    /// Whether killed/failed tasks are resubmitted (within the retry
+    /// budget) rather than discarded. Always false when the model is
+    /// disabled, so legacy `node_mtbf` runs keep their discard-on-kill
+    /// behaviour.
+    #[must_use]
+    pub fn resubmit_enabled(&self) -> bool {
+        self.enabled && self.params.resubmit
+    }
+
+    /// Retry budget shared by reconfiguration retries and task
+    /// resubmissions.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.params.max_retries
+    }
+
+    /// Suspension-queue deadline, if one is configured.
+    #[must_use]
+    pub fn suspension_deadline(&self) -> Option<Ticks> {
+        self.params.suspension_deadline
+    }
+
+    /// Draw a time-to-failure for one node (≥ 1 tick).
+    ///
+    /// # Panics
+    /// Panics if the MTTF process is not configured.
+    pub fn draw_ttf(&mut self) -> Ticks {
+        let mttf = self.params.node_mttf.expect("draw_ttf requires node_mttf");
+        draw_exp(&mut self.rng, mttf)
+    }
+
+    /// Draw a time-to-repair for one node (≥ 1 tick).
+    pub fn draw_ttr(&mut self) -> Ticks {
+        draw_exp(&mut self.rng, self.params.node_mttr)
+    }
+
+    /// Whether this bitstream-load attempt fails. Draws only when
+    /// reconfiguration faults are enabled.
+    pub fn reconfig_attempt_fails(&mut self) -> bool {
+        self.reconfig_faults_enabled() && self.rng.bernoulli(self.params.reconfig_fail_prob)
+    }
+
+    /// Whether this task execution fails. Draws only when task faults
+    /// are enabled.
+    pub fn task_attempt_fails(&mut self) -> bool {
+        self.task_faults_enabled() && self.rng.bernoulli(self.params.task_fail_prob)
+    }
+
+    /// How far into a `required`-tick execution the failure strikes:
+    /// uniform over `[1, required]` (at least one tick runs).
+    pub fn draw_fail_point(&mut self, required: Ticks) -> Ticks {
+        self.rng.uniform_inclusive(1, required.max(1))
+    }
+
+    /// Backoff delay before retry attempt `attempt` (1-based):
+    /// `base << (attempt-1)`, capped at `retry_backoff_cap`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Ticks {
+        let base = self.params.retry_backoff_base;
+        let cap = self.params.retry_backoff_cap;
+        if attempt >= 64 {
+            return cap;
+        }
+        // `checked_shl` only rejects shifts ≥ 64, not value overflow, so
+        // saturating multiplication is used instead (attempt < 64 keeps
+        // the `1 << …` itself in range).
+        base.saturating_mul(1u64 << attempt.saturating_sub(1))
+            .min(cap)
+            .max(1)
+    }
+
+    /// Record that `node` went down at `now` (no-op unless downtime
+    /// tracking is configured).
+    pub fn mark_down(&mut self, node: NodeId, now: Ticks) {
+        if let Some(slot) = self.down_since.get_mut(node.index()) {
+            debug_assert!(slot.is_none(), "node marked down twice");
+            *slot = Some(now);
+        }
+    }
+
+    /// Record that `node` came back up at `now`, accruing its downtime.
+    pub fn mark_up(&mut self, node: NodeId, now: Ticks) {
+        if let Some(slot) = self.down_since.get_mut(node.index()) {
+            if let Some(since) = slot.take() {
+                self.downtime += now.saturating_sub(since);
+            }
+        }
+    }
+
+    /// Total node downtime in node·ticks; nodes still down at `end`
+    /// accrue up to `end`.
+    #[must_use]
+    pub fn total_downtime(&self, end: Ticks) -> Ticks {
+        self.downtime
+            + self
+                .down_since
+                .iter()
+                .flatten()
+                .map(|&since| end.saturating_sub(since))
+                .sum::<Ticks>()
+    }
+}
+
+/// Exponential draw with the given mean, rounded to whole ticks and
+/// clamped to at least 1 so events always make progress.
+fn draw_exp(rng: &mut Rng, mean: u64) -> Ticks {
+    (rng.exponential_with_mean(mean as f64).round() as Ticks).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FaultParams;
+
+    fn params_with(f: impl FnOnce(&mut FaultParams)) -> SimParams {
+        let mut p = SimParams::default();
+        p.total_nodes = 4;
+        f(&mut p.faults);
+        p
+    }
+
+    #[test]
+    fn disabled_model_reports_every_feature_off() {
+        let m = FaultModel::new(&SimParams::default());
+        assert!(!m.enabled());
+        assert!(!m.mttf_active());
+        assert!(!m.reconfig_faults_enabled());
+        assert!(!m.task_faults_enabled());
+        assert!(!m.resubmit_enabled());
+        assert_eq!(m.total_downtime(1_000_000), 0);
+    }
+
+    #[test]
+    fn disabled_probability_draws_never_touch_the_rng() {
+        let p = SimParams::default();
+        let mut m = FaultModel::new(&p);
+        let before = m.rng.clone();
+        for _ in 0..32 {
+            assert!(!m.reconfig_attempt_fails());
+            assert!(!m.task_attempt_fails());
+        }
+        // The generator state is untouched: both streams continue
+        // identically.
+        let mut after = m.rng;
+        let mut before = before;
+        for _ in 0..8 {
+            assert_eq!(before.rand_int64(), after.rand_int64());
+        }
+    }
+
+    #[test]
+    fn fault_stream_is_independent_of_the_main_stream() {
+        let p = SimParams::default();
+        let mut main = Rng::seed_from(p.seed);
+        let mut fault = FaultModel::new(&p).rng;
+        let a: Vec<u64> = (0..8).map(|_| main.rand_int64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| fault.rand_int64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ttf_and_ttr_draws_are_positive_and_deterministic() {
+        let p = params_with(|f| {
+            f.node_mttf = Some(500);
+            f.node_mttr = 50;
+        });
+        let mut a = FaultModel::new(&p);
+        let mut b = FaultModel::new(&p);
+        for _ in 0..64 {
+            let (ta, tb) = (a.draw_ttf(), b.draw_ttf());
+            assert_eq!(ta, tb);
+            assert!(ta >= 1);
+            let (ra, rb) = (a.draw_ttr(), b.draw_ttr());
+            assert_eq!(ra, rb);
+            assert!(ra >= 1);
+        }
+    }
+
+    #[test]
+    fn certain_failure_probability_always_fires() {
+        let p = params_with(|f| {
+            f.reconfig_fail_prob = 1.0;
+            f.task_fail_prob = 1.0;
+        });
+        let mut m = FaultModel::new(&p);
+        for _ in 0..16 {
+            assert!(m.reconfig_attempt_fails());
+            assert!(m.task_attempt_fails());
+        }
+    }
+
+    #[test]
+    fn fail_point_lies_within_the_execution() {
+        let p = params_with(|f| f.task_fail_prob = 0.5);
+        let mut m = FaultModel::new(&p);
+        for required in [1u64, 2, 17, 100_000] {
+            for _ in 0..16 {
+                let at = m.draw_fail_point(required);
+                assert!((1..=required).contains(&at));
+            }
+        }
+        assert_eq!(
+            m.draw_fail_point(0),
+            1,
+            "zero-length runs still take a tick"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let p = params_with(|f| {
+            f.retry_backoff_base = 8;
+            f.retry_backoff_cap = 100;
+        });
+        let m = FaultModel::new(&p);
+        assert_eq!(m.backoff(1), 8);
+        assert_eq!(m.backoff(2), 16);
+        assert_eq!(m.backoff(3), 32);
+        assert_eq!(m.backoff(4), 64);
+        assert_eq!(m.backoff(5), 100);
+        assert_eq!(m.backoff(63), 100);
+        assert_eq!(m.backoff(64), 100);
+        assert_eq!(m.backoff(u32::MAX), 100);
+    }
+
+    #[test]
+    fn downtime_accrues_per_node_and_to_run_end() {
+        let p = params_with(|f| {
+            f.node_mttf = Some(1_000);
+            f.node_mttr = 10;
+        });
+        let mut m = FaultModel::new(&p);
+        m.mark_down(NodeId(0), 100);
+        m.mark_up(NodeId(0), 150);
+        assert_eq!(m.total_downtime(200), 50);
+        m.mark_down(NodeId(1), 180);
+        // Node 1 is still down at the end of the run.
+        assert_eq!(m.total_downtime(200), 50 + 20);
+        m.mark_up(NodeId(1), 190);
+        assert_eq!(m.total_downtime(200), 50 + 10);
+    }
+
+    #[test]
+    fn downtime_tracking_is_inert_without_a_failure_process() {
+        let p = params_with(|f| f.task_fail_prob = 0.5);
+        let mut m = FaultModel::new(&p);
+        m.mark_down(NodeId(0), 10);
+        m.mark_up(NodeId(0), 20);
+        assert_eq!(m.total_downtime(100), 0);
+    }
+
+    #[test]
+    fn legacy_mtbf_also_gets_downtime_tracking() {
+        let mut p = SimParams::default();
+        p.total_nodes = 2;
+        p.node_mtbf = Some(5_000);
+        let mut m = FaultModel::new(&p);
+        assert!(!m.enabled(), "legacy failures are not the fault model");
+        m.mark_down(NodeId(1), 30);
+        m.mark_up(NodeId(1), 45);
+        assert_eq!(m.total_downtime(100), 15);
+    }
+}

@@ -20,8 +20,7 @@ pub fn generate_configs(params: &SimParams, rng: &mut Rng) -> Vec<Config> {
     (0..params.total_configs)
         .map(|i| {
             let req_area = rng.uniform_inclusive(params.config_area.lo, params.config_area.hi);
-            let config_time =
-                rng.uniform_inclusive(params.config_time.lo, params.config_time.hi);
+            let config_time = rng.uniform_inclusive(params.config_time.lo, params.config_time.hi);
             let (ptype, cfg_params) = random_ptype(rng);
             // Capability-constraint extension: each configuration may
             // demand hardware features of its host (never the
@@ -50,8 +49,7 @@ pub fn generate_nodes(params: &SimParams, rng: &mut Rng) -> Vec<Node> {
     (0..params.total_nodes)
         .map(|i| {
             let total_area = rng.uniform_inclusive(params.node_area.lo, params.node_area.hi);
-            let delay =
-                rng.uniform_inclusive(params.network_delay.lo, params.network_delay.hi);
+            let delay = rng.uniform_inclusive(params.network_delay.lo, params.network_delay.hi);
             let family = DeviceFamily::ALL[rng.index(DeviceFamily::ALL.len())];
             let mut caps = Capabilities::none();
             for c in Capability::ALL {
@@ -200,7 +198,10 @@ mod tests {
         let configs = generate_configs(&p, &mut rng);
         let labels: std::collections::HashSet<&str> =
             configs.iter().map(|c| c.ptype.label()).collect();
-        assert!(labels.len() >= 3, "expected several Ptype classes, got {labels:?}");
+        assert!(
+            labels.len() >= 3,
+            "expected several Ptype classes, got {labels:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod init;
 pub mod monitor;
 pub mod params;
@@ -32,8 +33,11 @@ pub mod sim;
 pub mod stats;
 
 pub use event::{Event, EventQueue};
+pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};
-pub use params::{ArrivalDistribution, ParamsError, PlacementModel, ReconfigMode, SimParams};
+pub use params::{
+    ArrivalDistribution, FaultParams, ParamsError, PlacementModel, ReconfigMode, SimParams,
+};
 pub use report::Report;
 pub use sim::{
     Decision, DiscardReason, PlacePhase, Placement, Resume, RunResult, SchedCtx, SchedulePolicy,

@@ -27,6 +27,14 @@ pub trait Observer {
     fn on_node_failure(&mut self, now: Ticks, node: NodeId) {}
     /// A failed node was repaired.
     fn on_node_repair(&mut self, now: Ticks, node: NodeId) {}
+    /// A bitstream load failed during placement (fault-injection
+    /// extension); `attempt` counts failed attempts for this task so far.
+    fn on_reconfig_failed(&mut self, now: Ticks, task: &Task, attempt: u32) {}
+    /// A task failed mid-execution (fault-injection extension).
+    fn on_task_failed(&mut self, now: Ticks, task: &Task) {}
+    /// A fault-killed task was resubmitted to the scheduler
+    /// (fault-injection extension); `attempt` counts resubmissions.
+    fn on_resubmit(&mut self, now: Ticks, task: &Task, attempt: u32) {}
     /// Periodic resource snapshot (taken at every arrival).
     fn on_snapshot(&mut self, now: Ticks, resources: &ResourceManager, suspended: usize) {}
 }
@@ -70,6 +78,14 @@ pub struct RecordingMonitor {
     pub completions: u64,
     /// Node failures seen.
     pub failures: u64,
+    /// Node repairs seen.
+    pub repairs: u64,
+    /// Failed bitstream loads seen.
+    pub reconfig_failures: u64,
+    /// Mid-execution task failures seen.
+    pub task_failures: u64,
+    /// Resubmissions seen.
+    pub resubmissions: u64,
 }
 
 impl RecordingMonitor {
@@ -106,6 +122,22 @@ impl Observer for RecordingMonitor {
 
     fn on_node_failure(&mut self, _now: Ticks, _node: NodeId) {
         self.failures += 1;
+    }
+
+    fn on_node_repair(&mut self, _now: Ticks, _node: NodeId) {
+        self.repairs += 1;
+    }
+
+    fn on_reconfig_failed(&mut self, _now: Ticks, _task: &Task, _attempt: u32) {
+        self.reconfig_failures += 1;
+    }
+
+    fn on_task_failed(&mut self, _now: Ticks, _task: &Task) {
+        self.task_failures += 1;
+    }
+
+    fn on_resubmit(&mut self, _now: Ticks, _task: &Task, _attempt: u32) {
+        self.resubmissions += 1;
     }
 
     fn on_snapshot(&mut self, now: Ticks, resources: &ResourceManager, suspended: usize) {
@@ -178,5 +210,31 @@ mod tests {
         let rm = resources();
         o.on_snapshot(0, &rm, 0);
         o.on_node_failure(0, NodeId(0));
+        o.on_reconfig_failed(0, &fault_task(), 1);
+    }
+
+    fn fault_task() -> Task {
+        Task::new(
+            TaskId(9),
+            0,
+            100,
+            dreamsim_model::PreferredConfig::Known(ConfigId(0)),
+            400,
+        )
+    }
+
+    #[test]
+    fn fault_callbacks_bump_counters() {
+        let mut mon = RecordingMonitor::new(0);
+        let t = fault_task();
+        mon.on_node_repair(5, NodeId(1));
+        mon.on_reconfig_failed(6, &t, 1);
+        mon.on_reconfig_failed(7, &t, 2);
+        mon.on_task_failed(8, &t);
+        mon.on_resubmit(9, &t, 1);
+        assert_eq!(mon.repairs, 1);
+        assert_eq!(mon.reconfig_failures, 2);
+        assert_eq!(mon.task_failures, 1);
+        assert_eq!(mon.resubmissions, 1);
     }
 }

@@ -135,9 +135,20 @@ pub enum ParamsError {
     ZeroCount(&'static str),
     /// The closest-match fraction is outside `[0, 1]`.
     InvalidFraction(f64),
+    /// A probability parameter is outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// Which parameter.
+        name: &'static str,
+        /// Value given.
+        value: f64,
+    },
     /// No configuration could ever fit on any node
     /// (`config_area.lo > node_area.hi`).
     ConfigsNeverFit,
+    /// Both the legacy global failure process (`node_mtbf`) and the
+    /// per-node fault model (`faults.node_mttf`) are enabled; they are
+    /// mutually exclusive.
+    ConflictingFailureModels,
 }
 
 impl std::fmt::Display for ParamsError {
@@ -150,14 +161,123 @@ impl std::fmt::Display for ParamsError {
             ParamsError::InvalidFraction(v) => {
                 write!(f, "closest-match fraction {v} outside [0,1]")
             }
+            ParamsError::InvalidProbability { name, value } => {
+                write!(f, "parameter {name}: probability {value} outside [0,1]")
+            }
             ParamsError::ConfigsNeverFit => {
                 write!(f, "smallest configuration exceeds largest node area")
+            }
+            ParamsError::ConflictingFailureModels => {
+                write!(
+                    f,
+                    "node_mtbf (legacy global failures) and faults.node_mttf \
+                     (per-node fault model) cannot both be enabled"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for ParamsError {}
+
+/// Fault-injection parameters (robustness extension; see the
+/// "Failure model" section of DESIGN.md). The default is fully
+/// disabled: no failures are drawn, no retry events are scheduled, and
+/// runs are bit-identical to the failure-free simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultParams {
+    /// Mean time to failure of each node, in ticks (exponentially
+    /// distributed, per node). `None` disables injected node failures.
+    pub node_mttf: Option<u64>,
+    /// Mean time to repair a failed node, in ticks (exponentially
+    /// distributed).
+    pub node_mttr: u64,
+    /// Probability that one bitstream-load (reconfiguration) attempt
+    /// fails and must be retried.
+    pub reconfig_fail_prob: f64,
+    /// Probability that a placed task fails mid-execution and must be
+    /// resubmitted.
+    pub task_fail_prob: f64,
+    /// Retry budget per task: bounded reconfiguration retries before the
+    /// scheduler degrades to the closest-match configuration, and
+    /// resubmission attempts for failed or killed tasks before they are
+    /// discarded.
+    pub max_retries: u32,
+    /// First retry delay in ticks; attempt `n` backs off to
+    /// `base << (n-1)`, capped by [`retry_backoff_cap`].
+    ///
+    /// [`retry_backoff_cap`]: FaultParams::retry_backoff_cap
+    pub retry_backoff_base: u64,
+    /// Upper bound on the exponential backoff delay, in ticks.
+    pub retry_backoff_cap: u64,
+    /// Whether tasks killed by node or execution failures are
+    /// resubmitted to the scheduler (within the retry budget) instead of
+    /// being discarded outright.
+    pub resubmit: bool,
+    /// Maximum ticks a task may sit in the suspension queue before it is
+    /// discarded with [`DiscardReason::SuspensionTimeout`]. `None`
+    /// (default) means suspended tasks wait indefinitely.
+    ///
+    /// [`DiscardReason::SuspensionTimeout`]: crate::DiscardReason::SuspensionTimeout
+    pub suspension_deadline: Option<u64>,
+}
+
+impl Default for FaultParams {
+    /// Everything disabled — the paper's failure-free world.
+    fn default() -> Self {
+        Self {
+            node_mttf: None,
+            node_mttr: 1_000,
+            reconfig_fail_prob: 0.0,
+            task_fail_prob: 0.0,
+            max_retries: 3,
+            retry_backoff_base: 8,
+            retry_backoff_cap: 512,
+            resubmit: true,
+            suspension_deadline: None,
+        }
+    }
+}
+
+impl FaultParams {
+    /// Whether any fault-injection feature is active. When this is
+    /// false the engine must not draw from the fault RNG stream or
+    /// charge any steps on fault paths.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.node_mttf.is_some()
+            || self.reconfig_fail_prob > 0.0
+            || self.task_fail_prob > 0.0
+            || self.suspension_deadline.is_some()
+    }
+
+    fn validate(&self) -> Result<(), ParamsError> {
+        for (name, v) in [
+            ("faults.reconfig_fail_prob", self.reconfig_fail_prob),
+            ("faults.task_fail_prob", self.task_fail_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(ParamsError::InvalidProbability { name, value: v });
+            }
+        }
+        if self.node_mttf == Some(0) {
+            return Err(ParamsError::ZeroCount("faults.node_mttf"));
+        }
+        if self.node_mttr == 0 {
+            return Err(ParamsError::ZeroCount("faults.node_mttr"));
+        }
+        if self.retry_backoff_base == 0 {
+            return Err(ParamsError::ZeroCount("faults.retry_backoff_base"));
+        }
+        if self.retry_backoff_cap == 0 {
+            return Err(ParamsError::ZeroCount("faults.retry_backoff_cap"));
+        }
+        if self.suspension_deadline == Some(0) {
+            return Err(ParamsError::ZeroCount("faults.suspension_deadline"));
+        }
+        Ok(())
+    }
+}
 
 /// Full parameter set for one simulation run (the `DreamSim` class's
 /// data members in Fig. 4).
@@ -210,6 +330,10 @@ pub struct SimParams {
     pub node_mtbf: Option<u64>,
     /// Mean timeticks a failed node stays down before repair.
     pub node_mttr: u64,
+    /// Fault-injection parameters (disabled by default; mutually
+    /// exclusive with `node_mtbf`).
+    #[serde(default)]
+    pub faults: FaultParams,
     /// Master seed for all randomness in the run.
     pub seed: u64,
 }
@@ -236,6 +360,7 @@ impl Default for SimParams {
             max_sus_retries: None,
             node_mtbf: None,
             node_mttr: 1_000,
+            faults: FaultParams::default(),
             seed: 0x5EED,
         }
     }
@@ -302,10 +427,16 @@ impl SimParams {
         if !(0.0..=1.0).contains(&self.capability_requirement_prob)
             || self.capability_requirement_prob.is_nan()
         {
-            return Err(ParamsError::InvalidFraction(self.capability_requirement_prob));
+            return Err(ParamsError::InvalidFraction(
+                self.capability_requirement_prob,
+            ));
         }
         if self.config_area.lo > self.node_area.hi {
             return Err(ParamsError::ConfigsNeverFit);
+        }
+        self.faults.validate()?;
+        if self.node_mtbf.is_some() && self.faults.node_mttf.is_some() {
+            return Err(ParamsError::ConflictingFailureModels);
         }
         Ok(())
     }
@@ -358,10 +489,16 @@ mod tests {
     fn validation_catches_zero_counts() {
         let mut p = SimParams::default();
         p.total_nodes = 0;
-        assert_eq!(p.validate().unwrap_err(), ParamsError::ZeroCount("total_nodes"));
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::ZeroCount("total_nodes")
+        );
         let mut p = SimParams::default();
         p.total_configs = 0;
-        assert_eq!(p.validate().unwrap_err(), ParamsError::ZeroCount("total_configs"));
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::ZeroCount("total_configs")
+        );
         let mut p = SimParams::default();
         p.next_task_max_interval = 0;
         assert_eq!(
@@ -377,7 +514,10 @@ mod tests {
         assert_eq!(p.validate().unwrap_err(), ParamsError::InvalidFraction(1.5));
         let mut p = SimParams::default();
         p.closest_match_fraction = f64::NAN;
-        assert!(matches!(p.validate().unwrap_err(), ParamsError::InvalidFraction(_)));
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            ParamsError::InvalidFraction(_)
+        ));
         let mut p = SimParams::default();
         p.config_area = Range::new(5000, 6000);
         assert_eq!(p.validate().unwrap_err(), ParamsError::ConfigsNeverFit);
@@ -399,6 +539,105 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let p = SimParams::default();
+        let js = serde_json::to_string(&p).unwrap();
+        let back: SimParams = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn fault_defaults_are_disabled() {
+        let f = FaultParams::default();
+        assert!(!f.enabled());
+        assert!(f.node_mttf.is_none());
+        assert_eq!(f.reconfig_fail_prob, 0.0);
+        assert_eq!(f.task_fail_prob, 0.0);
+        assert!(f.suspension_deadline.is_none());
+        SimParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn fault_enabled_detects_each_feature() {
+        let mut f = FaultParams::default();
+        f.node_mttf = Some(500);
+        assert!(f.enabled());
+        let mut f = FaultParams::default();
+        f.reconfig_fail_prob = 0.1;
+        assert!(f.enabled());
+        let mut f = FaultParams::default();
+        f.task_fail_prob = 0.1;
+        assert!(f.enabled());
+        let mut f = FaultParams::default();
+        f.suspension_deadline = Some(100);
+        assert!(f.enabled());
+    }
+
+    #[test]
+    fn validation_catches_bad_fault_probabilities() {
+        let mut p = SimParams::default();
+        p.faults.reconfig_fail_prob = 1.5;
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::InvalidProbability {
+                name: "faults.reconfig_fail_prob",
+                value: 1.5
+            }
+        );
+        let mut p = SimParams::default();
+        p.faults.task_fail_prob = f64::NAN;
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            ParamsError::InvalidProbability {
+                name: "faults.task_fail_prob",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_zero_fault_parameters() {
+        for (set, name) in [
+            (
+                (|p: &mut SimParams| p.faults.node_mttf = Some(0)) as fn(&mut SimParams),
+                "faults.node_mttf",
+            ),
+            (|p| p.faults.node_mttr = 0, "faults.node_mttr"),
+            (
+                |p| p.faults.retry_backoff_base = 0,
+                "faults.retry_backoff_base",
+            ),
+            (
+                |p| p.faults.retry_backoff_cap = 0,
+                "faults.retry_backoff_cap",
+            ),
+            (
+                |p| p.faults.suspension_deadline = Some(0),
+                "faults.suspension_deadline",
+            ),
+        ] {
+            let mut p = SimParams::default();
+            set(&mut p);
+            assert_eq!(p.validate().unwrap_err(), ParamsError::ZeroCount(name));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_both_failure_models() {
+        let mut p = SimParams::default();
+        p.node_mtbf = Some(10_000);
+        p.validate().unwrap();
+        p.faults.node_mttf = Some(10_000);
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::ConflictingFailureModels
+        );
+        p.node_mtbf = None;
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_params_serde_round_trip() {
+        let mut p = SimParams::default();
+        p.faults.task_fail_prob = 0.25;
         let js = serde_json::to_string(&p).unwrap();
         let back: SimParams = serde_json::from_str(&js).unwrap();
         assert_eq!(p, back);

@@ -73,7 +73,12 @@ impl Report {
         elem(&mut out, 4, "total-nodes", p.total_nodes);
         elem(&mut out, 4, "total-configs", p.total_configs);
         elem(&mut out, 4, "total-tasks", p.total_tasks);
-        elem(&mut out, 4, "next-task-max-interval", p.next_task_max_interval);
+        elem(
+            &mut out,
+            4,
+            "next-task-max-interval",
+            p.next_task_max_interval,
+        );
         elem(
             &mut out,
             4,
@@ -98,26 +103,71 @@ impl Report {
             "config-time",
             format_args!("[{}..{}]", p.config_time.lo, p.config_time.hi),
         );
-        elem(&mut out, 4, "closest-match-fraction", p.closest_match_fraction);
+        elem(
+            &mut out,
+            4,
+            "closest-match-fraction",
+            p.closest_match_fraction,
+        );
         elem(&mut out, 4, "reconfiguration-mode", p.mode);
         elem(&mut out, 4, "placement-model", p.placement.label());
         elem(&mut out, 4, "seed", p.seed);
         out.push_str("  </parameters>\n");
         out.push_str("  <metrics>\n");
-        elem(&mut out, 4, "total-tasks-generated", m.total_tasks_generated);
-        elem(&mut out, 4, "total-tasks-completed", m.total_tasks_completed);
-        elem(&mut out, 4, "total-discarded-tasks", m.total_discarded_tasks);
-        elem(&mut out, 4, "avg-wasted-area-per-task", m.avg_wasted_area_per_task);
-        elem(&mut out, 4, "wasted-area-snapshot-end", m.wasted_area_snapshot_end);
-        elem(&mut out, 4, "avg-running-time-per-task", m.avg_running_time_per_task);
+        elem(
+            &mut out,
+            4,
+            "total-tasks-generated",
+            m.total_tasks_generated,
+        );
+        elem(
+            &mut out,
+            4,
+            "total-tasks-completed",
+            m.total_tasks_completed,
+        );
+        elem(
+            &mut out,
+            4,
+            "total-discarded-tasks",
+            m.total_discarded_tasks,
+        );
+        elem(
+            &mut out,
+            4,
+            "avg-wasted-area-per-task",
+            m.avg_wasted_area_per_task,
+        );
+        elem(
+            &mut out,
+            4,
+            "wasted-area-snapshot-end",
+            m.wasted_area_snapshot_end,
+        );
+        elem(
+            &mut out,
+            4,
+            "avg-running-time-per-task",
+            m.avg_running_time_per_task,
+        );
         elem(
             &mut out,
             4,
             "avg-reconfiguration-count-per-node",
             m.avg_reconfig_count_per_node,
         );
-        elem(&mut out, 4, "avg-config-time-per-task", m.avg_config_time_per_task);
-        elem(&mut out, 4, "avg-waiting-time-per-task", m.avg_waiting_time_per_task);
+        elem(
+            &mut out,
+            4,
+            "avg-config-time-per-task",
+            m.avg_config_time_per_task,
+        );
+        elem(
+            &mut out,
+            4,
+            "avg-waiting-time-per-task",
+            m.avg_waiting_time_per_task,
+        );
         elem(&mut out, 4, "waiting-time-p50", m.wait_p50);
         elem(&mut out, 4, "waiting-time-p95", m.wait_p95);
         elem(&mut out, 4, "waiting-time-p99", m.wait_p99);
@@ -128,16 +178,31 @@ impl Report {
             "avg-scheduling-steps-per-task",
             m.avg_scheduling_steps_per_task,
         );
-        elem(&mut out, 4, "total-scheduler-workload", m.total_scheduler_workload);
+        elem(
+            &mut out,
+            4,
+            "total-scheduler-workload",
+            m.total_scheduler_workload,
+        );
         elem(&mut out, 4, "total-used-nodes", m.total_used_nodes);
-        elem(&mut out, 4, "total-simulation-time", m.total_simulation_time);
+        elem(
+            &mut out,
+            4,
+            "total-simulation-time",
+            m.total_simulation_time,
+        );
         elem(&mut out, 4, "total-suspensions", m.total_suspensions);
         elem(&mut out, 4, "suspension-peak-length", m.suspension_peak_len);
         elem(&mut out, 4, "mean-fragmentation", m.mean_fragmentation_end);
         out.push_str("    <placements>\n");
         elem(&mut out, 6, "allocation", m.phases.allocation);
         elem(&mut out, 6, "configuration", m.phases.configuration);
-        elem(&mut out, 6, "partial-configuration", m.phases.partial_configuration);
+        elem(
+            &mut out,
+            6,
+            "partial-configuration",
+            m.phases.partial_configuration,
+        );
         elem(
             &mut out,
             6,
@@ -146,6 +211,29 @@ impl Report {
         );
         elem(&mut out, 6, "resumed-from-suspension", m.phases.resumed);
         out.push_str("    </placements>\n");
+        // Fault-injection block. Emitted only when some fault counter is
+        // nonzero, so fault-free reports stay byte-identical to releases
+        // that predate the fault model.
+        let any_faults = m.node_failures != 0
+            || m.failure_killed != 0
+            || m.reconfig_failures != 0
+            || m.reconfig_retries != 0
+            || m.task_failures != 0
+            || m.resubmissions != 0
+            || m.tasks_lost != 0
+            || m.node_downtime != 0;
+        if any_faults {
+            out.push_str("    <faults>\n");
+            elem(&mut out, 6, "node-failures", m.node_failures);
+            elem(&mut out, 6, "failure-killed-tasks", m.failure_killed);
+            elem(&mut out, 6, "reconfiguration-failures", m.reconfig_failures);
+            elem(&mut out, 6, "reconfiguration-retries", m.reconfig_retries);
+            elem(&mut out, 6, "task-failures", m.task_failures);
+            elem(&mut out, 6, "resubmissions", m.resubmissions);
+            elem(&mut out, 6, "tasks-lost", m.tasks_lost);
+            elem(&mut out, 6, "node-downtime", m.node_downtime);
+            out.push_str("    </faults>\n");
+        }
         out.push_str("  </metrics>\n");
         out.push_str("</dreamsim-report>\n");
         out
@@ -206,6 +294,7 @@ mod tests {
             0,
             0,
             0.0,
+            0,
         );
         Report::new(params, metrics)
     }
@@ -230,6 +319,22 @@ mod tests {
         }
         assert!(xml.contains("<total-scheduler-workload>15</total-scheduler-workload>"));
         assert!(xml.contains("<reconfiguration-mode>partial</reconfiguration-mode>"));
+    }
+
+    #[test]
+    fn xml_fault_block_only_present_when_counters_nonzero() {
+        let clean = report();
+        assert!(!clean.to_xml().contains("<faults>"));
+        let mut faulty = report();
+        faulty.metrics.node_failures = 3;
+        faulty.metrics.tasks_lost = 2;
+        faulty.metrics.node_downtime = 450;
+        let xml = faulty.to_xml();
+        assert!(xml.contains("<faults>"));
+        assert!(xml.contains("<node-failures>3</node-failures>"));
+        assert!(xml.contains("<tasks-lost>2</tasks-lost>"));
+        assert!(xml.contains("<node-downtime>450</node-downtime>"));
+        assert_eq!(xml.matches("</faults>").count(), 1);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!    back to its configuration's idle list and the policy gets a chance
 //!    to pull suitable tasks out of the suspension queue.
 //! 3. **NodeFailure / NodeRepair** — failure-injection extension.
+//! 4. **ReconfigFailed / TaskFailed / SuspensionTimeout** — fault-model
+//!    extension (see [`crate::fault`]): bitstream-load retries with
+//!    bounded exponential backoff, mid-run execution failures with
+//!    resubmission, and suspension-queue deadlines.
 //!
 //! ## Timing semantics (Eq. 8)
 //!
@@ -23,6 +27,7 @@
 //! node).
 
 use crate::event::{Event, EventQueue};
+use crate::fault::FaultModel;
 use crate::init;
 use crate::monitor::Observer;
 use crate::params::{ParamsError, ReconfigMode, SimParams};
@@ -93,6 +98,30 @@ pub enum DiscardReason {
     RetryLimit,
     /// Killed by an injected node failure.
     NodeFailed,
+    /// Bitstream loading failed repeatedly and no larger configuration
+    /// exists to degrade to (fault-injection extension).
+    ReconfigFailed,
+    /// Failed mid-execution and exhausted the resubmission budget
+    /// (fault-injection extension).
+    ExecutionFailed,
+    /// Waited in the suspension queue longer than the configured
+    /// deadline (fault-injection extension).
+    SuspensionTimeout,
+}
+
+impl DiscardReason {
+    /// Whether the discard was caused by injected faults (feeds the
+    /// *tasks lost* counter).
+    #[must_use]
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            DiscardReason::NodeFailed
+                | DiscardReason::ReconfigFailed
+                | DiscardReason::ExecutionFailed
+                | DiscardReason::SuspensionTimeout
+        )
+    }
 }
 
 /// Which Fig. 5 phase produced a placement (re-exported alias of the
@@ -274,6 +303,7 @@ pub struct Simulation<S, P> {
     steps: StepCounter,
     stats: Stats,
     rng: Rng,
+    fault: FaultModel,
     source: S,
     policy: P,
     observers: Vec<Box<dyn Observer>>,
@@ -293,7 +323,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         let configs = init::generate_configs(&params, &mut rng);
         let nodes = init::generate_nodes(&params, &mut rng);
         let resources = ResourceManager::new(nodes, configs);
+        let fault = FaultModel::new(&params);
         Ok(Self {
+            fault,
             params,
             resources,
             tasks: TaskTable::new(),
@@ -348,8 +380,10 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         if elapsed == 0 || self.suspension.is_empty() {
             return;
         }
-        self.steps
-            .charge(dreamsim_model::steps::StepKind::Scheduling, elapsed * POLL_SCHED_STEPS);
+        self.steps.charge(
+            dreamsim_model::steps::StepKind::Scheduling,
+            elapsed * POLL_SCHED_STEPS,
+        );
         self.steps.charge(
             dreamsim_model::steps::StepKind::Housekeeping,
             elapsed * POLL_HOUSEKEEPING_PER_NODE * self.params.total_nodes as u64,
@@ -383,6 +417,20 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             let delay = self.draw_failure_delay(mtbf);
             let node = NodeId::from_index(self.rng.index(self.params.total_nodes));
             self.events.push(delay, Event::NodeFailure { node });
+        }
+        if self.fault.mttf_active() {
+            // Per-node failure processes: every node gets its own first
+            // time-to-failure (contrast with the legacy `node_mtbf`
+            // global chain above, which fails one victim at a time).
+            for i in 0..self.params.total_nodes {
+                let delay = self.fault.draw_ttf();
+                self.events.push(
+                    delay,
+                    Event::NodeFailure {
+                        node: NodeId::from_index(i),
+                    },
+                );
+            }
         }
     }
 
@@ -430,9 +478,22 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::TaskArrival { task } => self.handle_arrival(task),
-            Event::TaskCompletion { task, entry } => self.handle_completion(task, entry),
+            Event::TaskCompletion {
+                task,
+                entry,
+                started_at,
+            } => self.handle_completion(task, entry, started_at),
             Event::NodeFailure { node } => self.handle_failure(node),
             Event::NodeRepair { node } => self.handle_repair(node),
+            Event::ReconfigFailed { task } => self.handle_reconfig_retry(task),
+            Event::TaskFailed {
+                task,
+                entry,
+                started_at,
+            } => self.handle_task_failed(task, entry, started_at),
+            Event::SuspensionTimeout { task, enqueued_at } => {
+                self.handle_suspension_timeout(task, enqueued_at);
+            }
         }
     }
 
@@ -463,23 +524,32 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         let decision = policy.schedule(&mut ctx, task);
         match decision {
             Decision::Placed(p) => self.enact_placement(p, false),
-            Decision::Suspended => {
-                self.tasks.get_mut(task).state = TaskState::Suspended;
-                for obs in &mut self.observers {
-                    obs.on_suspend(self.clock, self.tasks.get(task));
-                }
-            }
+            Decision::Suspended => self.enact_suspension(task),
             Decision::Discarded(reason) => self.enact_discard(task, reason),
         }
         // Chain the next arrival.
         self.poll_source();
     }
 
-    fn handle_completion(&mut self, task: TaskId, entry: EntryRef) {
+    fn handle_completion(&mut self, task: TaskId, entry: EntryRef, started_at: Ticks) {
         // Stale event: the task was killed by a node failure after this
         // completion was scheduled (its slot was evicted and possibly
-        // reused by another placement). Failure discards are final.
-        if self.tasks.get(task).state != TaskState::Running {
+        // reused by another placement, and the task itself possibly
+        // resubmitted and re-placed). The event is current only if the
+        // task is still running the run that scheduled it — same start
+        // time — on the same slot.
+        {
+            let t = self.tasks.get(task);
+            if t.state != TaskState::Running || t.start_time != Some(started_at) {
+                return;
+            }
+        }
+        if self
+            .resources
+            .node(entry.node)
+            .slot(entry.slot)
+            .is_none_or(|s| s.task != Some(task))
+        {
             return;
         }
         let released = self
@@ -513,15 +583,22 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         if !self.resources.node(node).down {
             let killed = self.resources.fail_node(node, &mut self.steps);
             self.stats.node_failures += 1;
+            self.fault.mark_down(node, self.clock);
             for t in killed {
                 self.stats.failure_killed += 1;
-                self.enact_discard(t, DiscardReason::NodeFailed);
+                // Resubmission applies only under the fault model; the
+                // legacy global failure process discards outright.
+                self.resubmit_or_discard(t, DiscardReason::NodeFailed);
             }
             for obs in &mut self.observers {
                 obs.on_node_failure(self.clock, node);
             }
-            let mttr = self.params.node_mttr.max(1);
-            let repair_at = self.clock + self.draw_failure_delay(mttr);
+            let repair_at = if self.fault.mttf_active() {
+                self.clock + self.fault.draw_ttr()
+            } else {
+                let mttr = self.params.node_mttr.max(1);
+                self.clock + self.draw_failure_delay(mttr)
+            };
             self.events.push(repair_at, Event::NodeRepair { node });
         }
         // Chain the next failure only while simulation work remains:
@@ -529,8 +606,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         // queue emptiness would self-sustain forever — the repair event
         // this failure just scheduled would count as "work".)
         if let Some(mtbf) = self.params.node_mtbf {
-            let unfinished =
-                self.stats.completed + self.stats.discarded < self.created as u64;
+            let unfinished = self.stats.completed + self.stats.discarded < self.created as u64;
             if self.created < self.params.total_tasks || unfinished {
                 let delay = self.draw_failure_delay(mtbf);
                 let victim = NodeId::from_index(self.rng.index(self.params.total_nodes));
@@ -542,12 +618,147 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
 
     fn handle_repair(&mut self, node: NodeId) {
         self.resources.repair_node(node);
+        self.fault.mark_up(node, self.clock);
         for obs in &mut self.observers {
             obs.on_node_repair(self.clock, node);
+        }
+        // Re-arm this node's failure process while simulation work
+        // remains (same gating as the legacy chain in handle_failure).
+        if self.fault.mttf_active() {
+            let unfinished = self.stats.completed + self.stats.discarded < self.created as u64;
+            if self.created < self.params.total_tasks || unfinished {
+                let delay = self.fault.draw_ttf();
+                self.events
+                    .push(self.clock + delay, Event::NodeFailure { node });
+            }
         }
         let (mut ctx, policy) = self.ctx_and_policy();
         let resumes = policy.on_node_repaired(&mut ctx, node);
         self.enact_resumes(resumes);
+    }
+
+    /// A bitstream-load retry came due: run the task through scheduling
+    /// again (it kept — or degraded — its resolved configuration).
+    fn handle_reconfig_retry(&mut self, task: TaskId) {
+        // The task waits out its backoff in `Created` state and is in no
+        // queue or slot, so nothing else should touch it; guard anyway
+        // so a stale event can never double-schedule.
+        if self.tasks.get(task).state != TaskState::Created {
+            return;
+        }
+        let (mut ctx, policy) = self.ctx_and_policy();
+        let decision = policy.schedule(&mut ctx, task);
+        match decision {
+            Decision::Placed(p) => self.enact_placement(p, false),
+            Decision::Suspended => self.enact_suspension(task),
+            Decision::Discarded(reason) => self.enact_discard(task, reason),
+        }
+    }
+
+    /// A running task failed mid-execution: free its slot, then let
+    /// suspended tasks claim the capacity before resubmitting the failed
+    /// task itself (they waited longer).
+    fn handle_task_failed(&mut self, task: TaskId, entry: EntryRef, started_at: Ticks) {
+        // Stale-event guards mirror handle_completion.
+        {
+            let t = self.tasks.get(task);
+            if t.state != TaskState::Running || t.start_time != Some(started_at) {
+                return;
+            }
+        }
+        if self
+            .resources
+            .node(entry.node)
+            .slot(entry.slot)
+            .is_none_or(|s| s.task != Some(task))
+        {
+            return;
+        }
+        let released = self
+            .resources
+            .release_task(entry, &mut self.steps)
+            .expect("failure event for a live busy slot");
+        assert_eq!(released, task, "failure event / slot task mismatch");
+        self.stats.task_failures += 1;
+        {
+            let t = self.tasks.get_mut(task);
+            t.state = TaskState::Created;
+            t.start_time = None;
+            t.assigned_config = None;
+        }
+        for obs in &mut self.observers {
+            obs.on_task_failed(self.clock, self.tasks.get(task));
+        }
+        let (mut ctx, policy) = self.ctx_and_policy();
+        let resumes = policy.on_slot_freed(&mut ctx, entry);
+        self.enact_resumes(resumes);
+        self.resubmit_or_discard(task, DiscardReason::ExecutionFailed);
+    }
+
+    /// A suspension deadline came due; stale if the task was resumed
+    /// (and possibly re-suspended) since it was scheduled.
+    fn handle_suspension_timeout(&mut self, task: TaskId, enqueued_at: Ticks) {
+        {
+            let t = self.tasks.get(task);
+            if t.state != TaskState::Suspended || t.suspended_at != Some(enqueued_at) {
+                return;
+            }
+        }
+        let removed = self.suspension.remove_task(task, &mut self.steps);
+        debug_assert!(removed, "suspended task missing from the queue");
+        self.enact_discard(task, DiscardReason::SuspensionTimeout);
+    }
+
+    /// Resubmit a fault-killed task to the scheduler, or discard it with
+    /// `reason` once resubmission is off or the retry budget is spent.
+    fn resubmit_or_discard(&mut self, task: TaskId, reason: DiscardReason) {
+        if !self.fault.resubmit_enabled()
+            || self.tasks.get(task).fault_retries >= self.fault.max_retries()
+        {
+            self.enact_discard(task, reason);
+            return;
+        }
+        let attempt = {
+            let t = self.tasks.get_mut(task);
+            t.state = TaskState::Created;
+            t.start_time = None;
+            t.assigned_config = None;
+            t.fault_retries += 1;
+            t.fault_retries
+        };
+        self.stats.resubmissions += 1;
+        for obs in &mut self.observers {
+            obs.on_resubmit(self.clock, self.tasks.get(task), attempt);
+        }
+        let (mut ctx, policy) = self.ctx_and_policy();
+        let decision = policy.schedule(&mut ctx, task);
+        match decision {
+            Decision::Placed(p) => self.enact_placement(p, false),
+            Decision::Suspended => self.enact_suspension(task),
+            Decision::Discarded(r) => self.enact_discard(task, r),
+        }
+    }
+
+    /// Mark `task` suspended (the policy already queued it) and arm the
+    /// suspension deadline if one is configured.
+    fn enact_suspension(&mut self, task: TaskId) {
+        {
+            let t = self.tasks.get_mut(task);
+            t.state = TaskState::Suspended;
+            t.suspended_at = Some(self.clock);
+        }
+        for obs in &mut self.observers {
+            obs.on_suspend(self.clock, self.tasks.get(task));
+        }
+        if let Some(deadline) = self.fault.suspension_deadline() {
+            self.events.push(
+                self.clock + deadline,
+                Event::SuspensionTimeout {
+                    task,
+                    enqueued_at: self.clock,
+                },
+            );
+        }
     }
 
     fn enact_resumes(&mut self, resumes: Vec<Resume>) {
@@ -560,6 +771,16 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     }
 
     fn enact_placement(&mut self, p: Placement, resumed: bool) {
+        // Fault injection: a bitstream load can fail before the task
+        // starts. Checked before any task or statistics mutation so a
+        // failed attempt rolls back to exactly the pre-placement state.
+        // Direct allocations (config_time == 0) load no bitstream and
+        // draw nothing.
+        if p.config_time > 0 && self.fault.reconfig_attempt_fails() {
+            self.abort_reconfig(&p);
+            return;
+        }
+        let fails_midrun = self.fault.task_attempt_fails();
         let tcomm = self.resources.node(p.entry.node).network_delay;
         let wasted_after = self.resources.node(p.entry.node).available_area();
         let (wait, completion) = {
@@ -574,13 +795,28 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             let completion = self.clock + p.config_time + tcomm + t.required_time;
             (wait, completion)
         };
-        self.events.push(
-            completion,
-            Event::TaskCompletion {
-                task: p.task,
-                entry: p.entry,
-            },
-        );
+        if fails_midrun {
+            let run_for = self
+                .fault
+                .draw_fail_point(self.tasks.get(p.task).required_time);
+            self.events.push(
+                self.clock + p.config_time + tcomm + run_for,
+                Event::TaskFailed {
+                    task: p.task,
+                    entry: p.entry,
+                    started_at: self.clock,
+                },
+            );
+        } else {
+            self.events.push(
+                completion,
+                Event::TaskCompletion {
+                    task: p.task,
+                    entry: p.entry,
+                    started_at: self.clock,
+                },
+            );
+        }
         self.stats
             .record_placement(p.phase, wait, p.config_time, wasted_after, resumed);
         for obs in &mut self.observers {
@@ -588,9 +824,70 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         }
     }
 
+    /// Roll back a placement whose bitstream load failed: release and
+    /// evict the slot the policy just configured, charge the wasted
+    /// configuration time, and retry after bounded exponential backoff —
+    /// degrading to the closest-match configuration once the retry
+    /// budget is exhausted, and discarding only when no larger
+    /// configuration exists to degrade to.
+    fn abort_reconfig(&mut self, p: &Placement) {
+        let released = self
+            .resources
+            .release_task(p.entry, &mut self.steps)
+            .expect("aborted placement holds a live busy slot");
+        assert_eq!(released, p.task, "aborted placement / slot task mismatch");
+        self.resources
+            .evict_idle_slots(p.entry.node, &[p.entry.slot], &mut self.steps)
+            .expect("aborted slot is idle after release");
+        self.stats.record_reconfig_failure(p.config_time);
+        let attempt = {
+            let t = self.tasks.get_mut(p.task);
+            t.state = TaskState::Created;
+            t.fault_retries += 1;
+            t.fault_retries
+        };
+        for obs in &mut self.observers {
+            obs.on_reconfig_failed(self.clock, self.tasks.get(p.task), attempt);
+        }
+        if attempt <= self.fault.max_retries() {
+            self.stats.reconfig_retries += 1;
+            self.events.push(
+                self.clock + self.fault.backoff(attempt),
+                Event::ReconfigFailed { task: p.task },
+            );
+            return;
+        }
+        // Budget exhausted: treat the failing configuration's bitstream
+        // as unusable and substitute the closest match strictly larger
+        // than it (the paper's degradation path), with a fresh retry
+        // budget. Each degradation strictly grows the area, so even a
+        // 100 % failure probability terminates at the largest
+        // configuration.
+        let failed_area = self.resources.config(p.config).req_area;
+        match self
+            .resources
+            .find_closest_config(failed_area, &mut self.steps)
+        {
+            Some(next) => {
+                let t = self.tasks.get_mut(p.task);
+                t.resolved_config = Some(next);
+                t.fault_retries = 0;
+                self.stats.reconfig_retries += 1;
+                self.events.push(
+                    self.clock + self.fault.backoff(attempt),
+                    Event::ReconfigFailed { task: p.task },
+                );
+            }
+            None => self.enact_discard(p.task, DiscardReason::ReconfigFailed),
+        }
+    }
+
     fn enact_discard(&mut self, task: TaskId, reason: DiscardReason) {
         self.tasks.get_mut(task).state = TaskState::Discarded;
         self.stats.record_discard();
+        if reason.is_fault() {
+            self.stats.tasks_lost += 1;
+        }
         for obs in &mut self.observers {
             obs.on_discard(self.clock, self.tasks.get(task), reason);
         }
@@ -601,7 +898,10 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         // Tasks still suspended can never run: no completions remain to
         // free capacity. Count them as discarded.
         let mut leftovers = Vec::new();
-        while let Some(t) = self.suspension.remove_first_match(&mut self.steps, |_| true) {
+        while let Some(t) = self
+            .suspension
+            .remove_first_match(&mut self.steps, |_| true)
+        {
             leftovers.push(t);
         }
         for t in leftovers {
@@ -629,6 +929,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.suspension.total_suspensions(),
             self.suspension.peak_len(),
             mean_fragmentation_end,
+            self.fault.total_downtime(self.clock),
         );
         let report = Report::new(self.params.clone(), metrics.clone());
         RunResult {
@@ -672,9 +973,15 @@ mod tests {
         }
 
         fn schedule(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Decision {
-            let pref = ctx.tasks.get(task).preferred;
-            let PreferredConfig::Known(config) = pref else {
-                return Decision::Discarded(DiscardReason::NoClosestConfig);
+            // Honor a previously resolved configuration (set e.g. by the
+            // reconfiguration-failure degradation path), like the real
+            // schedulers do.
+            let t = ctx.tasks.get(task);
+            let config = match (t.resolved_config, t.preferred) {
+                (Some(c), _) | (None, PreferredConfig::Known(c)) => c,
+                (None, PreferredConfig::Phantom { .. }) => {
+                    return Decision::Discarded(DiscardReason::NoClosestConfig)
+                }
             };
             if let Some(entry) = ctx.resources.find_best_idle(config, ctx.steps) {
                 ctx.resources.assign_task(entry, task, ctx.steps).unwrap();
@@ -689,7 +996,10 @@ mod tests {
             let demand = dreamsim_model::store::Demand::of(ctx.resources.config(config));
             if let Some(node) = ctx.resources.find_best_blank(demand, ctx.steps) {
                 let ct = ctx.resources.config(config).config_time;
-                let entry = ctx.resources.configure_slot(node, config, ctx.steps).unwrap();
+                let entry = ctx
+                    .resources
+                    .configure_slot(node, config, ctx.steps)
+                    .unwrap();
                 ctx.resources.assign_task(entry, task, ctx.steps).unwrap();
                 return Decision::Placed(Placement {
                     task,
@@ -780,7 +1090,13 @@ mod tests {
     #[test]
     fn task_table_enforces_dense_ids() {
         let mut t = TaskTable::new();
-        t.push(Task::new(TaskId(0), 0, 1, PreferredConfig::Known(ConfigId(0)), 1));
+        t.push(Task::new(
+            TaskId(0),
+            0,
+            1,
+            PreferredConfig::Known(ConfigId(0)),
+            1,
+        ));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
     }
@@ -789,7 +1105,13 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn task_table_rejects_sparse_ids() {
         let mut t = TaskTable::new();
-        t.push(Task::new(TaskId(5), 0, 1, PreferredConfig::Known(ConfigId(0)), 1));
+        t.push(Task::new(
+            TaskId(5),
+            0,
+            1,
+            PreferredConfig::Known(ConfigId(0)),
+            1,
+        ));
     }
 
     #[test]
@@ -804,6 +1126,168 @@ mod tests {
             res.metrics.total_tasks_completed + res.metrics.total_discarded_tasks,
             50
         );
+    }
+
+    /// Policy that parks every task in the suspension queue and never
+    /// resumes it; only suspension deadlines can terminate such a run.
+    struct AlwaysSuspendPolicy;
+
+    impl SchedulePolicy for AlwaysSuspendPolicy {
+        fn name(&self) -> &'static str {
+            "test-always-suspend"
+        }
+
+        fn schedule(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Decision {
+            ctx.suspension.push(task, ctx.steps);
+            Decision::Suspended
+        }
+
+        fn on_slot_freed(&mut self, _ctx: &mut SchedCtx<'_>, _freed: EntryRef) -> Vec<Resume> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn mttf_failures_kill_repair_and_track_downtime() {
+        let mut p = small_params();
+        p.total_tasks = 50;
+        p.faults.node_mttf = Some(300);
+        p.faults.node_mttr = 100;
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert!(
+            m.node_failures > 0,
+            "per-node failure processes should fire"
+        );
+        assert!(m.node_downtime > 0, "downtime must accrue across repairs");
+        assert_eq!(m.total_tasks_completed + m.total_discarded_tasks, 50);
+        for t in &res.tasks {
+            assert!(t.is_terminal(), "{:?} not terminal", t.id);
+        }
+    }
+
+    #[test]
+    fn killed_nodes_never_linger_in_scheduler_lists() {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.faults.node_mttf = Some(150);
+        p.faults.node_mttr = 400;
+        p.faults.task_fail_prob = 0.1;
+        let mut sim = Simulation::new(p, FixedSource, GreedyPolicy).unwrap();
+        sim.prime();
+        let mut saw_failure = false;
+        while let Some((t, ev)) = sim.events.pop() {
+            sim.charge_idle_polls(t - sim.clock);
+            sim.clock = t;
+            sim.dispatch(ev);
+            sim.resources.check_invariants().unwrap();
+            for n in sim.resources.nodes() {
+                if n.down {
+                    saw_failure = true;
+                    // A failed node was stripped of every slot, so the
+                    // list invariant above guarantees no idle/busy list
+                    // can still reference it.
+                    assert_eq!(n.configured_count(), 0, "{} still holds slots", n.id);
+                }
+            }
+        }
+        assert!(saw_failure, "test should exercise at least one failure");
+    }
+
+    #[test]
+    fn reconfig_failures_retry_and_still_finish_every_task() {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.faults.reconfig_fail_prob = 0.5;
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert!(m.reconfig_failures > 0, "bitstream loads should fail");
+        assert!(m.reconfig_retries > 0, "failures should be retried");
+        assert_eq!(m.total_tasks_completed + m.total_discarded_tasks, 40);
+        assert!(m.total_tasks_completed > 0);
+    }
+
+    #[test]
+    fn certain_reconfig_failure_still_terminates() {
+        // At probability 1.0 every attempt fails; after the retry budget
+        // the task degrades to strictly larger configurations until none
+        // is left, so the run must terminate with every task discarded.
+        let mut p = small_params();
+        p.total_tasks = 10;
+        p.faults.reconfig_fail_prob = 1.0;
+        p.faults.retry_backoff_base = 1;
+        p.faults.retry_backoff_cap = 4;
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert_eq!(m.total_tasks_completed, 0);
+        assert_eq!(m.total_discarded_tasks, 10);
+        assert_eq!(m.tasks_lost, 10);
+    }
+
+    #[test]
+    fn task_failures_resubmit_and_count() {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.faults.task_fail_prob = 0.3;
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert!(m.task_failures > 0, "executions should fail mid-run");
+        assert!(m.resubmissions > 0, "failed tasks should be resubmitted");
+        assert_eq!(m.total_tasks_completed + m.total_discarded_tasks, 40);
+        assert!(
+            m.total_tasks_completed > 0,
+            "resubmitted tasks should finish"
+        );
+    }
+
+    #[test]
+    fn no_resubmit_discards_on_first_fault() {
+        let mut p = small_params();
+        p.total_tasks = 10;
+        p.faults.task_fail_prob = 1.0;
+        p.faults.resubmit = false;
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert_eq!(m.total_tasks_completed, 0);
+        assert_eq!(m.total_discarded_tasks, 10);
+        assert_eq!(m.task_failures, 10);
+        assert_eq!(m.resubmissions, 0);
+        assert_eq!(m.tasks_lost, 10);
+    }
+
+    #[test]
+    fn suspension_deadline_discards_parked_tasks() {
+        let mut p = small_params();
+        p.total_tasks = 10;
+        p.faults.suspension_deadline = Some(25);
+        let res = Simulation::new(p, FixedSource, AlwaysSuspendPolicy)
+            .unwrap()
+            .run();
+        let m = &res.metrics;
+        assert_eq!(m.total_suspensions, 10);
+        assert_eq!(m.total_discarded_tasks, 10);
+        assert_eq!(m.tasks_lost, 10);
+        for t in &res.tasks {
+            assert_eq!(t.state, TaskState::Discarded);
+        }
+    }
+
+    #[test]
+    fn fault_runs_agree_across_drivers() {
+        let mut p = small_params();
+        p.total_tasks = 30;
+        p.faults.node_mttf = Some(500);
+        p.faults.node_mttr = 100;
+        p.faults.reconfig_fail_prob = 0.2;
+        p.faults.task_fail_prob = 0.1;
+        let a = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let b = Simulation::new(p, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_tick_stepped();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.tasks, b.tasks);
     }
 
     #[test]

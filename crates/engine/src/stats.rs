@@ -97,6 +97,20 @@ pub struct Stats {
     pub failure_killed: u64,
     /// Node failures injected (extension).
     pub node_failures: u64,
+    /// Bitstream loads that failed (fault-injection extension).
+    pub reconfig_failures: u64,
+    /// Reconfiguration retries scheduled after failed bitstream loads
+    /// (fault-injection extension).
+    pub reconfig_retries: u64,
+    /// Tasks that failed mid-execution (fault-injection extension).
+    pub task_failures: u64,
+    /// Fault-killed tasks resubmitted to the scheduler (fault-injection
+    /// extension).
+    pub resubmissions: u64,
+    /// Tasks discarded because of injected faults: killed by node
+    /// failures, failed beyond the retry budget, or timed out in the
+    /// suspension queue (fault-injection extension).
+    pub tasks_lost: u64,
     /// Every placed task's waiting time, for distribution statistics
     /// (P50/P95/P99 in [`Metrics`]); one `u64` per placed task.
     #[serde(skip)]
@@ -142,6 +156,15 @@ impl Stats {
         self.discarded += 1;
     }
 
+    /// Record a failed bitstream load. The configuration time was already
+    /// spent on the aborted attempt, so it is charged to
+    /// `total_config_time` just like a successful reconfiguration
+    /// (Eq. 10 counts time paid, not configurations achieved).
+    pub fn record_reconfig_failure(&mut self, config_time: Ticks) {
+        self.reconfig_failures += 1;
+        self.total_config_time += config_time;
+    }
+
     /// Finalize into the Table I metric set.
     #[must_use]
     pub fn finalize(
@@ -155,6 +178,7 @@ impl Stats {
         total_suspensions: u64,
         suspension_peak: usize,
         mean_fragmentation_end: f64,
+        node_downtime: Ticks,
     ) -> Metrics {
         let per_task = |x: u64| {
             if self.generated == 0 {
@@ -173,8 +197,12 @@ impl Stats {
                 waits[idx]
             }
         };
-        let (wait_p50, wait_p95, wait_p99, wait_max) =
-            (pct(0.50), pct(0.95), pct(0.99), waits.last().copied().unwrap_or(0));
+        let (wait_p50, wait_p95, wait_p99, wait_max) = (
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            waits.last().copied().unwrap_or(0),
+        );
         Metrics {
             mode: params.mode.label().to_string(),
             total_nodes: params.total_nodes as u64,
@@ -190,8 +218,7 @@ impl Stats {
             } else {
                 self.total_running_time as f64 / self.completed as f64
             },
-            avg_reconfig_count_per_node: total_reconfigurations as f64
-                / params.total_nodes as f64,
+            avg_reconfig_count_per_node: total_reconfigurations as f64 / params.total_nodes as f64,
             total_reconfigurations,
             avg_config_time_per_task: per_task(self.total_config_time),
             total_config_time: self.total_config_time,
@@ -209,6 +236,12 @@ impl Stats {
             phases: self.phases,
             failure_killed: self.failure_killed,
             node_failures: self.node_failures,
+            reconfig_failures: self.reconfig_failures,
+            reconfig_retries: self.reconfig_retries,
+            task_failures: self.task_failures,
+            resubmissions: self.resubmissions,
+            tasks_lost: self.tasks_lost,
+            node_downtime,
             mean_fragmentation_end,
         }
     }
@@ -275,6 +308,26 @@ pub struct Metrics {
     pub failure_killed: u64,
     /// Node failures injected (0 in paper runs).
     pub node_failures: u64,
+    /// Bitstream loads that failed (0 in paper runs).
+    #[serde(default)]
+    pub reconfig_failures: u64,
+    /// Reconfiguration retries scheduled after failed loads (0 in paper
+    /// runs).
+    #[serde(default)]
+    pub reconfig_retries: u64,
+    /// Tasks that failed mid-execution (0 in paper runs).
+    #[serde(default)]
+    pub task_failures: u64,
+    /// Fault-killed tasks resubmitted to the scheduler (0 in paper runs).
+    #[serde(default)]
+    pub resubmissions: u64,
+    /// Tasks discarded because of injected faults (0 in paper runs).
+    #[serde(default)]
+    pub tasks_lost: u64,
+    /// Total ticks nodes spent failed, summed over nodes (0 in paper
+    /// runs).
+    #[serde(default)]
+    pub node_downtime: Ticks,
     /// Mean external fragmentation over configured nodes at the end of
     /// the run (always 0 under the paper's scalar area model; nonzero
     /// only with `PlacementModel::Contiguous`).
@@ -288,7 +341,7 @@ mod tests {
 
     fn finalize(stats: &Stats, steps: StepCounter) -> Metrics {
         let params = SimParams::paper(100, 1000, ReconfigMode::Partial);
-        stats.finalize(&params, steps, 5_000, 1234, 321, 77, 12, 4, 0.0)
+        stats.finalize(&params, steps, 5_000, 1234, 321, 77, 12, 4, 0.0, 0)
     }
 
     #[test]
@@ -386,6 +439,44 @@ mod tests {
         let m = finalize(&Stats::default(), StepCounter::default());
         assert_eq!(m.wait_p50, 0);
         assert_eq!(m.wait_max, 0);
+    }
+
+    #[test]
+    fn reconfig_failure_charges_config_time() {
+        let mut s = Stats::default();
+        s.record_reconfig_failure(15);
+        s.record_reconfig_failure(15);
+        assert_eq!(s.reconfig_failures, 2);
+        assert_eq!(s.total_config_time, 30);
+    }
+
+    #[test]
+    fn fault_counters_flow_into_metrics() {
+        let mut s = Stats::default();
+        s.record_reconfig_failure(15);
+        s.reconfig_retries = 3;
+        s.task_failures = 4;
+        s.resubmissions = 5;
+        s.tasks_lost = 2;
+        let params = SimParams::paper(100, 1000, ReconfigMode::Partial);
+        let m = s.finalize(
+            &params,
+            StepCounter::default(),
+            5_000,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0.0,
+            777,
+        );
+        assert_eq!(m.reconfig_failures, 1);
+        assert_eq!(m.reconfig_retries, 3);
+        assert_eq!(m.task_failures, 4);
+        assert_eq!(m.resubmissions, 5);
+        assert_eq!(m.tasks_lost, 2);
+        assert_eq!(m.node_downtime, 777);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! observer event ordering.
 
 use dreamsim_engine::sim::{
-    Decision, DiscardReason, Placement, Resume, SchedCtx, SchedulePolicy, SourceYield,
-    TaskSource, TaskSpec,
+    Decision, DiscardReason, Placement, Resume, SchedCtx, SchedulePolicy, SourceYield, TaskSource,
+    TaskSpec,
 };
-use dreamsim_engine::{PhaseKind, Observer, ReconfigMode, SimParams, Simulation};
+use dreamsim_engine::{Observer, PhaseKind, ReconfigMode, SimParams, Simulation};
 use dreamsim_model::{ConfigId, EntryRef, PreferredConfig, Task, TaskId, TaskState, Ticks};
 use dreamsim_rng::Rng;
 
@@ -52,7 +52,10 @@ impl SchedulePolicy for PinToNodeZero {
     fn schedule(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Decision {
         let config = ConfigId(0);
         let ct = ctx.resources.config(config).config_time;
-        match ctx.resources.configure_slot(dreamsim_model::NodeId(0), config, ctx.steps) {
+        match ctx
+            .resources
+            .configure_slot(dreamsim_model::NodeId(0), config, ctx.steps)
+        {
             Ok(entry) => {
                 ctx.resources.assign_task(entry, task, ctx.steps).unwrap();
                 Decision::Placed(Placement {
@@ -130,13 +133,19 @@ struct EventLog(std::rc::Rc<std::cell::RefCell<Vec<String>>>);
 
 impl Observer for EventLog {
     fn on_arrival(&mut self, now: Ticks, task: &Task) {
-        self.0.borrow_mut().push(format!("arrive {} @{now}", task.id.0));
+        self.0
+            .borrow_mut()
+            .push(format!("arrive {} @{now}", task.id.0));
     }
     fn on_placement(&mut self, now: Ticks, task: &Task, _p: &Placement) {
-        self.0.borrow_mut().push(format!("place {} @{now}", task.id.0));
+        self.0
+            .borrow_mut()
+            .push(format!("place {} @{now}", task.id.0));
     }
     fn on_completion(&mut self, now: Ticks, task: &Task) {
-        self.0.borrow_mut().push(format!("done {} @{now}", task.id.0));
+        self.0
+            .borrow_mut()
+            .push(format!("done {} @{now}", task.id.0));
     }
 }
 

@@ -113,7 +113,9 @@ impl Capabilities {
 
     /// Iterate over present capabilities in declaration order.
     pub fn iter(self) -> impl Iterator<Item = Capability> {
-        Capability::ALL.into_iter().filter(move |&c| self.contains(c))
+        Capability::ALL
+            .into_iter()
+            .filter(move |&c| self.contains(c))
     }
 }
 
@@ -204,7 +206,10 @@ mod tests {
             .into_iter()
             .collect();
         let v: Vec<Capability> = s.iter().collect();
-        assert_eq!(v, vec![Capability::Transceivers, Capability::PartialReconfig]);
+        assert_eq!(
+            v,
+            vec![Capability::Transceivers, Capability::PartialReconfig]
+        );
     }
 
     #[test]

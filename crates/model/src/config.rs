@@ -54,7 +54,6 @@ pub enum ProcessorType {
     Generic,
 }
 
-
 impl ProcessorType {
     /// A short stable label, used in reports.
     #[must_use]
@@ -188,12 +187,18 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        assert_eq!(ProcessorType::Multiplier { width_bits: 32 }.label(), "multiplier");
+        assert_eq!(
+            ProcessorType::Multiplier { width_bits: 32 }.label(),
+            "multiplier"
+        );
         assert_eq!(
             ProcessorType::SystolicArray { rows: 4, cols: 4 }.label(),
             "systolic-array"
         );
-        assert_eq!(ProcessorType::SignalProcessor { taps: 64 }.label(), "signal-processor");
+        assert_eq!(
+            ProcessorType::SignalProcessor { taps: 64 }.label(),
+            "signal-processor"
+        );
         assert_eq!(ProcessorType::Generic.label(), "generic");
     }
 

@@ -79,23 +79,21 @@ impl Strip {
     pub fn gaps(&self) -> impl Iterator<Item = (Area, Area)> + '_ {
         let mut cursor = 0;
         let mut idx = 0;
-        std::iter::from_fn(move || {
-            loop {
-                if idx < self.regions.len() {
-                    let r = self.regions[idx];
-                    let gap = (cursor, r.start - cursor);
-                    cursor = r.end();
-                    idx += 1;
-                    if gap.1 > 0 {
-                        return Some(gap);
-                    }
-                } else if cursor < self.width {
-                    let gap = (cursor, self.width - cursor);
-                    cursor = self.width;
+        std::iter::from_fn(move || loop {
+            if idx < self.regions.len() {
+                let r = self.regions[idx];
+                let gap = (cursor, r.start - cursor);
+                cursor = r.end();
+                idx += 1;
+                if gap.1 > 0 {
                     return Some(gap);
-                } else {
-                    return None;
                 }
+            } else if cursor < self.width {
+                let gap = (cursor, self.width - cursor);
+                cursor = self.width;
+                return Some(gap);
+            } else {
+                return None;
             }
         })
     }
@@ -179,14 +177,7 @@ impl Strip {
             .regions
             .binary_search_by_key(&start, |r| r.start)
             .unwrap_err();
-        self.regions.insert(
-            pos,
-            Region {
-                start,
-                width,
-                slot,
-            },
-        );
+        self.regions.insert(pos, Region { start, width, slot });
         Some(start)
     }
 
@@ -304,8 +295,16 @@ mod tests {
         s3.place(10, 1, GapFit::FirstFit); // [40,50)
         s3.place(30, 2, GapFit::FirstFit); // [50,80); gap [80,100)=20
         s3.free_slot(0); // gaps: [0,40)=40, [80,100)=20
-        assert_eq!(s3.place(15, 3, GapFit::BestFit), Some(80), "best fit takes the 20-gap");
-        assert_eq!(s3.place(15, 4, GapFit::FirstFit), Some(0), "first fit takes the left gap");
+        assert_eq!(
+            s3.place(15, 3, GapFit::BestFit),
+            Some(80),
+            "best fit takes the 20-gap"
+        );
+        assert_eq!(
+            s3.place(15, 4, GapFit::FirstFit),
+            Some(0),
+            "first fit takes the left gap"
+        );
     }
 
     #[test]

@@ -132,12 +132,7 @@ impl ConfigLists {
     /// Does **not** charge steps itself — callers charge per visited
     /// entry with the step kind appropriate to their activity
     /// (scheduling search vs housekeeping).
-    pub fn iter<'a>(
-        &'a self,
-        nodes: &'a [Node],
-        kind: ListKind,
-        config: ConfigId,
-    ) -> ListIter<'a> {
+    pub fn iter<'a>(&'a self, nodes: &'a [Node], kind: ListKind, config: ConfigId) -> ListIter<'a> {
         ListIter {
             nodes,
             cur: self.head(kind, config),
@@ -235,7 +230,11 @@ mod tests {
         let before = steps.housekeeping;
         // entries[0] is at the tail after LIFO pushes.
         assert!(lists.remove(&mut nodes, ListKind::Idle, cfg.id, entries[0], &mut steps));
-        assert_eq!(steps.housekeeping - before, 5, "tail removal walks all links");
+        assert_eq!(
+            steps.housekeeping - before,
+            5,
+            "tail removal walks all links"
+        );
         assert_eq!(lists.len(&nodes, ListKind::Idle, cfg.id), 4);
     }
 
@@ -279,7 +278,9 @@ mod tests {
         lists.push(&mut nodes, ListKind::Busy, cfg.id, e, &mut steps);
         assert!(lists.is_empty(ListKind::Idle, cfg.id));
         assert_eq!(
-            lists.iter(&nodes, ListKind::Busy, cfg.id).collect::<Vec<_>>(),
+            lists
+                .iter(&nodes, ListKind::Busy, cfg.id)
+                .collect::<Vec<_>>(),
             vec![e]
         );
     }
@@ -316,7 +317,9 @@ mod tests {
         assert_eq!(lists.len(&nodes, ListKind::Idle, cfg.id), 2);
         assert!(lists.remove(&mut nodes, ListKind::Idle, cfg.id, e0, &mut steps));
         assert_eq!(
-            lists.iter(&nodes, ListKind::Idle, cfg.id).collect::<Vec<_>>(),
+            lists
+                .iter(&nodes, ListKind::Idle, cfg.id)
+                .collect::<Vec<_>>(),
             vec![e1]
         );
     }

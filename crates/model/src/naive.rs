@@ -96,7 +96,10 @@ mod tests {
         rm.find_best_idle(ConfigId(0), &mut s_list);
         let mut s_scan = StepCounter::new();
         find_best_idle_naive(&rm, ConfigId(0), &mut s_scan);
-        assert_eq!(s_list.scheduling, 1, "list search touches only its instances");
+        assert_eq!(
+            s_list.scheduling, 1,
+            "list search touches only its instances"
+        );
         assert_eq!(s_scan.scheduling, 5, "scan touches every live slot");
     }
 

@@ -51,9 +51,15 @@ impl std::fmt::Display for NodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NodeError::InsufficientArea { needed, available } => {
-                write!(f, "configuration needs {needed} area units, only {available} free")
+                write!(
+                    f,
+                    "configuration needs {needed} area units, only {available} free"
+                )
             }
-            NodeError::Fragmented { needed, largest_gap } => {
+            NodeError::Fragmented {
+                needed,
+                largest_gap,
+            } => {
                 write!(
                     f,
                     "configuration needs {needed} contiguous columns, largest gap is {largest_gap}"
@@ -359,17 +365,16 @@ impl Node {
     /// any task is running. Returns the evicted slot indices for the
     /// caller to unlink from the idle lists.
     pub fn make_blank(&mut self) -> Result<Vec<u32>, NodeError> {
-        if self.running > 0 {
-            let busy = self
-                .slots()
-                .find(|(_, s)| s.task.is_some())
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+        if let Some((busy, _)) = self.slots().find(|(_, s)| s.task.is_some()) {
             return Err(NodeError::SlotBusyOrVacant(busy));
         }
         let live: Vec<u32> = self.slots().map(|(i, _)| i).collect();
         for &i in &live {
-            self.evict_slot(i).expect("checked idle above");
+            // Every index in `live` names a live, task-free slot (the
+            // busy scan above returned early otherwise), so eviction
+            // cannot fail; propagate the typed error anyway rather than
+            // panicking mid-simulation.
+            self.evict_slot(i)?;
         }
         debug_assert_eq!(self.available_area, self.total_area);
         Ok(live)
@@ -502,14 +507,20 @@ mod tests {
         let mut n = node(3000);
         let s = n.send_bitstream(&cfg(1, 1000)).unwrap();
         n.add_task(s, TaskId(1)).unwrap();
-        assert_eq!(n.add_task(s, TaskId(2)).unwrap_err(), NodeError::SlotOccupied(s));
+        assert_eq!(
+            n.add_task(s, TaskId(2)).unwrap_err(),
+            NodeError::SlotOccupied(s)
+        );
     }
 
     #[test]
     fn remove_task_from_idle_slot_fails() {
         let mut n = node(3000);
         let s = n.send_bitstream(&cfg(1, 1000)).unwrap();
-        assert_eq!(n.remove_task(s).unwrap_err(), NodeError::SlotBusyOrVacant(s));
+        assert_eq!(
+            n.remove_task(s).unwrap_err(),
+            NodeError::SlotBusyOrVacant(s)
+        );
     }
 
     #[test]

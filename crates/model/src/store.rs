@@ -98,6 +98,11 @@ impl ResourceManager {
     }
 
     /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range. Node ids are dense (checked at
+    /// construction), so any id produced by this store is valid.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.index()]
@@ -110,6 +115,11 @@ impl ResourceManager {
     }
 
     /// Borrow a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range. Config ids are dense (checked at
+    /// construction), so any id produced by this store is valid.
     #[must_use]
     pub fn config(&self, id: ConfigId) -> &Config {
         &self.configs[id.index()]
@@ -222,7 +232,10 @@ impl ResourceManager {
     /// All idle instances of `config`, charging one scheduling step per
     /// visited entry (random-choice policy support).
     pub fn collect_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Vec<EntryRef> {
-        let v: Vec<EntryRef> = self.lists.iter(&self.nodes, ListKind::Idle, config).collect();
+        let v: Vec<EntryRef> = self
+            .lists
+            .iter(&self.nodes, ListKind::Idle, config)
+            .collect();
         steps.charge(StepKind::Scheduling, v.len() as u64);
         v
     }
@@ -338,6 +351,13 @@ impl ResourceManager {
     /// Evict the given **idle** slots of `node` (one or more steps of
     /// `MakeNodePartiallyBlank` / all of `MakeNodeBlank`), unlinking each
     /// from its configuration's idle list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named slot is live but missing from its idle list —
+    /// that would mean the intrusive lists and the slot slab disagree,
+    /// i.e. the store was corrupted earlier, and failing fast beats
+    /// scheduling on inconsistent state.
     pub fn evict_idle_slots(
         &mut self,
         node: NodeId,
@@ -353,13 +373,22 @@ impl ResourceManager {
             let removed = self
                 .lists
                 .remove(&mut self.nodes, ListKind::Idle, config, entry, steps);
-            assert!(removed, "idle slot {entry} missing from idle list of {config}");
+            assert!(
+                removed,
+                "idle slot {entry} missing from idle list of {config}"
+            );
             self.nodes[node.index()].evict_slot(idx)?;
         }
         Ok(())
     }
 
     /// Start `task` on `entry` (`AddTaskToNode` + idle→busy list move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is live yet absent from its configuration's
+    /// idle list (store corruption; see
+    /// [`evict_idle_slots`](Self::evict_idle_slots)).
     pub fn assign_task(
         &mut self,
         entry: EntryRef,
@@ -382,6 +411,12 @@ impl ResourceManager {
 
     /// Finish the task on `entry` (`RemoveTaskFromNode` + busy→idle list
     /// move). Returns the finished task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is live yet absent from its configuration's
+    /// busy list (store corruption; see
+    /// [`evict_idle_slots`](Self::evict_idle_slots)).
     pub fn release_task(
         &mut self,
         entry: EntryRef,
@@ -409,6 +444,14 @@ impl ResourceManager {
     /// to mark discarded), every slot is evicted, and the node is marked
     /// down so searches skip it until [`repair_node`](Self::repair_node).
     /// Idempotent on an already-down node.
+    ///
+    /// # Panics
+    ///
+    /// Panics only when the store's cross-structure invariants are
+    /// already broken — a slot missing from the list its occupancy says
+    /// it is on, a busy slot without a task, or a freshly vacated slot
+    /// that cannot be evicted. All of these mean earlier corruption, so
+    /// the failure path refuses to paper over them.
     pub fn fail_node(&mut self, node: NodeId, steps: &mut StepCounter) -> Vec<TaskId> {
         let entries: Vec<(u32, ConfigId, bool)> = self.nodes[node.index()]
             .slots()
@@ -418,17 +461,23 @@ impl ResourceManager {
         for &(idx, config, busy) in &entries {
             let entry = EntryRef::new(node, idx);
             let kind = if busy { ListKind::Busy } else { ListKind::Idle };
-            let removed = self.lists.remove(&mut self.nodes, kind, config, entry, steps);
+            let removed = self
+                .lists
+                .remove(&mut self.nodes, kind, config, entry, steps);
             assert!(removed, "failing {entry}: missing from {kind:?} list");
             if busy {
-                let task = self.nodes[node.index()]
-                    .remove_task(idx)
-                    .expect("busy slot has a task");
-                killed.push(task);
+                // `busy` was read from this very slot moments ago, so a
+                // vanished task means the slab changed under us.
+                match self.nodes[node.index()].remove_task(idx) {
+                    Ok(task) => killed.push(task),
+                    Err(e) => unreachable!("failing {entry}: busy slot lost its task: {e}"),
+                }
             }
-            self.nodes[node.index()]
-                .evict_slot(idx)
-                .expect("slot idle after task removal");
+            // Any task was removed just above, so the slot must be idle
+            // and evictable.
+            if let Err(e) = self.nodes[node.index()].evict_slot(idx) {
+                unreachable!("failing {entry}: cannot evict vacated slot: {e}");
+            }
         }
         self.nodes[node.index()].down = true;
         killed
@@ -549,7 +598,10 @@ mod tests {
             rm.find_preferred_config(PreferredConfig::Known(ConfigId(2)), &mut s),
             Some(ConfigId(2))
         );
-        assert_eq!(s.scheduling, 3, "linear scan visits 3 entries to reach id 2");
+        assert_eq!(
+            s.scheduling, 3,
+            "linear scan visits 3 entries to reach id 2"
+        );
         let mut s2 = StepCounter::new();
         assert_eq!(
             rm.find_preferred_config(PreferredConfig::Phantom { area: 400 }, &mut s2),
@@ -563,7 +615,11 @@ mod tests {
         let rm = make(&[(0, 300), (1, 500), (2, 700)], &[1000]);
         let mut s = StepCounter::new();
         assert_eq!(rm.find_closest_config(400, &mut s), Some(ConfigId(1)));
-        assert_eq!(rm.find_closest_config(500, &mut s), Some(ConfigId(2)), "strictly greater");
+        assert_eq!(
+            rm.find_closest_config(500, &mut s),
+            Some(ConfigId(2)),
+            "strictly greater"
+        );
         assert_eq!(rm.find_closest_config(700, &mut s), None);
         assert_eq!(rm.find_closest_config(100, &mut s), Some(ConfigId(0)));
     }
@@ -601,7 +657,10 @@ mod tests {
         let rm = make(&[(0, 900)], &[4000, 1000, 2000, 800]);
         let mut s = StepCounter::new();
         // Blank nodes that fit 900: areas 4000, 1000, 2000 → pick 1000.
-        assert_eq!(rm.find_best_blank(Demand::area(900), &mut s), Some(NodeId(1)));
+        assert_eq!(
+            rm.find_best_blank(Demand::area(900), &mut s),
+            Some(NodeId(1))
+        );
         assert_eq!(s.scheduling, 4, "scans the whole node table");
         // Nothing fits 5000.
         assert_eq!(rm.find_best_blank(Demand::area(5000), &mut s), None);
@@ -611,11 +670,21 @@ mod tests {
     fn partially_blank_requires_existing_config() {
         let mut rm = make(&[(0, 400)], &[4000, 3000]);
         let mut s = StepCounter::new();
-        assert_eq!(rm.find_best_partially_blank(Demand::area(100), &mut s), None, "all blank");
+        assert_eq!(
+            rm.find_best_partially_blank(Demand::area(100), &mut s),
+            None,
+            "all blank"
+        );
         rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
         // Node 0 now has 3600 available and one config.
-        assert_eq!(rm.find_best_partially_blank(Demand::area(3600), &mut s), Some(NodeId(0)));
-        assert_eq!(rm.find_best_partially_blank(Demand::area(3601), &mut s), None);
+        assert_eq!(
+            rm.find_best_partially_blank(Demand::area(3600), &mut s),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            rm.find_best_partially_blank(Demand::area(3601), &mut s),
+            None
+        );
     }
 
     #[test]
@@ -657,11 +726,17 @@ mod tests {
     fn busy_candidate_scan() {
         let mut rm = make(&[(0, 400)], &[1000, 3000]);
         let mut s = StepCounter::new();
-        assert!(!rm.busy_candidate_exists(Demand::area(500), &mut s), "nothing busy yet");
+        assert!(
+            !rm.busy_candidate_exists(Demand::area(500), &mut s),
+            "nothing busy yet"
+        );
         let e = rm.configure_slot(NodeId(1), ConfigId(0), &mut s).unwrap();
         rm.assign_task(e, TaskId(0), &mut s).unwrap();
         assert!(rm.busy_candidate_exists(Demand::area(2500), &mut s));
-        assert!(!rm.busy_candidate_exists(Demand::area(3500), &mut s), "too big for any busy node");
+        assert!(
+            !rm.busy_candidate_exists(Demand::area(3500), &mut s),
+            "too big for any busy node"
+        );
     }
 
     #[test]
@@ -696,9 +771,15 @@ mod tests {
             entries.push(rm.configure_slot(NodeId(i), ConfigId(0), &mut s).unwrap());
         }
         // LIFO list order: node2, node1, node0.
-        assert_eq!(rm.find_first_idle(ConfigId(0), &mut s).unwrap().node, NodeId(2));
+        assert_eq!(
+            rm.find_first_idle(ConfigId(0), &mut s).unwrap().node,
+            NodeId(2)
+        );
         // Worst fit: max available area = node 0 (3600).
-        assert_eq!(rm.find_worst_idle(ConfigId(0), &mut s).unwrap().node, NodeId(0));
+        assert_eq!(
+            rm.find_worst_idle(ConfigId(0), &mut s).unwrap().node,
+            NodeId(0)
+        );
         let all = rm.collect_idle(ConfigId(0), &mut s);
         assert_eq!(all.len(), 3);
     }
@@ -716,12 +797,23 @@ mod tests {
         assert!(rm.node(NodeId(0)).down);
         rm.check_invariants().unwrap();
         // Down node invisible to searches even though blank.
-        assert_eq!(rm.find_best_blank(Demand::area(100), &mut s), Some(NodeId(1)));
+        assert_eq!(
+            rm.find_best_blank(Demand::area(100), &mut s),
+            Some(NodeId(1))
+        );
         assert!(!rm.busy_candidate_exists(Demand::area(100), &mut s));
-        assert!(rm.find_any_idle_node(Demand::area(100), &mut s).map(|(n, _)| n) == Some(NodeId(1)) || rm.find_any_idle_node(Demand::area(100), &mut s).is_none());
+        assert!(
+            rm.find_any_idle_node(Demand::area(100), &mut s)
+                .map(|(n, _)| n)
+                == Some(NodeId(1))
+                || rm.find_any_idle_node(Demand::area(100), &mut s).is_none()
+        );
         // Repair restores eligibility.
         rm.repair_node(NodeId(0));
-        assert_eq!(rm.find_best_blank(Demand::area(100), &mut s), Some(NodeId(0)));
+        assert_eq!(
+            rm.find_best_blank(Demand::area(100), &mut s),
+            Some(NodeId(0))
+        );
         // Idempotent failure on an empty down node.
         let killed = rm.fail_node(NodeId(1), &mut s);
         assert!(killed.is_empty());

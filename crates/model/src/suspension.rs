@@ -171,6 +171,74 @@ mod tests {
     }
 
     #[test]
+    fn remove_task_absent_id_scans_whole_queue_without_change() {
+        let mut q = SuspensionQueue::new();
+        let mut s = StepCounter::new();
+        for i in 0..4 {
+            q.push(TaskId(i), &mut s);
+        }
+        let before = s.housekeeping;
+        assert!(!q.remove_task(TaskId(99), &mut s));
+        assert_eq!(
+            s.housekeeping - before,
+            4,
+            "a miss still examines every entry"
+        );
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            q.iter().collect::<Vec<_>>(),
+            (0..4).map(TaskId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn remove_task_duplicate_id_removes_only_the_first() {
+        // The driver never parks the same task twice concurrently, but
+        // the queue itself must stay well-behaved if it happens: one
+        // removal takes exactly one (the earliest) occurrence.
+        let mut q = SuspensionQueue::new();
+        let mut s = StepCounter::new();
+        q.push(TaskId(7), &mut s);
+        q.push(TaskId(3), &mut s);
+        q.push(TaskId(7), &mut s);
+        assert!(q.remove_task(TaskId(7), &mut s));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![TaskId(3), TaskId(7)]);
+        assert!(q.remove_task(TaskId(7), &mut s));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![TaskId(3)]);
+        assert!(!q.remove_task(TaskId(7), &mut s));
+    }
+
+    #[test]
+    fn remove_first_match_duplicate_ids_take_front_occurrence() {
+        let mut q = SuspensionQueue::new();
+        let mut s = StepCounter::new();
+        q.push(TaskId(5), &mut s);
+        q.push(TaskId(5), &mut s);
+        q.push(TaskId(1), &mut s);
+        assert_eq!(
+            q.remove_first_match(&mut s, |t| t == TaskId(5)),
+            Some(TaskId(5))
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![TaskId(5), TaskId(1)]);
+    }
+
+    #[test]
+    fn remove_first_match_charges_steps_up_to_the_match_only() {
+        let mut q = SuspensionQueue::new();
+        let mut s = StepCounter::new();
+        for i in 0..8 {
+            q.push(TaskId(i), &mut s);
+        }
+        let before = s.housekeeping;
+        assert_eq!(
+            q.remove_first_match(&mut s, |t| t == TaskId(0)),
+            Some(TaskId(0))
+        );
+        assert_eq!(s.housekeeping - before, 1, "front hit examines one entry");
+    }
+
+    #[test]
     fn empty_queue_behaviour() {
         let mut q = SuspensionQueue::new();
         let mut s = StepCounter::new();

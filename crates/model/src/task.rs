@@ -76,6 +76,16 @@ pub struct Task {
     /// Number of times the task was pulled from the suspension queue and
     /// retried (`SusRetry`).
     pub sus_retry: u64,
+    /// Fault-injection extension: how many times this task has been
+    /// retried after a failed reconfiguration or resubmitted after a
+    /// failed execution / node failure. Stays 0 in failure-free runs.
+    #[serde(default)]
+    pub fault_retries: u32,
+    /// Fault-injection extension: when the task last entered the
+    /// suspension queue. Lets a suspension-deadline event recognise that
+    /// the task it timed was resumed and re-suspended in the meantime.
+    #[serde(default)]
+    pub suspended_at: Option<Ticks>,
     /// Current lifecycle state.
     pub state: TaskState,
 }
@@ -106,6 +116,8 @@ impl Task {
             assigned_config: None,
             resolved_config: None,
             sus_retry: 0,
+            fault_retries: 0,
+            suspended_at: None,
             state: TaskState::Created,
         }
     }
@@ -138,7 +150,13 @@ mod tests {
     use super::*;
 
     fn task() -> Task {
-        Task::new(TaskId(1), 100, 5000, PreferredConfig::Known(ConfigId(2)), 800)
+        Task::new(
+            TaskId(1),
+            100,
+            5000,
+            PreferredConfig::Known(ConfigId(2)),
+            800,
+        )
     }
 
     #[test]
@@ -183,7 +201,13 @@ mod tests {
 
     #[test]
     fn phantom_preference_carries_area() {
-        let t = Task::new(TaskId(0), 0, 10, PreferredConfig::Phantom { area: 1234 }, 1234);
+        let t = Task::new(
+            TaskId(0),
+            0,
+            10,
+            PreferredConfig::Phantom { area: 1234 },
+            1234,
+        );
         match t.preferred {
             PreferredConfig::Phantom { area } => assert_eq!(area, 1234),
             PreferredConfig::Known(_) => panic!("expected phantom"),

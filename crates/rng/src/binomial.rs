@@ -177,7 +177,10 @@ mod tests {
     fn mirrored_p_symmetry() {
         // Bin(n, p) and n − Bin(n, 1−p) are identically distributed.
         let a = sample(8, 0.8, 500, 200_000);
-        let b: Vec<u64> = sample(9, 0.2, 500, 200_000).iter().map(|&x| 500 - x).collect();
+        let b: Vec<u64> = sample(9, 0.2, 500, 200_000)
+            .iter()
+            .map(|&x| 500 - x)
+            .collect();
         let (ma, va) = mean_var(&a);
         let (mb, vb) = mean_var(&b);
         assert!((ma - mb).abs() < 0.1, "{ma} vs {mb}");

@@ -137,7 +137,10 @@ mod tests {
             AliasTable::new(&[1.0, f64::INFINITY]).unwrap_err(),
             AliasError::InvalidWeight(1)
         );
-        assert_eq!(AliasTable::new(&[0.0, 0.0]).unwrap_err(), AliasError::ZeroMass);
+        assert_eq!(
+            AliasTable::new(&[0.0, 0.0]).unwrap_err(),
+            AliasError::ZeroMass
+        );
     }
 
     #[test]

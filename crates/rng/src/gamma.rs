@@ -84,7 +84,12 @@ mod tests {
 
     #[test]
     fn moments_match_for_shapes_above_one() {
-        for (seed, shape, scale) in [(1u64, 1.0, 1.0), (2, 2.5, 0.5), (3, 9.0, 2.0), (4, 100.0, 0.1)] {
+        for (seed, shape, scale) in [
+            (1u64, 1.0, 1.0),
+            (2, 2.5, 0.5),
+            (3, 9.0, 2.0),
+            (4, 100.0, 0.1),
+        ] {
             let xs = sample(seed, shape, scale, 200_000);
             let (m, v) = mean_var(&xs);
             let em = shape * scale;

@@ -15,7 +15,10 @@ use crate::engine::RngCore;
 /// Panics if `probs` is empty, contains a negative or non-finite weight,
 /// or sums to zero while `n > 0`.
 pub fn multinomial<R: RngCore>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
-    assert!(!probs.is_empty(), "multinomial requires at least one category");
+    assert!(
+        !probs.is_empty(),
+        "multinomial requires at least one category"
+    );
     for (i, &w) in probs.iter().enumerate() {
         assert!(
             w >= 0.0 && w.is_finite(),
@@ -133,11 +136,7 @@ mod tests {
             .collect();
         let m0 = samples.iter().map(|s| s.0).sum::<f64>() / reps as f64;
         let m1 = samples.iter().map(|s| s.1).sum::<f64>() / reps as f64;
-        let cov = samples
-            .iter()
-            .map(|s| (s.0 - m0) * (s.1 - m1))
-            .sum::<f64>()
-            / reps as f64;
+        let cov = samples.iter().map(|s| (s.0 - m0) * (s.1 - m1)).sum::<f64>() / reps as f64;
         // Cov = −n p0 p1 = −25.
         assert!((cov + 25.0).abs() < 1.5, "cov={cov}");
     }

@@ -48,7 +48,10 @@ pub fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
 /// Panics if `lo > hi`.
 #[inline]
 pub fn inclusive<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
-    assert!(lo <= hi, "uniform::inclusive requires lo <= hi ({lo} > {hi})");
+    assert!(
+        lo <= hi,
+        "uniform::inclusive requires lo <= hi ({lo} > {hi})"
+    );
     let span = hi - lo;
     if span == u64::MAX {
         return rng.next_u64();

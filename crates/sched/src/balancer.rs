@@ -54,7 +54,10 @@ impl LoadBalancer {
                 used as f64 / n.total_area as f64
             })
             .collect();
-        let busy = nodes.iter().filter(|n| n.state() == NodeState::Busy).count();
+        let busy = nodes
+            .iter()
+            .filter(|n| n.state() == NodeState::Busy)
+            .count();
         let busy_fraction = busy as f64 / nodes.len().max(1) as f64;
         let (mean_load, load_cv) = mean_cv(&running_per_node);
         let load_gini = gini(&running_per_node);
@@ -177,6 +180,10 @@ mod tests {
     fn gini_of_moderate_skew_between_zero_and_one() {
         let rm = rm_with_loads(&[1, 2, 3, 4]);
         let r = LoadBalancer::new().report(&rm);
-        assert!(r.load_gini > 0.0 && r.load_gini < 0.5, "gini={}", r.load_gini);
+        assert!(
+            r.load_gini > 0.0 && r.load_gini < 0.5,
+            "gini={}",
+            r.load_gini
+        );
     }
 }

@@ -191,7 +191,14 @@ impl CaseStudyScheduler {
         };
         // Phase: Configuration (blank node).
         if let Some(node) = ctx.resources.find_best_blank(demand, ctx.steps) {
-            return Some(self.configure_and_assign(ctx, task, config, node, ct, PhaseKind::Configuration));
+            return Some(self.configure_and_assign(
+                ctx,
+                task,
+                config,
+                node,
+                ct,
+                PhaseKind::Configuration,
+            ));
         }
         // Phase: Partial configuration (partial mode only).
         if ctx.mode == ReconfigMode::Partial {
@@ -247,7 +254,6 @@ impl CaseStudyScheduler {
             phase,
         }
     }
-
 }
 
 impl SchedulePolicy for CaseStudyScheduler {
@@ -367,7 +373,11 @@ impl SchedulePolicy for CaseStudyScheduler {
         }
         // Enact the chosen plan.
         if let Some((tid, plan)) = chosen {
-            let config = ctx.tasks.get(tid).resolved_config.expect("plan implies config");
+            let config = ctx
+                .tasks
+                .get(tid)
+                .resolved_config
+                .expect("plan implies config");
             let ct = ctx.resources.config(config).config_time;
             let placement = match plan {
                 Plan::Allocate(entry) => {
@@ -382,9 +392,14 @@ impl SchedulePolicy for CaseStudyScheduler {
                         phase: PhaseKind::Allocation,
                     }
                 }
-                Plan::PartialConfigure => {
-                    self.configure_and_assign(ctx, tid, config, node, ct, PhaseKind::PartialConfiguration)
-                }
+                Plan::PartialConfigure => self.configure_and_assign(
+                    ctx,
+                    tid,
+                    config,
+                    node,
+                    ct,
+                    PhaseKind::PartialConfiguration,
+                ),
                 Plan::Reconfigure(evict) => {
                     ctx.resources
                         .evict_idle_slots(node, &evict, ctx.steps)

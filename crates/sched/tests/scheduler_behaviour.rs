@@ -6,10 +6,10 @@ use dreamsim_engine::sim::{
     Decision, DiscardReason, SchedCtx, SchedulePolicy, SourceYield, TaskSource, TaskSpec,
 };
 use dreamsim_engine::{PhaseKind, ReconfigMode, SimParams, Simulation};
+use dreamsim_model::{Config, Node, NodeId};
 use dreamsim_model::{
     ConfigId, PreferredConfig, ResourceManager, StepCounter, SuspensionQueue, Task, TaskId, Ticks,
 };
-use dreamsim_model::{Config, Node, NodeId};
 use dreamsim_rng::Rng;
 use dreamsim_sched::CaseStudyScheduler;
 
@@ -119,7 +119,9 @@ fn phase_partial_configuration_packs_alongside_running_task() {
         .resources
         .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
         .unwrap();
-    h.resources.assign_task(e, TaskId(99), &mut h.steps).unwrap();
+    h.resources
+        .assign_task(e, TaskId(99), &mut h.steps)
+        .unwrap();
     let t = h.add_task(PreferredConfig::Known(ConfigId(1)), 700);
     let d = h.schedule(&mut policy, t);
     assert_eq!(placed_phase(&d), PhaseKind::PartialConfiguration);
@@ -136,7 +138,9 @@ fn full_mode_never_partially_configures() {
         .resources
         .configure_slot(NodeId(0), ConfigId(0), &mut h.steps)
         .unwrap();
-    h.resources.assign_task(e, TaskId(99), &mut h.steps).unwrap();
+    h.resources
+        .assign_task(e, TaskId(99), &mut h.steps)
+        .unwrap();
     // Plenty of spare area, but full mode may not co-host: the only
     // remaining option is suspension (node is busy and big enough).
     let t = h.add_task(PreferredConfig::Known(ConfigId(1)), 700);
@@ -173,7 +177,11 @@ fn phase_partial_reconfiguration_evicts_idle_regions() {
 
 #[test]
 fn closest_match_path_and_discard_without_candidates() {
-    let mut h = Harness::new(ReconfigMode::Partial, &[(0, 500, 10), (1, 900, 11)], &[1000]);
+    let mut h = Harness::new(
+        ReconfigMode::Partial,
+        &[(0, 500, 10), (1, 900, 11)],
+        &[1000],
+    );
     let mut policy = CaseStudyScheduler::new();
     // Phantom area 600 → closest match is config 1 (900 > 600).
     let t = h.add_task(PreferredConfig::Phantom { area: 600 }, 600);

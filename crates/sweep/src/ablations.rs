@@ -10,10 +10,7 @@ use dreamsim_workload::SyntheticSource;
 /// strategy. Returns `(strategy label, metrics)` pairs in strategy
 /// order.
 #[must_use]
-pub fn policy_comparison(
-    base: &SimParams,
-    threads: usize,
-) -> Vec<(&'static str, Metrics)> {
+pub fn policy_comparison(base: &SimParams, threads: usize) -> Vec<(&'static str, Metrics)> {
     let strategies = [
         AllocationStrategy::BestFit,
         AllocationStrategy::FirstFit,
@@ -44,10 +41,12 @@ pub fn policy_comparison(
 #[must_use]
 pub fn datastructure_comparison(base: &SimParams) -> (Metrics, Metrics) {
     let with_lists = run_point(&SweepPoint::new("lists", base.clone()));
-    let naive = run_point(&SweepPoint::new("naive", base.clone()).with_policy(PolicyConfig {
-        strategy: AllocationStrategy::BestFit,
-        naive_search: true,
-    }));
+    let naive = run_point(
+        &SweepPoint::new("naive", base.clone()).with_policy(PolicyConfig {
+            strategy: AllocationStrategy::BestFit,
+            naive_search: true,
+        }),
+    );
     (with_lists.metrics, naive.metrics)
 }
 
@@ -116,7 +115,13 @@ mod tests {
         let labels: Vec<&str> = rows.iter().map(|(l, _)| *l).collect();
         assert_eq!(
             labels,
-            vec!["best-fit", "first-fit", "worst-fit", "random", "least-loaded"]
+            vec![
+                "best-fit",
+                "first-fit",
+                "worst-fit",
+                "random",
+                "least-loaded"
+            ]
         );
         for (_, m) in &rows {
             assert_eq!(m.total_tasks_generated, 150);
@@ -129,7 +134,10 @@ mod tests {
         // Identical scheduling outcomes...
         assert_eq!(lists.total_tasks_completed, naive.total_tasks_completed);
         assert_eq!(lists.total_discarded_tasks, naive.total_discarded_tasks);
-        assert_eq!(lists.avg_waiting_time_per_task, naive.avg_waiting_time_per_task);
+        assert_eq!(
+            lists.avg_waiting_time_per_task,
+            naive.avg_waiting_time_per_task
+        );
         // ...but the naive allocation search must never be cheaper.
         assert!(
             naive.scheduler_search_length >= lists.scheduler_search_length,

@@ -128,10 +128,7 @@ impl Figure {
     /// reconfigurations is the price of packing more tasks per node).
     #[must_use]
     pub fn partial_expected_lower(self) -> bool {
-        !matches!(
-            self,
-            Figure::Fig7a | Figure::Fig7b | Figure::Fig10
-        )
+        !matches!(self, Figure::Fig7a | Figure::Fig7b | Figure::Fig10)
     }
 }
 
@@ -210,10 +207,8 @@ impl ExperimentGrid {
                     // One seed per (nodes, tasks) cell, shared by both
                     // modes: the paper compares the two scenarios "for
                     // the same set of parameters in each simulation run".
-                    params.seed = dreamsim_rng::derive_stream(
-                        seed,
-                        (nodes as u64) << 32 | tasks as u64,
-                    );
+                    params.seed =
+                        dreamsim_rng::derive_stream(seed, (nodes as u64) << 32 | tasks as u64);
                     keys.push((nodes, mode.label(), tasks));
                     points.push(SweepPoint::new(
                         format!("n{nodes}-{}-t{tasks}", mode.label()),
@@ -279,9 +274,7 @@ impl ExperimentGrid {
 /// takes minutes; scaled-down sweeps preserve the shapes).
 #[must_use]
 pub fn default_task_counts(max_tasks: usize) -> Vec<usize> {
-    let ladder = [
-        1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
-    ];
+    let ladder = [1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
     let v: Vec<usize> = ladder.into_iter().filter(|&t| t <= max_tasks).collect();
     if v.is_empty() {
         vec![max_tasks.max(1)]

@@ -8,8 +8,8 @@
 use dreamsim_engine::{Report, SimParams, Simulation};
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
 use dreamsim_workload::SyntheticSource;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which scheduling policy a run uses (a value-level description, so
 /// sweeps can be declared as data).
@@ -99,12 +99,13 @@ pub fn run_batch(points: &[SweepPoint], threads: usize) -> Vec<Report> {
                     break;
                 }
                 let report = run_point(&points[i]);
-                results.lock()[i] = Some(report);
+                results.lock().expect("sweep worker panicked")[i] = Some(report);
             });
         }
     });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
@@ -203,9 +204,7 @@ mod tests {
 
     #[test]
     fn batch_results_preserve_input_order() {
-        let points: Vec<SweepPoint> = (0..6)
-            .map(|i| small(i, ReconfigMode::Partial))
-            .collect();
+        let points: Vec<SweepPoint> = (0..6).map(|i| small(i, ReconfigMode::Partial)).collect();
         let reports = run_batch(&points, 3);
         assert_eq!(reports.len(), 6);
         for (i, r) in reports.iter().enumerate() {
@@ -215,9 +214,7 @@ mod tests {
 
     #[test]
     fn parallel_equals_sequential() {
-        let points: Vec<SweepPoint> = (0..4)
-            .map(|i| small(100 + i, ReconfigMode::Full))
-            .collect();
+        let points: Vec<SweepPoint> = (0..4).map(|i| small(100 + i, ReconfigMode::Full)).collect();
         let seq = run_batch(&points, 1);
         let par = run_batch(&points, 4);
         for (a, b) in seq.iter().zip(&par) {

@@ -176,8 +176,7 @@ impl DagSpec {
             children[from].push(to);
         }
         let mut level = vec![0usize; n];
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut seen = 0usize;
         while let Some(u) = queue.pop_front() {
             seen += 1;
@@ -284,14 +283,20 @@ mod tests {
         let mut src = DagSource::new(spec).unwrap();
         let mut rng = Rng::seed_from(0);
         // Only the root is ready.
-        assert!(matches!(src.next_task(0, &mut rng), SourceYield::Task(s) if s.required_time == 10));
+        assert!(
+            matches!(src.next_task(0, &mut rng), SourceYield::Task(s) if s.required_time == 10)
+        );
         assert_eq!(src.next_task(0, &mut rng), SourceYield::NotYet);
         // Completing task 0 unlocks task 1.
         src.on_task_completed(TaskId(0), 100);
-        assert!(matches!(src.next_task(100, &mut rng), SourceYield::Task(s) if s.required_time == 20));
+        assert!(
+            matches!(src.next_task(100, &mut rng), SourceYield::Task(s) if s.required_time == 20)
+        );
         assert_eq!(src.next_task(100, &mut rng), SourceYield::NotYet);
         src.on_task_completed(TaskId(1), 200);
-        assert!(matches!(src.next_task(200, &mut rng), SourceYield::Task(s) if s.required_time == 30));
+        assert!(
+            matches!(src.next_task(200, &mut rng), SourceYield::Task(s) if s.required_time == 30)
+        );
         src.on_task_completed(TaskId(2), 300);
         assert_eq!(src.next_task(300, &mut rng), SourceYield::Exhausted);
     }
@@ -313,7 +318,9 @@ mod tests {
         src.on_task_completed(TaskId(1), 20);
         assert_eq!(src.next_task(20, &mut rng), SourceYield::NotYet);
         src.on_task_completed(TaskId(2), 30);
-        assert!(matches!(src.next_task(30, &mut rng), SourceYield::Task(s) if s.required_time == 4));
+        assert!(
+            matches!(src.next_task(30, &mut rng), SourceYield::Task(s) if s.required_time == 4)
+        );
         src.on_task_completed(TaskId(3), 40);
         assert_eq!(src.next_task(40, &mut rng), SourceYield::Exhausted);
         assert_eq!(src.remaining(), 0);

@@ -121,7 +121,10 @@ fn parse_jobs(text: &str, opts: &SwfOptions) -> Result<Vec<SwfJob>, SwfError> {
 /// [`TraceSource::from_specs`](crate::trace::TraceSource::from_specs)).
 pub fn import_swf(text: &str, opts: &SwfOptions) -> Result<Vec<TaskSpec>, SwfError> {
     assert!(opts.num_configs > 0, "num_configs must be nonzero");
-    assert!(opts.ticks_per_second > 0, "ticks_per_second must be nonzero");
+    assert!(
+        opts.ticks_per_second > 0,
+        "ticks_per_second must be nonzero"
+    );
     let jobs = parse_jobs(text, opts)?;
     if jobs.is_empty() {
         return Ok(Vec::new());
@@ -259,7 +262,7 @@ mod tests {
         p.total_configs = 4;
         p.seed = 3;
         let src = crate::trace::TraceSource::from_specs(specs);
-        let result = Simulation::new(p, src, CaseStudyShim::default()).unwrap().run();
+        let result = Simulation::new(p, src, CaseStudyShim).unwrap().run();
         assert_eq!(
             result.metrics.total_tasks_completed + result.metrics.total_discarded_tasks,
             3
@@ -300,7 +303,10 @@ mod tests {
                 let demand = Demand::of(ctx.resources.config(config));
                 let ct = ctx.resources.config(config).config_time;
                 if let Some(node) = ctx.resources.find_best_blank(demand, ctx.steps) {
-                    let entry = ctx.resources.configure_slot(node, config, ctx.steps).unwrap();
+                    let entry = ctx
+                        .resources
+                        .configure_slot(node, config, ctx.steps)
+                        .unwrap();
                     ctx.resources.assign_task(entry, task, ctx.steps).unwrap();
                     return Decision::Placed(Placement {
                         task,

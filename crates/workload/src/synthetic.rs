@@ -140,7 +140,10 @@ mod tests {
                 seen[c.index()] = true;
             }
         }
-        assert!(seen.iter().all(|&b| b), "every config preferred at least once");
+        assert!(
+            seen.iter().all(|&b| b),
+            "every config preferred at least once"
+        );
     }
 
     #[test]

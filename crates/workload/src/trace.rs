@@ -44,7 +44,8 @@ impl std::error::Error for ParseError {}
 /// Serialize specs into the trace format.
 #[must_use]
 pub fn write_trace(specs: &[TaskSpec]) -> String {
-    let mut out = String::from("# dreamsim-trace v1\n# interarrival required_time pref data_bytes\n");
+    let mut out =
+        String::from("# dreamsim-trace v1\n# interarrival required_time pref data_bytes\n");
     for s in specs {
         let pref = match s.preferred {
             PreferredConfig::Known(c) => format!("c{}", c.0),

@@ -11,8 +11,10 @@ use dreamsim::sched::{CaseStudyScheduler, LoadBalancer};
 use dreamsim::workload::SyntheticSource;
 
 fn main() {
-    println!("{:>12} {:>10} {:>10} {:>10} {:>12} {:>10}",
-        "MTBF", "failures", "killed", "completed", "discarded", "avg wait");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "MTBF", "failures", "killed", "completed", "discarded", "avg wait"
+    );
     for mtbf in [u64::MAX, 500_000, 100_000, 20_000] {
         let mut params = SimParams::paper(100, 3_000, ReconfigMode::Partial);
         params.seed = 11;
@@ -25,7 +27,11 @@ fn main() {
             .expect("params validate")
             .run();
         let m = &result.metrics;
-        let label = if mtbf == u64::MAX { "none".to_string() } else { mtbf.to_string() };
+        let label = if mtbf == u64::MAX {
+            "none".to_string()
+        } else {
+            mtbf.to_string()
+        };
         println!(
             "{label:>12} {:>10} {:>10} {:>10} {:>12} {:>10.0}",
             m.node_failures,

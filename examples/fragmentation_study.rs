@@ -13,7 +13,10 @@ use dreamsim::engine::{Metrics, PlacementModel, ReconfigMode, SimParams};
 use dreamsim::sweep::runner::{run_point, SweepPoint};
 
 fn run(label: &str, params: SimParams) -> (String, Metrics) {
-    (label.to_string(), run_point(&SweepPoint::new(label, params)).metrics)
+    (
+        label.to_string(),
+        run_point(&SweepPoint::new(label, params)).metrics,
+    )
 }
 
 fn main() {

@@ -22,16 +22,42 @@ fn main() {
         .run();
 
     let m = &result.metrics;
-    println!("DReAMSim quickstart — {} mode, {} nodes", m.mode, m.total_nodes);
-    println!("  tasks: {} generated, {} completed, {} discarded",
-        m.total_tasks_generated, m.total_tasks_completed, m.total_discarded_tasks);
-    println!("  avg wasted area per task          : {:>10.2} area units", m.avg_wasted_area_per_task);
-    println!("  avg waiting time per task         : {:>10.1} ticks", m.avg_waiting_time_per_task);
-    println!("  avg reconfigurations per node     : {:>10.2}", m.avg_reconfig_count_per_node);
-    println!("  avg configuration time per task   : {:>10.3} ticks", m.avg_config_time_per_task);
-    println!("  avg scheduling steps per task     : {:>10.1}", m.avg_scheduling_steps_per_task);
-    println!("  total scheduler workload          : {:>10}", m.total_scheduler_workload);
-    println!("  total simulation time             : {:>10} ticks", m.total_simulation_time);
+    println!(
+        "DReAMSim quickstart — {} mode, {} nodes",
+        m.mode, m.total_nodes
+    );
+    println!(
+        "  tasks: {} generated, {} completed, {} discarded",
+        m.total_tasks_generated, m.total_tasks_completed, m.total_discarded_tasks
+    );
+    println!(
+        "  avg wasted area per task          : {:>10.2} area units",
+        m.avg_wasted_area_per_task
+    );
+    println!(
+        "  avg waiting time per task         : {:>10.1} ticks",
+        m.avg_waiting_time_per_task
+    );
+    println!(
+        "  avg reconfigurations per node     : {:>10.2}",
+        m.avg_reconfig_count_per_node
+    );
+    println!(
+        "  avg configuration time per task   : {:>10.3} ticks",
+        m.avg_config_time_per_task
+    );
+    println!(
+        "  avg scheduling steps per task     : {:>10.1}",
+        m.avg_scheduling_steps_per_task
+    );
+    println!(
+        "  total scheduler workload          : {:>10}",
+        m.total_scheduler_workload
+    );
+    println!(
+        "  total simulation time             : {:>10} ticks",
+        m.total_simulation_time
+    );
 
     // The structured report the output subsystem generates:
     println!("\nXML report (first lines):");

@@ -45,10 +45,22 @@ fn main() {
     let b = run(&text);
     assert_eq!(a, b, "replay must be deterministic");
 
-    println!("\nreplayed {} tasks deterministically:", a.total_tasks_generated);
-    println!("  completed {} | discarded {}", a.total_tasks_completed, a.total_discarded_tasks);
-    println!("  avg waiting time {:.1} ticks", a.avg_waiting_time_per_task);
-    println!("  avg wasted area {:.2} units/task", a.avg_wasted_area_per_task);
+    println!(
+        "\nreplayed {} tasks deterministically:",
+        a.total_tasks_generated
+    );
+    println!(
+        "  completed {} | discarded {}",
+        a.total_tasks_completed, a.total_discarded_tasks
+    );
+    println!(
+        "  avg waiting time {:.1} ticks",
+        a.avg_waiting_time_per_task
+    );
+    println!(
+        "  avg wasted area {:.2} units/task",
+        a.avg_wasted_area_per_task
+    );
 
     // 3. The parsed trace also round-trips through text exactly.
     let reparsed = trace::parse_trace(&text).expect("parses");

@@ -28,7 +28,10 @@ fn different_seed_different_schedule() {
     let b = run_point(&SweepPoint::new("b", params(2)));
     // Total simulation time depends on every arrival draw; collision is
     // implausible for different streams.
-    assert_ne!(a.metrics.total_simulation_time, b.metrics.total_simulation_time);
+    assert_ne!(
+        a.metrics.total_simulation_time,
+        b.metrics.total_simulation_time
+    );
 }
 
 #[test]
@@ -64,6 +67,127 @@ fn event_driven_equals_tick_stepped_across_modes_and_seeds() {
             assert_eq!(ev.metrics, tick.metrics, "{mode} seed {seed}");
             assert_eq!(ev.tasks, tick.tasks, "{mode} seed {seed}");
         }
+    }
+}
+
+fn fault_params(seed: u64) -> SimParams {
+    let mut p = params(seed);
+    p.faults.node_mttf = Some(50_000);
+    p.faults.node_mttr = 5_000;
+    p.faults.reconfig_fail_prob = 0.2;
+    p.faults.task_fail_prob = 0.05;
+    p.faults.suspension_deadline = Some(200_000);
+    p
+}
+
+#[test]
+fn same_seed_same_fault_injection() {
+    let build = |p: SimParams| {
+        Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(&p),
+            CaseStudyScheduler::new(),
+        )
+        .unwrap()
+        .run()
+    };
+    let a = build(fault_params(11));
+    let b = build(fault_params(11));
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.tasks, b.tasks);
+    // The run actually exercised the fault machinery.
+    assert!(a.metrics.node_failures > 0, "failures should fire");
+    assert!(a.metrics.node_downtime > 0, "downtime should accrue");
+    assert!(
+        a.metrics.reconfig_failures > 0,
+        "bitstream loads should fail"
+    );
+    assert_eq!(a.metrics.node_failures, b.metrics.node_failures);
+    assert_eq!(a.metrics.reconfig_failures, b.metrics.reconfig_failures);
+    assert_eq!(a.metrics.resubmissions, b.metrics.resubmissions);
+    assert_eq!(a.metrics.tasks_lost, b.metrics.tasks_lost);
+    assert_eq!(a.metrics.node_downtime, b.metrics.node_downtime);
+}
+
+#[test]
+fn disabled_fault_params_do_not_perturb_the_run() {
+    // `FaultParams::default()` is all-off; constructing the fault model
+    // must not consume randomness or alter any metric relative to the
+    // same seed. (The struct literal spells the defaults out so a future
+    // change to the defaults would be caught here.)
+    let mut explicit = params(42);
+    explicit.faults = dreamsim::engine::FaultParams {
+        node_mttf: None,
+        node_mttr: 1_000,
+        reconfig_fail_prob: 0.0,
+        task_fail_prob: 0.0,
+        max_retries: 3,
+        retry_backoff_base: 8,
+        retry_backoff_cap: 512,
+        resubmit: true,
+        suspension_deadline: None,
+    };
+    let build = |p: SimParams| {
+        Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(&p),
+            CaseStudyScheduler::new(),
+        )
+        .unwrap()
+        .run()
+    };
+    let base = build(params(42));
+    let with_disabled = build(explicit);
+    assert_eq!(base.metrics, with_disabled.metrics);
+    assert_eq!(base.tasks, with_disabled.tasks);
+    assert_eq!(base.metrics.node_failures, 0);
+    assert_eq!(base.metrics.tasks_lost, 0);
+    assert_eq!(base.metrics.node_downtime, 0);
+}
+
+#[test]
+fn fault_runs_agree_across_drivers() {
+    let mut p = SimParams::paper(15, 120, ReconfigMode::Partial);
+    p.seed = 9;
+    p.faults.node_mttf = Some(20_000);
+    p.faults.node_mttr = 2_000;
+    p.faults.reconfig_fail_prob = 0.15;
+    p.faults.task_fail_prob = 0.05;
+    let build = || {
+        Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(&p),
+            CaseStudyScheduler::new(),
+        )
+        .unwrap()
+    };
+    let ev = build().run();
+    let tick = build().run_tick_stepped();
+    assert_eq!(ev.metrics, tick.metrics);
+    assert_eq!(ev.tasks, tick.tasks);
+    assert!(
+        ev.metrics.node_failures > 0,
+        "faults should fire in both drivers"
+    );
+}
+
+#[test]
+fn fault_run_completes_every_task_terminally() {
+    let p = fault_params(123);
+    let result = Simulation::new(
+        p.clone(),
+        SyntheticSource::from_params(&p),
+        CaseStudyScheduler::new(),
+    )
+    .unwrap()
+    .run();
+    let m = &result.metrics;
+    assert_eq!(
+        m.total_tasks_completed + m.total_discarded_tasks,
+        m.total_tasks_generated
+    );
+    for t in &result.tasks {
+        assert!(t.is_terminal(), "{:?} not terminal", t.id);
     }
 }
 

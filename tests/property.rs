@@ -10,14 +10,14 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = SimParams> {
     (
-        2usize..25,          // nodes
-        1usize..12,          // configs
-        1usize..120,         // tasks
-        1u64..30,            // max interval
+        2usize..25,  // nodes
+        1usize..12,  // configs
+        1usize..120, // tasks
+        1u64..30,    // max interval
         prop_oneof![Just(ReconfigMode::Full), Just(ReconfigMode::Partial)],
-        any::<u64>(),        // seed
-        0.0f64..1.0,         // phantom fraction
-        prop::bool::ANY,     // suspension enabled
+        any::<u64>(),    // seed
+        0.0f64..1.0,     // phantom fraction
+        prop::bool::ANY, // suspension enabled
     )
         .prop_map(
             |(nodes, configs, tasks, interval, mode, seed, phantom, susp)| {

@@ -22,14 +22,20 @@ fn assert_well_formed_xml(xml: &str) {
     while let Some(open) = rest.find('<') {
         let text = &rest[..open];
         assert!(
-            !text.contains('&') || text.contains("&amp;") || text.contains("&lt;")
-                || text.contains("&gt;") || text.contains("&quot;") || text.contains("&apos;"),
+            !text.contains('&')
+                || text.contains("&amp;")
+                || text.contains("&lt;")
+                || text.contains("&gt;")
+                || text.contains("&quot;")
+                || text.contains("&apos;"),
             "unescaped ampersand in text {text:?}"
         );
         let close = rest[open..].find('>').expect("tag closes") + open;
         let tag = &rest[open + 1..close];
         if let Some(name) = tag.strip_prefix('/') {
-            let top = stack.pop().unwrap_or_else(|| panic!("unbalanced </{name}>"));
+            let top = stack
+                .pop()
+                .unwrap_or_else(|| panic!("unbalanced </{name}>"));
             assert_eq!(top, name, "mismatched close tag");
         } else if !tag.ends_with('/') {
             stack.push(tag.split_whitespace().next().unwrap().to_string());

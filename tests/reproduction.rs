@@ -126,7 +126,10 @@ fn accounting_identities_hold() {
             + m.phases.configuration
             + m.phases.partial_configuration
             + m.phases.partial_reconfiguration;
-        assert!(placed >= m.total_tasks_completed, "{mode}: placements cover completions");
+        assert!(
+            placed >= m.total_tasks_completed,
+            "{mode}: placements cover completions"
+        );
         assert!(m.total_used_nodes <= m.total_nodes, "{mode}");
         if mode == ReconfigMode::Full {
             assert_eq!(
