@@ -17,7 +17,8 @@ mod args;
 
 use args::{ArgError, Args};
 use dreamsim_engine::{
-    ArrivalDistribution, ReconfigMode, Report, RunResult, SimParams, Simulation,
+    read_checkpoint, ArrivalDistribution, ReconfigMode, Report, RunOptions, RunResult, SimParams,
+    Simulation,
 };
 use dreamsim_rng::Rng;
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
@@ -40,6 +41,8 @@ USAGE:
                [--no-resubmit]
                [--placement scalar|contiguous] [--replay TRACE]
                [--swf FILE [--ticks-per-second N] [--max-jobs N]]
+               [--checkpoint-every TICKS] [--checkpoint-dir DIR]
+               [--audit] [--audit-every TICKS] [--resume-from FILE]
                [--report table|xml|json|csv] [--out FILE]
   dreamsim figures [--fig 6a|6b|7a|7b|8a|8b|9a|9b|10|all]
                    [--max-tasks N | --tasks N1,N2,...]
@@ -61,6 +64,15 @@ exponential backoff, then degraded to the closest larger configuration);
 --task-fail-prob kills running tasks mid-execution; --suspension-deadline
 discards tasks suspended longer than TICKS. Fault-killed tasks are
 resubmitted unless --no-resubmit is given.
+
+Checkpoint/restore: --checkpoint-every writes a versioned snapshot of the
+complete simulator state (atomically, into --checkpoint-dir, default .)
+every TICKS of simulated time; --resume-from restores one and continues
+the run, producing a report bit-identical to the uninterrupted run.
+Simulation parameters come from the checkpoint; for trace/SWF runs
+re-supply the same --replay/--swf file. --audit cross-checks the internal
+state invariants after every dispatched event (and always at checkpoint
+boundaries); --audit-every N audits on a period instead.
 ";
 
 fn main() -> ExitCode {
@@ -251,11 +263,34 @@ fn render_report(report: &Report, format: &str) -> Result<String, ArgError> {
     }
 }
 
-fn cmd_run(args: &Args) -> Result<(), ArgError> {
-    let params = params_from_args(args)?;
-    let strategy = parse_strategy(args.get("policy", "best-fit"))?;
-    let policy = CaseStudyScheduler::with_strategy(strategy);
-    let result: RunResult = if args.has("swf") {
+/// Checkpoint/audit options shared by every `run` code path.
+fn run_options_from_args(args: &Args) -> Result<RunOptions, ArgError> {
+    let mut opts = RunOptions::default();
+    if args.has("checkpoint-every") {
+        let every = args.get_num("checkpoint-every", 0u64)?;
+        if every == 0 {
+            return Err(ArgError("--checkpoint-every must be > 0".into()));
+        }
+        opts.checkpoint_every = Some(every);
+    }
+    if args.has("checkpoint-dir") {
+        opts.checkpoint_dir = Some(std::path::PathBuf::from(args.get("checkpoint-dir", ".")));
+    }
+    opts.audit = args.has("audit");
+    if args.has("audit-every") {
+        let every = args.get_num("audit-every", 0u64)?;
+        if every == 0 {
+            return Err(ArgError("--audit-every must be > 0".into()));
+        }
+        opts.audit_every = Some(every);
+    }
+    Ok(opts)
+}
+
+/// Load a trace for `run`: either an SWF import or a recorded trace file.
+/// Returns the source plus the task count it carries.
+fn trace_from_args(args: &Args, num_configs: usize) -> Result<TraceSource, ArgError> {
+    if args.has("swf") {
         // Real-workload import: Standard Workload Format (Parallel
         // Workloads Archive).
         let path = args.get("swf", "");
@@ -263,34 +298,101 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
             std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
         let swf_opts = dreamsim_workload::SwfOptions {
             ticks_per_second: args.get_num("ticks-per-second", 1u64)?,
-            num_configs: params.total_configs,
+            num_configs,
             skip_failed: true,
             max_jobs: args.get_num("max-jobs", 0usize)?,
         };
         let specs =
             dreamsim_workload::import_swf(&text, &swf_opts).map_err(|e| ArgError(e.to_string()))?;
         eprintln!("imported {} jobs from {path}", specs.len());
-        let mut p = params;
-        p.total_tasks = specs.len();
-        Simulation::new(p, TraceSource::from_specs(specs), policy)
-            .map_err(|e| ArgError(e.to_string()))?
-            .run()
-    } else if args.has("replay") {
+        Ok(TraceSource::from_specs(specs))
+    } else {
         let path = args.get("replay", "");
         let text =
             std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-        let source = TraceSource::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
-        let mut p = params;
-        // Replay exactly the trace, whatever --tasks said.
-        p.total_tasks = source.len();
-        Simulation::new(p, source, policy)
-            .map_err(|e| ArgError(e.to_string()))?
-            .run()
+        TraceSource::from_text(&text).map_err(|e| ArgError(e.to_string()))
+    }
+}
+
+/// `run --resume-from FILE`: restore a checkpoint and continue. The
+/// simulation parameters (and for synthetic workloads the entire task
+/// stream) come from the checkpoint itself; trace/SWF runs re-supply the
+/// same workload file, which the restored cursor fast-forwards.
+fn resume_run(args: &Args, run_opts: &RunOptions) -> Result<RunResult, ArgError> {
+    let path = args.get("resume-from", "");
+    let cp = read_checkpoint(Path::new(path))
+        .map_err(|e| ArgError(format!("reading checkpoint {path}: {e}")))?;
+    eprintln!(
+        "resuming {path}: clock {}, policy {}, source {}",
+        cp.clock(),
+        cp.policy_label(),
+        cp.source_kind()
+    );
+    // Rebuild the exact policy recorded in the checkpoint; `resume`
+    // re-verifies the label so a parser drift cannot slip through.
+    let label = cp.policy_label().to_string();
+    let strategy = label
+        .strip_prefix("case-study/")
+        .filter(|rest| !rest.contains('/'))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "checkpoint policy {label:?} cannot be rebuilt by the CLI"
+            ))
+        })
+        .and_then(parse_strategy)?;
+    let policy = CaseStudyScheduler::with_strategy(strategy);
+    let result = match cp.source_kind() {
+        "synthetic" => {
+            let source = SyntheticSource::from_params(cp.params());
+            Simulation::resume(cp, source, policy)
+                .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
+                .run_with(run_opts)
+        }
+        "trace" => {
+            if !args.has("replay") && !args.has("swf") {
+                return Err(ArgError(
+                    "checkpoint was taken from a trace run: re-supply the same --replay/--swf file"
+                        .into(),
+                ));
+            }
+            let source = trace_from_args(args, cp.params().total_configs)?;
+            Simulation::resume(cp, source, policy)
+                .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
+                .run_with(run_opts)
+        }
+        other => {
+            return Err(ArgError(format!(
+                "checkpoint source kind {other:?} cannot be rebuilt by the CLI"
+            )))
+        }
+    };
+    result.map_err(|e| ArgError(e.to_string()))
+}
+
+fn cmd_run(args: &Args) -> Result<(), ArgError> {
+    let run_opts = run_options_from_args(args)?;
+    let result: RunResult = if args.has("resume-from") {
+        resume_run(args, &run_opts)?
     } else {
-        let source = SyntheticSource::from_params(&params);
-        Simulation::new(params, source, policy)
-            .map_err(|e| ArgError(e.to_string()))?
-            .run()
+        let params = params_from_args(args)?;
+        let strategy = parse_strategy(args.get("policy", "best-fit"))?;
+        let policy = CaseStudyScheduler::with_strategy(strategy);
+        if args.has("swf") || args.has("replay") {
+            let source = trace_from_args(args, params.total_configs)?;
+            let mut p = params;
+            // Replay exactly the trace, whatever --tasks said.
+            p.total_tasks = source.len();
+            Simulation::new(p, source, policy)
+                .map_err(|e| ArgError(e.to_string()))?
+                .run_with(&run_opts)
+                .map_err(|e| ArgError(e.to_string()))?
+        } else {
+            let source = SyntheticSource::from_params(&params);
+            Simulation::new(params, source, policy)
+                .map_err(|e| ArgError(e.to_string()))?
+                .run_with(&run_opts)
+                .map_err(|e| ArgError(e.to_string()))?
+        }
     };
     let rendered = render_report(&result.report, args.get("report", "table"))?;
     write_or_print(args.flags.get("out").map(String::as_str), &rendered)

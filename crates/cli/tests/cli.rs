@@ -163,6 +163,91 @@ fn swf_import_runs_end_to_end() {
 }
 
 #[test]
+fn checkpoint_resume_reproduces_fault_run_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-cli-cp-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.to_str().unwrap();
+    let full = dir.join("full.xml");
+    // Uninterrupted fault-injection run, auditing continuously and
+    // dropping periodic checkpoints along the way.
+    run_ok(&[
+        "run",
+        "--nodes",
+        "12",
+        "--tasks",
+        "120",
+        "--seed",
+        "42",
+        "--mttf",
+        "4000",
+        "--reconfig-fail-prob",
+        "0.1",
+        "--task-fail-prob",
+        "0.05",
+        "--audit",
+        "--checkpoint-every",
+        "3000",
+        "--checkpoint-dir",
+        dir_str,
+        "--report",
+        "xml",
+        "--out",
+        full.to_str().unwrap(),
+    ]);
+    let mut cps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dsc"))
+        .collect();
+    cps.sort();
+    assert!(cps.len() >= 2, "expected several checkpoints, got {cps:?}");
+    // No leftover temp files from the atomic write protocol.
+    assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+        .unwrap()
+        .file_name()
+        .to_string_lossy()
+        .ends_with(".tmp")));
+    // Resume from a mid-run checkpoint: the report must be bit-identical.
+    let mid = &cps[cps.len() / 2];
+    let resumed = dir.join("resumed.xml");
+    let out = dreamsim()
+        .args([
+            "run",
+            "--resume-from",
+            mid.to_str().unwrap(),
+            "--report",
+            "xml",
+            "--out",
+            resumed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let full_bytes = std::fs::read(&full).unwrap();
+    let resumed_bytes = std::fs::read(&resumed).unwrap();
+    assert_eq!(full_bytes, resumed_bytes, "resumed report diverged");
+    // A corrupted checkpoint is rejected with a CRC diagnostic.
+    let mut bytes = std::fs::read(mid).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x01;
+    let bad = dir.join("bad.dsc");
+    std::fs::write(&bad, bytes).unwrap();
+    let out = dreamsim()
+        .args(["run", "--resume-from", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("CRC"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ablations_run_end_to_end() {
     let out = run_ok(&[
         "ablations",

@@ -1,0 +1,270 @@
+//! Deterministic checkpoint/restore of a running simulation.
+//!
+//! A [`Checkpoint`] captures the complete observable state of a
+//! [`Simulation`](crate::Simulation) mid-run: the resource store (nodes,
+//! slots, intrusive idle/busy list links), the task table, the event
+//! queue **with its tie-break sequence numbers**, the suspension queue,
+//! step/statistics accumulators, the RNG stream position, and the fault
+//! model (its own RNG, per-node down-since stamps, accumulated
+//! downtime). Restoring from a checkpoint and running to completion
+//! produces bit-identical results — the same XML report, metrics, and
+//! fault counters — as the uninterrupted run, on both drivers.
+//!
+//! **Not captured:** attached [`Observer`](crate::monitor::Observer)s
+//! (they are trait objects owned by the caller; a resumed run starts
+//! with an empty observer list) and the task source / policy internals
+//! beyond a cursor and an identity label — sources declare a replay
+//! cursor via [`TaskSource`](crate::TaskSource) hooks, and stateless
+//! policies are rebuilt from their label.
+//!
+//! ## File format
+//!
+//! A checkpoint file is a single header line
+//!
+//! ```text
+//! DREAMSIM-CHECKPOINT <version> <crc32-hex>\n
+//! ```
+//!
+//! followed by the JSON payload. The CRC-32 (IEEE, as in zip/PNG) covers
+//! exactly the payload bytes, so truncation and bit-rot are detected
+//! before deserialization. Writes go to a sibling `*.tmp` file which is
+//! fsynced and atomically renamed into place — a crash mid-write can
+//! never leave a half-written file under the checkpoint's final name.
+
+use crate::event::EventQueue;
+use crate::fault::FaultModel;
+use crate::params::SimParams;
+use crate::sim::TaskTable;
+use crate::stats::Stats;
+use dreamsim_model::{ResourceManager, StepCounter, SuspensionQueue, Ticks};
+use dreamsim_rng::Rng;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Format version written to the header; bumped on any incompatible
+/// payload change. Readers reject other versions with
+/// [`CheckpointError::Version`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic token opening every checkpoint file.
+const MAGIC: &str = "DREAMSIM-CHECKPOINT";
+
+/// Why a checkpoint could not be written, read, or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while writing or reading.
+    Io(std::io::Error),
+    /// The file is not a checkpoint (bad magic, malformed header, or
+    /// undecodable payload).
+    Format(String),
+    /// The file is a checkpoint of an unsupported format version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The payload bytes do not match the header checksum (truncation or
+    /// corruption).
+    Crc {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum of the actual payload bytes.
+        found: u32,
+    },
+    /// The payload decoded but describes a state the simulator refuses
+    /// to adopt (invalid parameters, mismatched policy/source, or an
+    /// audit failure on restore).
+    State(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "not a valid checkpoint: {msg}"),
+            CheckpointError::Version { found } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads \
+                 version {FORMAT_VERSION})"
+            ),
+            CheckpointError::Crc { expected, found } => write!(
+                f,
+                "checkpoint payload corrupt: header CRC {expected:08x} but payload \
+                 hashes to {found:08x}"
+            ),
+            CheckpointError::State(msg) => write!(f, "checkpoint state rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A complete mid-run snapshot of a simulation.
+///
+/// Produced by [`Simulation::checkpoint`](crate::Simulation::checkpoint),
+/// consumed by [`Simulation::resume`](crate::Simulation::resume);
+/// serialized to disk by [`write_checkpoint`] / [`read_checkpoint`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    pub(crate) params: SimParams,
+    /// Identity label of the policy that was running
+    /// ([`SchedulePolicy::state_label`](crate::SchedulePolicy::state_label));
+    /// resume refuses a different policy.
+    pub(crate) policy: String,
+    /// Identity of the task source
+    /// ([`TaskSource::source_kind`](crate::TaskSource::source_kind)).
+    pub(crate) source_kind: String,
+    /// Replay cursor of the task source
+    /// ([`TaskSource::source_cursor`](crate::TaskSource::source_cursor)).
+    pub(crate) source_cursor: u64,
+    pub(crate) resources: ResourceManager,
+    pub(crate) tasks: TaskTable,
+    pub(crate) events: EventQueue,
+    pub(crate) suspension: SuspensionQueue,
+    pub(crate) steps: StepCounter,
+    pub(crate) stats: Stats,
+    /// Waiting-time samples, carried separately because [`Stats`] skips
+    /// them in serde (reports never embed the raw samples) — but the
+    /// final percentiles must survive a resume.
+    pub(crate) wait_samples: Vec<Ticks>,
+    pub(crate) rng: Rng,
+    pub(crate) fault: FaultModel,
+    pub(crate) clock: Ticks,
+    pub(crate) created: u64,
+    pub(crate) last_arrival: Ticks,
+    pub(crate) stalled: bool,
+}
+
+impl Checkpoint {
+    /// Parameters of the checkpointed run.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Identity label of the policy that was running.
+    #[must_use]
+    pub fn policy_label(&self) -> &str {
+        &self.policy
+    }
+
+    /// Identity of the task source that was feeding the run.
+    #[must_use]
+    pub fn source_kind(&self) -> &str {
+        &self.source_kind
+    }
+
+    /// Simulation time at which the snapshot was taken.
+    #[must_use]
+    pub fn clock(&self) -> Ticks {
+        self.clock
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, as used by zip/PNG), bitwise — no
+/// table, the payloads are small and this keeps the implementation
+/// dependency-free and obviously correct.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialize `cp` and atomically write it to `path`.
+///
+/// The bytes go to `path` + `".tmp"` first, are flushed and fsynced,
+/// then renamed over `path` — readers never observe a partial file.
+pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), CheckpointError> {
+    let payload = serde_json::to_string(cp)
+        .map_err(|e| CheckpointError::Format(format!("serialization failed: {e}")))?;
+    let header = format!(
+        "{MAGIC} {FORMAT_VERSION} {:08x}\n",
+        crc32(payload.as_bytes())
+    );
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(header.as_bytes())?;
+        f.write_all(payload.as_bytes())?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and validate a checkpoint file written by [`write_checkpoint`].
+///
+/// Validation order: magic and header shape ([`CheckpointError::Format`]),
+/// format version ([`CheckpointError::Version`]), payload checksum
+/// ([`CheckpointError::Crc`]), then JSON decoding
+/// ([`CheckpointError::Format`]). Semantic validation (parameters,
+/// policy/source identity, state invariants) happens later, in
+/// [`Simulation::resume`](crate::Simulation::resume).
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let raw = std::fs::read_to_string(path)?;
+    let (header, payload) = raw
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Format("missing header line".to_string()))?;
+    let mut parts = header.split_ascii_whitespace();
+    let magic = parts.next().unwrap_or_default();
+    if magic != MAGIC {
+        return Err(CheckpointError::Format(format!(
+            "bad magic {magic:?} (expected {MAGIC:?})"
+        )));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Format("header missing version".to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::Version { found: version });
+    }
+    let expected = parts
+        .next()
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Format("header missing checksum".to_string()))?;
+    if parts.next().is_some() {
+        return Err(CheckpointError::Format(
+            "trailing header fields".to_string(),
+        ));
+    }
+    let found = crc32(payload.as_bytes());
+    if found != expected {
+        return Err(CheckpointError::Crc { expected, found });
+    }
+    serde_json::from_str(payload)
+        .map_err(|e| CheckpointError::Format(format!("payload decode failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

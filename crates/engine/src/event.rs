@@ -10,7 +10,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A simulation event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Event {
     /// A task arrives at the resource management system.
     TaskArrival {
@@ -140,6 +140,81 @@ impl EventQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// All pending events in pop order (`(time, seq)` ascending), without
+    /// disturbing the queue. Used by the invariant auditor and the
+    /// checkpoint writer.
+    #[must_use]
+    pub fn pending(&self) -> Vec<(Ticks, Event)> {
+        let mut entries: Vec<&Scheduled> = self.heap.iter().collect();
+        entries.sort_by_key(|s| (s.time, s.seq));
+        entries.into_iter().map(|s| (s.time, s.event)).collect()
+    }
+}
+
+// Manual serde: `Scheduled` and the heap layout are private, so the queue
+// serializes as its entries in pop order plus the sequence counter.
+// Restoring re-pushes the entries with their *original* sequence numbers,
+// so same-tick tie-breaking — and therefore the whole event trace — is
+// preserved bit-for-bit across a checkpoint.
+impl serde::Serialize for EventQueue {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<&Scheduled> = self.heap.iter().collect();
+        entries.sort_by_key(|s| (s.time, s.seq));
+        let entries: Vec<serde::Value> = entries
+            .into_iter()
+            .map(|s| {
+                serde::Value::Array(vec![
+                    serde::Serialize::to_value(&s.time),
+                    serde::Serialize::to_value(&s.seq),
+                    serde::Serialize::to_value(&s.event),
+                ])
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("entries".to_string(), serde::Value::Array(entries)),
+            (
+                "next_seq".to_string(),
+                serde::Serialize::to_value(&self.next_seq),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for EventQueue {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("EventQueue: expected object"))?;
+        let entries = serde::__find(obj, "entries")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| serde::Error::custom("EventQueue: missing entries array"))?;
+        let next_seq: u64 = serde::Deserialize::from_value(
+            serde::__find(obj, "next_seq")
+                .ok_or_else(|| serde::Error::custom("EventQueue: missing next_seq"))?,
+        )?;
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for e in entries {
+            let parts = e
+                .as_array()
+                .ok_or_else(|| serde::Error::custom("EventQueue: entry must be an array"))?;
+            if parts.len() != 3 {
+                return Err(serde::Error::custom(
+                    "EventQueue: entry must be [time, seq, event]",
+                ));
+            }
+            let time: Ticks = serde::Deserialize::from_value(&parts[0])?;
+            let seq: u64 = serde::Deserialize::from_value(&parts[1])?;
+            if seq >= next_seq {
+                return Err(serde::Error::custom(format!(
+                    "EventQueue: entry seq {seq} not below next_seq {next_seq}"
+                )));
+            }
+            let event: Event = serde::Deserialize::from_value(&parts[2])?;
+            heap.push(Scheduled { time, seq, event });
+        }
+        Ok(Self { heap, next_seq })
     }
 }
 

@@ -39,7 +39,7 @@ const FAULT_STREAM: u64 = 0xFA17;
 
 /// Per-run fault state: parameters, the dedicated RNG stream, and node
 /// downtime accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct FaultModel {
     params: crate::params::FaultParams,
     enabled: bool,

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod checkpoint;
 pub mod event;
 pub mod fault;
 pub mod init;
@@ -32,6 +34,10 @@ pub mod report;
 pub mod sim;
 pub mod stats;
 
+pub use audit::AuditError;
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, FORMAT_VERSION,
+};
 pub use event::{Event, EventQueue};
 pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};
@@ -40,7 +46,7 @@ pub use params::{
 };
 pub use report::Report;
 pub use sim::{
-    Decision, DiscardReason, PlacePhase, Placement, Resume, RunResult, SchedCtx, SchedulePolicy,
-    Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
+    Decision, DiscardReason, PlacePhase, Placement, Resume, RunError, RunOptions, RunResult,
+    SchedCtx, SchedulePolicy, Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
 };
 pub use stats::{Metrics, PhaseCounts, PhaseKind, Stats};

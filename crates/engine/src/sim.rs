@@ -26,6 +26,8 @@
 //! with `t_start = t_d` (the moment the RMS submits the task to the
 //! node).
 
+use crate::audit::AuditError;
+use crate::checkpoint::{self, Checkpoint, CheckpointError};
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultModel;
 use crate::init;
@@ -82,6 +84,34 @@ pub trait TaskSource {
     /// Notification that a previously yielded task completed
     /// (task-graph dependency tracking). Default: ignored.
     fn on_task_completed(&mut self, _task: TaskId, _now: Ticks) {}
+
+    /// Identity of this source kind, recorded in checkpoints;
+    /// [`Simulation::resume`] refuses a source of a different kind.
+    /// Sources whose yields depend only on the RNG (whose position the
+    /// checkpoint captures) can keep the default.
+    fn source_kind(&self) -> &'static str {
+        "stateless"
+    }
+
+    /// Replay cursor captured in checkpoints. Sources that walk an
+    /// in-memory list (e.g. recorded traces) report their position here
+    /// and honour it in [`restore_cursor`](Self::restore_cursor);
+    /// RNG-driven sources keep the default `0`.
+    fn source_cursor(&self) -> u64 {
+        0
+    }
+
+    /// Restore a cursor previously reported by
+    /// [`source_cursor`](Self::source_cursor), returning whether this
+    /// source supports resuming at all. Sources whose progress cannot be
+    /// reconstructed from a cursor (e.g. completion-gated task graphs)
+    /// return `false`, making [`Simulation::resume`] fail with a typed
+    /// error instead of silently replaying from a wrong state. Default:
+    /// ignore the cursor and allow resume (correct for RNG-driven
+    /// sources, whose entire position lives in the checkpointed RNG).
+    fn restore_cursor(&mut self, _cursor: u64) -> bool {
+        true
+    }
 }
 
 /// Why a task was discarded.
@@ -170,7 +200,7 @@ pub enum Resume {
 }
 
 /// Dense task table (the driver's master copy of every task).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct TaskTable {
     tasks: Vec<Task>,
 }
@@ -264,6 +294,78 @@ pub trait SchedulePolicy {
     fn on_node_repaired(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId) -> Vec<Resume> {
         Vec::new()
     }
+
+    /// Identity label recorded in checkpoints; [`Simulation::resume`]
+    /// refuses a policy with a different label. Policies whose behaviour
+    /// depends on construction parameters (e.g. a search strategy) must
+    /// fold them into the label so a resume cannot silently switch
+    /// algorithms mid-run. Default: the policy [`name`](Self::name).
+    fn state_label(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+/// Options controlling checkpointing and auditing during a run
+/// ([`Simulation::run_with`] / [`Simulation::run_tick_stepped_with`]).
+/// The default — everything off — makes those drivers behave exactly
+/// like [`Simulation::run`] / [`Simulation::run_tick_stepped`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Write a checkpoint whenever the clock crosses a multiple of this
+    /// many ticks (after the crossing event is dispatched). `None`
+    /// disables periodic checkpoints.
+    pub checkpoint_every: Option<Ticks>,
+    /// Directory receiving periodic checkpoints, created on first write.
+    /// Files are named `checkpoint-<clock>.dsc`. `None` means the
+    /// current directory.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Run the invariant auditor after **every** dispatched event
+    /// (expensive; for tests and fault hunts).
+    pub audit: bool,
+    /// Run the invariant auditor whenever the clock crosses a multiple
+    /// of this many ticks. Checkpoint boundaries always audit, with or
+    /// without this.
+    pub audit_every: Option<Ticks>,
+}
+
+/// Why a checkpointed/audited run ([`Simulation::run_with`]) aborted.
+#[derive(Debug)]
+pub enum RunError {
+    /// The auditor found corrupted simulator state; the run stopped
+    /// before acting on it.
+    Audit(AuditError),
+    /// A periodic checkpoint could not be written.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Audit(e) => write!(f, "audit failed: {e}"),
+            RunError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Audit(e) => Some(e),
+            RunError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<AuditError> for RunError {
+    fn from(e: AuditError) -> Self {
+        RunError::Audit(e)
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Checkpoint(e)
+    }
 }
 
 /// Result of a finished run.
@@ -293,6 +395,13 @@ pub const POLL_SCHED_STEPS: u64 = 16;
 /// 100 000 tasks / 200 nodes).
 pub const POLL_HOUSEKEEPING_PER_NODE: u64 = 3;
 
+/// First multiple of `every` strictly after `clock` (intervals of 0 are
+/// treated as 1 so boundary arithmetic can never stall the clock).
+fn next_boundary(clock: Ticks, every: Ticks) -> Ticks {
+    let every = every.max(1);
+    (clock / every + 1) * every
+}
+
 /// The simulation driver.
 pub struct Simulation<S, P> {
     params: SimParams,
@@ -312,6 +421,9 @@ pub struct Simulation<S, P> {
     last_arrival: Ticks,
     /// The source reported `NotYet`; re-poll after the next completion.
     stalled: bool,
+    /// Whether [`prime`](Self::prime) already ran (true for resumed
+    /// simulations, whose checkpoint captured the primed state).
+    primed: bool,
 }
 
 impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
@@ -341,7 +453,108 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             created: 0,
             last_arrival: 0,
             stalled: false,
+            primed: false,
         })
+    }
+
+    /// Rebuild a simulation from a [`Checkpoint`].
+    ///
+    /// The caller supplies a fresh `source` and `policy` of the same
+    /// kind the checkpointed run used — verified against the recorded
+    /// [`TaskSource::source_kind`] and [`SchedulePolicy::state_label`];
+    /// a mismatch is rejected with [`CheckpointError::State`] rather
+    /// than silently resuming under a different algorithm. The source's
+    /// replay cursor is restored, the restored state is audited
+    /// ([`Self::audit`]) before anything runs, and observers start
+    /// empty (they are not captured; see [`crate::checkpoint`]).
+    ///
+    /// Running a resumed simulation to completion produces bit-identical
+    /// results to the uninterrupted run, on either driver.
+    pub fn resume(cp: Checkpoint, mut source: S, policy: P) -> Result<Self, CheckpointError> {
+        cp.params
+            .validate()
+            .map_err(|e| CheckpointError::State(format!("invalid parameters: {e}")))?;
+        let label = policy.state_label();
+        if label != cp.policy {
+            return Err(CheckpointError::State(format!(
+                "policy mismatch: checkpoint was taken under {:?}, resuming with {label:?}",
+                cp.policy
+            )));
+        }
+        if source.source_kind() != cp.source_kind {
+            return Err(CheckpointError::State(format!(
+                "source mismatch: checkpoint was fed by {:?}, resuming with {:?}",
+                cp.source_kind,
+                source.source_kind()
+            )));
+        }
+        if !source.restore_cursor(cp.source_cursor) {
+            return Err(CheckpointError::State(format!(
+                "source kind {:?} does not support resuming from a checkpoint",
+                cp.source_kind
+            )));
+        }
+        let mut stats = cp.stats;
+        stats.wait_samples = cp.wait_samples;
+        let sim = Self {
+            params: cp.params,
+            resources: cp.resources,
+            tasks: cp.tasks,
+            events: cp.events,
+            suspension: cp.suspension,
+            steps: cp.steps,
+            stats,
+            rng: cp.rng,
+            fault: cp.fault,
+            source,
+            policy,
+            observers: Vec::new(),
+            clock: cp.clock,
+            created: cp.created as usize,
+            last_arrival: cp.last_arrival,
+            stalled: cp.stalled,
+            primed: true,
+        };
+        sim.audit()
+            .map_err(|e| CheckpointError::State(format!("restored state failed audit: {e}")))?;
+        Ok(sim)
+    }
+
+    /// Snapshot the complete current state (see [`crate::checkpoint`]
+    /// for what is and is not captured).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            params: self.params.clone(),
+            policy: self.policy.state_label(),
+            source_kind: self.source.source_kind().to_string(),
+            source_cursor: self.source.source_cursor(),
+            resources: self.resources.clone(),
+            tasks: self.tasks.clone(),
+            events: self.events.clone(),
+            suspension: self.suspension.clone(),
+            steps: self.steps,
+            stats: self.stats.clone(),
+            wait_samples: self.stats.wait_samples.clone(),
+            rng: self.rng.clone(),
+            fault: self.fault.clone(),
+            clock: self.clock,
+            created: self.created as u64,
+            last_arrival: self.last_arrival,
+            stalled: self.stalled,
+        }
+    }
+
+    /// Cross-check all live state with the invariant auditor
+    /// ([`crate::audit::check`]).
+    pub fn audit(&self) -> Result<(), AuditError> {
+        crate::audit::check(
+            &self.resources,
+            &self.tasks,
+            &self.events,
+            &self.suspension,
+            self.clock,
+        )
     }
 
     /// Attach an observer (monitoring module).
@@ -358,15 +571,42 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     }
 
     /// Run event-driven to completion.
-    pub fn run(mut self) -> RunResult {
-        self.prime();
+    pub fn run(self) -> RunResult {
+        self.run_with(&RunOptions::default())
+            .expect("a run without checkpoints or audits cannot fail")
+    }
+
+    /// Run event-driven to completion with periodic checkpoints and/or
+    /// audits. With default options this is exactly [`run`](Self::run).
+    ///
+    /// Boundary semantics: after an event is dispatched at time `t`, a
+    /// checkpoint (and audit) fires if `t` reached the next multiple of
+    /// the configured interval. Both drivers dispatch the same events at
+    /// the same clock values in the same order, so they hit identical
+    /// boundary states — checkpoints taken by this driver and by
+    /// [`run_tick_stepped_with`](Self::run_tick_stepped_with) under the
+    /// same options are byte-identical.
+    pub fn run_with(mut self, opts: &RunOptions) -> Result<RunResult, RunError> {
+        let mut next_cp = opts.checkpoint_every.map(|e| next_boundary(self.clock, e));
+        let mut next_audit = opts.audit_every.map(|e| next_boundary(self.clock, e));
+        if !self.primed {
+            self.prime();
+            self.primed = true;
+        }
+        // Under --audit, validate the starting state before acting on
+        // it: corruption must surface as a typed error, not as a panic
+        // inside the first dispatch that trips over it.
+        if opts.audit {
+            self.audit()?;
+        }
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.clock, "time must be monotone");
             self.charge_idle_polls(t - self.clock);
             self.clock = t;
             self.dispatch(ev);
+            self.at_boundary(opts, &mut next_cp, &mut next_audit)?;
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Step accounting for the interval between events: the original
@@ -395,12 +635,29 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     /// identical to [`run`](Self::run) (property-tested); kept for
     /// cross-validation and the driver ablation. O(total ticks), so use
     /// small workloads.
-    pub fn run_tick_stepped(mut self) -> RunResult {
-        self.prime();
+    pub fn run_tick_stepped(self) -> RunResult {
+        self.run_tick_stepped_with(&RunOptions::default())
+            .expect("a run without checkpoints or audits cannot fail")
+    }
+
+    /// Tick-stepped counterpart of [`run_with`](Self::run_with); same
+    /// boundary semantics, byte-identical checkpoints.
+    pub fn run_tick_stepped_with(mut self, opts: &RunOptions) -> Result<RunResult, RunError> {
+        let mut next_cp = opts.checkpoint_every.map(|e| next_boundary(self.clock, e));
+        let mut next_audit = opts.audit_every.map(|e| next_boundary(self.clock, e));
+        if !self.primed {
+            self.prime();
+            self.primed = true;
+        }
+        // See run_with: audit the starting state before acting on it.
+        if opts.audit {
+            self.audit()?;
+        }
         while !self.events.is_empty() {
             while let Some((t, ev)) = self.events.pop_due(self.clock) {
                 debug_assert_eq!(t, self.clock);
                 self.dispatch(ev);
+                self.at_boundary(opts, &mut next_cp, &mut next_audit)?;
             }
             if self.events.is_empty() {
                 break;
@@ -408,7 +665,41 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.charge_idle_polls(1);
             self.clock += 1;
         }
-        self.finish()
+        Ok(self.finish())
+    }
+
+    /// Post-dispatch hook of the `*_with` drivers: audit and/or write a
+    /// periodic checkpoint when the clock has crossed the next interval
+    /// boundary. A due checkpoint always audits first — persisting a
+    /// corrupted snapshot would poison every future resume.
+    fn at_boundary(
+        &mut self,
+        opts: &RunOptions,
+        next_cp: &mut Option<Ticks>,
+        next_audit: &mut Option<Ticks>,
+    ) -> Result<(), RunError> {
+        let cp_due = next_cp.is_some_and(|t| self.clock >= t);
+        let audit_due = next_audit.is_some_and(|t| self.clock >= t);
+        if opts.audit || cp_due || audit_due {
+            self.audit()?;
+        }
+        if audit_due {
+            let every = opts.audit_every.unwrap_or(1);
+            *next_audit = Some(next_boundary(self.clock, every));
+        }
+        if cp_due {
+            let every = opts.checkpoint_every.unwrap_or(1);
+            let dir = opts
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("."));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| RunError::Checkpoint(CheckpointError::Io(e)))?;
+            let path = dir.join(format!("checkpoint-{:012}.dsc", self.clock));
+            checkpoint::write_checkpoint(&path, &self.checkpoint())?;
+            *next_cp = Some(next_boundary(self.clock, every));
+        }
+        Ok(())
     }
 
     fn prime(&mut self) {
@@ -1298,5 +1589,413 @@ mod tests {
         // second run that counts match metrics.
         let res = sim.with_observer(Box::new(RecordingMonitor::new(0))).run();
         assert_eq!(res.metrics.total_tasks_generated, 20);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore and the invariant auditor.
+    // ------------------------------------------------------------------
+
+    use crate::audit::AuditError;
+    use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
+
+    /// Parameters with every fault mechanism active, so checkpoints must
+    /// carry retry counters, staleness stamps, per-node down-since
+    /// state, and both RNG streams to stay bit-identical.
+    fn fault_params() -> SimParams {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.faults.node_mttf = Some(400);
+        p.faults.node_mttr = 100;
+        p.faults.reconfig_fail_prob = 0.2;
+        p.faults.task_fail_prob = 0.1;
+        p
+    }
+
+    /// Fresh per-test temp dir (removed and recreated on entry).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dreamsim-cp-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Drive `sim` event-by-event until `probe` yields a value, leaving
+    /// the simulation mid-run. Panics if the run drains first.
+    fn drive_find<T>(
+        sim: &mut Simulation<FixedSource, GreedyPolicy>,
+        mut probe: impl FnMut(&Simulation<FixedSource, GreedyPolicy>) -> Option<T>,
+    ) -> T {
+        if !sim.primed {
+            sim.prime();
+            sim.primed = true;
+        }
+        while let Some((t, ev)) = sim.events.pop() {
+            sim.charge_idle_polls(t - sim.clock);
+            sim.clock = t;
+            sim.dispatch(ev);
+            if let Some(x) = probe(sim) {
+                return x;
+            }
+        }
+        panic!("run drained without reaching the probed state");
+    }
+
+    /// First slot currently idle (configured, no task), after driving to
+    /// such a state.
+    fn drive_to_idle_slot(sim: &mut Simulation<FixedSource, GreedyPolicy>) -> (NodeId, u32) {
+        drive_find(sim, |s| {
+            s.resources.nodes().iter().find_map(|n| {
+                n.slots()
+                    .find(|(_, slot)| slot.task.is_none())
+                    .map(|(i, _)| (n.id, i))
+            })
+        })
+    }
+
+    /// Drive `sim` event-by-event until its clock reaches `stop`,
+    /// leaving it mid-run with events still pending.
+    fn drive_until(sim: &mut Simulation<FixedSource, GreedyPolicy>, stop: Ticks) {
+        if !sim.primed {
+            sim.prime();
+            sim.primed = true;
+        }
+        while let Some((t, ev)) = sim.events.pop() {
+            sim.charge_idle_polls(t - sim.clock);
+            sim.clock = t;
+            sim.dispatch(ev);
+            if sim.clock >= stop {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_event_driven() {
+        let p = fault_params();
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let stop = base.metrics.total_simulation_time / 2;
+        let mut sim = Simulation::new(p, FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, stop);
+        assert!(!sim.events.is_empty(), "checkpoint must be taken mid-run");
+        let dir = temp_dir("bitident-ev");
+        let path = dir.join("mid.dsc");
+        write_checkpoint(&path, &sim.checkpoint()).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        assert_eq!(base.metrics, resumed.metrics);
+        assert_eq!(base.tasks, resumed.tasks);
+        assert_eq!(base.report.to_xml(), resumed.report.to_xml());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_tick_stepped() {
+        let p = fault_params();
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_tick_stepped();
+        let stop = base.metrics.total_simulation_time / 2;
+        let mut sim = Simulation::new(p, FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, stop);
+        assert!(!sim.events.is_empty(), "checkpoint must be taken mid-run");
+        let dir = temp_dir("bitident-ts");
+        let path = dir.join("mid.dsc");
+        write_checkpoint(&path, &sim.checkpoint()).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_tick_stepped();
+        assert_eq!(base.metrics, resumed.metrics);
+        assert_eq!(base.tasks, resumed.tasks);
+        assert_eq!(base.report.to_xml(), resumed.report.to_xml());
+    }
+
+    #[test]
+    fn periodic_checkpoints_identical_across_drivers() {
+        let p = fault_params();
+        let d_ev = temp_dir("periodic-ev");
+        let d_ts = temp_dir("periodic-ts");
+        let opts = |dir: &std::path::Path| RunOptions {
+            checkpoint_every: Some(200),
+            checkpoint_dir: Some(dir.to_path_buf()),
+            audit: true,
+            audit_every: None,
+        };
+        let a = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_with(&opts(&d_ev))
+            .unwrap();
+        let b = Simulation::new(p, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_tick_stepped_with(&opts(&d_ts))
+            .unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        let names = |d: &std::path::Path| {
+            let mut v: Vec<String> = std::fs::read_dir(d)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            v.sort();
+            v
+        };
+        let (na, nb) = (names(&d_ev), names(&d_ts));
+        assert!(!na.is_empty(), "run should have produced checkpoints");
+        assert_eq!(na, nb, "both drivers checkpoint at the same clocks");
+        for n in &na {
+            assert!(!n.ends_with(".tmp"), "temp file {n} leaked");
+            assert_eq!(
+                std::fs::read(d_ev.join(n)).unwrap(),
+                std::fs::read(d_ts.join(n)).unwrap(),
+                "checkpoint {n} differs across drivers"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_periodic_checkpoint_matches_uninterrupted_run() {
+        let p = fault_params();
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let dir = temp_dir("resume-periodic");
+        let _ = Simulation::new(p, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_with(&RunOptions {
+                checkpoint_every: Some(300),
+                checkpoint_dir: Some(dir.clone()),
+                audit: false,
+                audit_every: Some(100),
+            })
+            .unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        // Resume from every checkpoint the run dropped; each must land on
+        // the identical final report.
+        assert!(!names.is_empty());
+        for n in &names {
+            let cp = read_checkpoint(&dir.join(n)).unwrap();
+            let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
+                .unwrap()
+                .run();
+            assert_eq!(base.metrics, resumed.metrics, "divergence from {n}");
+            assert_eq!(base.report.to_xml(), resumed.report.to_xml());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_policy_and_source() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 100);
+        let cp = sim.checkpoint();
+        match Simulation::resume(cp.clone(), FixedSource, AlwaysSuspendPolicy).err() {
+            Some(CheckpointError::State(msg)) => {
+                assert!(msg.contains("policy mismatch"), "got: {msg}");
+            }
+            other => panic!("expected policy mismatch, got {other:?}"),
+        }
+        // Same policy resumes fine.
+        assert!(Simulation::resume(cp, FixedSource, GreedyPolicy).is_ok());
+    }
+
+    #[test]
+    fn audit_catches_compensated_slot_area_corruption() {
+        // Grow a slot's area and the node's total area together: Eq. 4
+        // still balances, so the store's own checker passes — only the
+        // auditor's cross-check against the configuration table sees it.
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        let (victim, slot) = drive_find(&mut sim, |s| {
+            s.resources
+                .nodes()
+                .iter()
+                .find_map(|n| n.slots().next().map(|(i, _)| (n.id, i)))
+        });
+        let node = sim.resources.debug_node_mut(victim);
+        node.slot_mut(slot).unwrap().area += 1;
+        node.total_area += 1;
+        assert!(
+            sim.resources.check_invariants().is_ok(),
+            "compensated corruption must evade the store's own checker"
+        );
+        match sim.audit() {
+            Err(AuditError::SlotArea {
+                node,
+                slot_area,
+                config_area,
+                ..
+            }) => {
+                assert_eq!(node, victim);
+                assert_ne!(slot_area, config_area);
+            }
+            other => panic!("expected SlotArea, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_catches_store_list_corruption() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        // Park a task id on an idle slot without moving it to the busy
+        // list: flags and lists now disagree.
+        let victim = drive_to_idle_slot(&mut sim);
+        sim.resources
+            .debug_node_mut(victim.0)
+            .slot_mut(victim.1)
+            .unwrap()
+            .task = Some(TaskId(0));
+        match sim.audit() {
+            Err(AuditError::Store { detail }) => {
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected Store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_catches_task_state_slot_mismatch() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 200);
+        let running = sim
+            .tasks
+            .iter()
+            .find(|t| t.state == TaskState::Running)
+            .map(|t| t.id)
+            .expect("a running task exists by t=200");
+        sim.tasks.get_mut(running).state = TaskState::Completed;
+        match sim.audit() {
+            Err(AuditError::TaskSlot { task, .. }) => assert_eq!(task, running),
+            other => panic!("expected TaskSlot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_catches_bogus_event_target() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 200);
+        sim.events.push(
+            sim.clock + 5,
+            Event::TaskArrival {
+                task: TaskId(9_999),
+            },
+        );
+        match sim.audit() {
+            Err(AuditError::EventTarget { detail, .. }) => {
+                assert!(detail.contains("9999"), "got: {detail}");
+            }
+            other => panic!("expected EventTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_catches_stray_suspension_entry() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 200);
+        // Queue a task that is not in Suspended state.
+        let not_suspended = sim
+            .tasks
+            .iter()
+            .find(|t| t.state != TaskState::Suspended)
+            .map(|t| t.id)
+            .unwrap();
+        sim.suspension.push(not_suspended, &mut sim.steps);
+        assert!(matches!(sim.audit(), Err(AuditError::Suspension { .. })));
+    }
+
+    #[test]
+    fn run_with_audit_aborts_on_corrupted_store() {
+        // End-to-end: a run under --audit must stop with a typed error
+        // (not a panic, not a silently wrong report) when state is
+        // corrupted mid-run.
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        let victim = drive_to_idle_slot(&mut sim);
+        sim.resources
+            .debug_node_mut(victim.0)
+            .slot_mut(victim.1)
+            .unwrap()
+            .task = Some(TaskId(0));
+        let opts = RunOptions {
+            audit: true,
+            ..RunOptions::default()
+        };
+        match sim.run_with(&opts) {
+            Err(RunError::Audit(_)) => {}
+            other => panic!("expected audit abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_checkpoint_files_are_rejected() {
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 100);
+        let dir = temp_dir("file-errors");
+        let path = dir.join("good.dsc");
+        write_checkpoint(&path, &sim.checkpoint()).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let (header, payload) = raw.split_once('\n').unwrap();
+
+        // Flipped payload byte → CRC mismatch.
+        let mut flipped = payload.to_string().into_bytes();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let bad = dir.join("flipped.dsc");
+        std::fs::write(&bad, [header.as_bytes(), b"\n", &flipped].concat()).unwrap();
+        assert!(matches!(
+            read_checkpoint(&bad),
+            Err(CheckpointError::Crc { .. })
+        ));
+
+        // Garbage header → format error.
+        let bad = dir.join("garbage.dsc");
+        std::fs::write(&bad, format!("NOT-A-CHECKPOINT\n{payload}")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&bad),
+            Err(CheckpointError::Format(_))
+        ));
+
+        // Future version → version error (checked before the CRC).
+        let bumped = header.replacen(" 1 ", " 2 ", 1);
+        assert_ne!(bumped, header, "header should contain the version");
+        let bad = dir.join("future.dsc");
+        std::fs::write(&bad, format!("{bumped}\n{payload}")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&bad),
+            Err(CheckpointError::Version { found: 2 })
+        ));
+
+        // Truncated payload → CRC mismatch, not a panic.
+        let bad = dir.join("truncated.dsc");
+        std::fs::write(&bad, &raw[..raw.len() / 2]).unwrap();
+        assert!(matches!(
+            read_checkpoint(&bad),
+            Err(CheckpointError::Crc { .. }) | Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn resume_audits_restored_state() {
+        // A checkpoint doctored into an inconsistent state must be
+        // rejected at resume, before any event is processed.
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 200);
+        let mut cp = sim.checkpoint();
+        // Corrupt the captured suspension queue: park a non-suspended
+        // task.
+        let not_suspended = cp
+            .tasks
+            .iter()
+            .find(|t| t.state != TaskState::Suspended)
+            .map(|t| t.id)
+            .unwrap();
+        cp.suspension.push(not_suspended, &mut StepCounter::new());
+        match Simulation::resume(cp, FixedSource, GreedyPolicy).err() {
+            Some(CheckpointError::State(msg)) => {
+                assert!(msg.contains("audit"), "got: {msg}");
+            }
+            other => panic!("expected state rejection, got {other:?}"),
+        }
     }
 }

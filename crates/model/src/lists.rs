@@ -27,7 +27,7 @@ pub enum ListKind {
 }
 
 /// Heads of the idle/busy lists for every configuration.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ConfigLists {
     idle_head: Vec<Option<EntryRef>>,
     busy_head: Vec<Option<EntryRef>>,

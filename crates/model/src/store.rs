@@ -56,7 +56,7 @@ impl Demand {
 }
 
 /// Owner of all resource state for one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ResourceManager {
     nodes: Vec<Node>,
     configs: Vec<Config>,
@@ -112,6 +112,20 @@ impl ResourceManager {
     #[must_use]
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Mutable access to a node **bypassing list maintenance**. Exists
+    /// solely so tests (e.g. the invariant auditor's) can corrupt store
+    /// state on purpose; production code must go through the mutation
+    /// API above, which keeps the intrusive lists consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
     }
 
     /// Borrow a configuration.

@@ -14,7 +14,7 @@ use crate::steps::{StepCounter, StepKind};
 use std::collections::VecDeque;
 
 /// FIFO queue of suspended tasks.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SuspensionQueue {
     queue: VecDeque<TaskId>,
     /// High-water mark, reported by the monitoring module.

@@ -94,6 +94,24 @@ impl Xoshiro256StarStar {
         Self { s }
     }
 
+    /// Expose the raw 256-bit state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild an engine from a previously captured [`state`](Self::state).
+    ///
+    /// Returns `None` for the all-zero state (the lone fixed point of the
+    /// transition function, which `seed_from` can never produce).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s.iter().all(|&w| w == 0) {
+            return None;
+        }
+        Some(Self { s })
+    }
+
     /// The `jump()` function: advances the stream by 2^128 steps, yielding
     /// a non-overlapping subsequence. Useful for long-lived parallel
     /// streams sharing one logical seed.

@@ -102,7 +102,7 @@ fn gini(xs: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     // Gini = (2 Σ i·xᵢ)/(n Σ xᵢ) − (n+1)/n, with 1-based i over sorted x.
     let weighted: f64 = sorted
         .iter()

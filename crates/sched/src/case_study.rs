@@ -174,6 +174,12 @@ impl CaseStudyScheduler {
     ) -> Option<Placement> {
         // Phase: Allocation.
         if let Some(entry) = self.pick_idle(ctx, config) {
+            // Invariant: `pick_idle` only returns entries drawn from the
+            // idle lists (or a naive scan for idle slots), and nothing
+            // runs between the search and the assignment, so the slot
+            // cannot have become busy. A failure here is store
+            // corruption, which the engine's auditor reports as a typed
+            // error before the policy ever sees the slot.
             ctx.resources
                 .assign_task(entry, task, ctx.steps)
                 .expect("idle entry accepts a task");
@@ -215,6 +221,9 @@ impl CaseStudyScheduler {
         }
         // Phase: (Partial) re-configuration — Algorithm 1.
         if let Some((node, evict)) = ctx.resources.find_any_idle_node(demand, ctx.steps) {
+            // Invariant: Algorithm 1 selected `evict` from the node's
+            // currently idle slots and holds the mutable borrow until
+            // eviction, so every listed slot is still idle.
             ctx.resources
                 .evict_idle_slots(node, &evict, ctx.steps)
                 .expect("Algorithm 1 returns idle slots");
@@ -239,6 +248,10 @@ impl CaseStudyScheduler {
         config_time: u64,
         phase: PhaseKind,
     ) -> Placement {
+        // Invariants: every caller reaches this point straight from a
+        // search (or eviction) that established the node has enough free
+        // area for `config`, and a just-configured slot is idle by
+        // construction, so neither call can fail on a consistent store.
         let entry = ctx
             .resources
             .configure_slot(node, config, ctx.steps)
@@ -259,6 +272,18 @@ impl CaseStudyScheduler {
 impl SchedulePolicy for CaseStudyScheduler {
     fn name(&self) -> &'static str {
         "case-study"
+    }
+
+    fn state_label(&self) -> String {
+        // Encodes the ablation knobs so that resuming a checkpoint with
+        // a differently-configured scheduler is rejected up front: the
+        // strategy changes placement order, and the naive-search
+        // ablation changes StepCounter accounting.
+        format!(
+            "case-study/{}{}",
+            self.strategy.label(),
+            if self.naive_search { "/naive" } else { "" }
+        )
     }
 
     fn schedule(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Decision {
@@ -373,6 +398,9 @@ impl SchedulePolicy for CaseStudyScheduler {
         }
         // Enact the chosen plan.
         if let Some((tid, plan)) = chosen {
+            // Invariant: the scan closures above only choose a task
+            // after reading its `resolved_config`, and nothing clears
+            // that field between the scan and here.
             let config = ctx
                 .tasks
                 .get(tid)
@@ -381,6 +409,9 @@ impl SchedulePolicy for CaseStudyScheduler {
             let ct = ctx.resources.config(config).config_time;
             let placement = match plan {
                 Plan::Allocate(entry) => {
+                    // Invariant: `entry` is the slot whose task just
+                    // completed; it was freed before this hook ran and
+                    // only one plan is enacted per freed slot.
                     ctx.resources
                         .assign_task(entry, tid, ctx.steps)
                         .expect("freed slot is idle");
@@ -401,6 +432,9 @@ impl SchedulePolicy for CaseStudyScheduler {
                     PhaseKind::PartialConfiguration,
                 ),
                 Plan::Reconfigure(evict) => {
+                    // Invariant: the plan listed slots that were idle
+                    // during the read-only scan, and no placement has
+                    // touched this node since (one plan per freed slot).
                     ctx.resources
                         .evict_idle_slots(node, &evict, ctx.steps)
                         .expect("planned slots are idle");
@@ -456,6 +490,8 @@ impl SchedulePolicy for CaseStudyScheduler {
             });
         }
         if let Some(tid) = chosen {
+            // Invariant: the scan closure only set `chosen` after
+            // reading `resolved_config` as `Some`.
             let config = ctx.tasks.get(tid).resolved_config.expect("checked above");
             let ct = ctx.resources.config(config).config_time;
             out.push(Resume::Placed(self.configure_and_assign(

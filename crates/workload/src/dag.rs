@@ -138,17 +138,25 @@ impl DagSpec {
     }
 
     /// A linear pipeline `t0 → t1 → … `.
+    ///
+    /// Edges are pushed directly: every index comes from `add_task`
+    /// above and consecutive indices are distinct, so the
+    /// [`add_edge`](Self::add_edge) validation cannot fail here.
     #[must_use]
     pub fn chain(tasks: Vec<DagTask>) -> Self {
         let mut spec = Self::new();
         let ids: Vec<usize> = tasks.into_iter().map(|t| spec.add_task(t)).collect();
         for w in ids.windows(2) {
-            spec.add_edge(w[0], w[1]).expect("chain edges are valid");
+            spec.edges.push((w[0], w[1]));
         }
         spec
     }
 
     /// A fork-join: `source → each worker → sink`.
+    ///
+    /// Edges are pushed directly: source, workers, and sink all get
+    /// distinct indices from `add_task`, so the
+    /// [`add_edge`](Self::add_edge) validation cannot fail here.
     #[must_use]
     pub fn fork_join(source: DagTask, workers: Vec<DagTask>, sink: DagTask) -> Self {
         let mut spec = Self::new();
@@ -156,8 +164,8 @@ impl DagSpec {
         let ws: Vec<usize> = workers.into_iter().map(|t| spec.add_task(t)).collect();
         let k = spec.add_task(sink);
         for w in ws {
-            spec.add_edge(s, w).expect("valid");
-            spec.add_edge(w, k).expect("valid");
+            spec.edges.push((s, w));
+            spec.edges.push((w, k));
         }
         spec
     }
@@ -265,6 +273,21 @@ impl TaskSource for DagSource {
                 self.ready.push_back(child);
             }
         }
+    }
+
+    fn source_kind(&self) -> &'static str {
+        "dag"
+    }
+
+    fn source_cursor(&self) -> u64 {
+        self.yielded.len() as u64
+    }
+
+    fn restore_cursor(&mut self, _cursor: u64) -> bool {
+        // The ready queue's order depends on the order of past
+        // completions, which a cursor cannot reconstruct — refuse to
+        // resume rather than replay from a wrong gating state.
+        false
     }
 }
 

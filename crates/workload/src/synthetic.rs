@@ -85,6 +85,14 @@ impl TaskSource for SyntheticSource {
             data_bytes,
         })
     }
+
+    fn source_kind(&self) -> &'static str {
+        // Fully RNG-driven: the checkpointed RNG position plus the
+        // parameters (from which `from_params` rebuilds this source)
+        // are the entire state, so the default resume behaviour —
+        // ignore the cursor — is exactly right.
+        "synthetic"
+    }
 }
 
 #[cfg(test)]

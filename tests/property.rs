@@ -1,12 +1,13 @@
 //! Cross-crate property tests: arbitrary small parameter sets and
 //! workloads must never violate the simulator's global invariants.
 
-use dreamsim::engine::{ReconfigMode, SimParams, Simulation};
+use dreamsim::engine::{read_checkpoint, ReconfigMode, RunOptions, SimParams, Simulation};
 use dreamsim::model::PreferredConfig;
 use dreamsim::sched::CaseStudyScheduler;
 use dreamsim::sweep::runner::{run_point, SweepPoint};
 use dreamsim::workload::SyntheticSource;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn arb_params() -> impl Strategy<Value = SimParams> {
     (
@@ -99,6 +100,64 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Snapshots of arbitrary mid-run states survive a full
+    /// serialize → disk → restore round trip: the restored state passes
+    /// the invariant auditor, and continuing from it reproduces the
+    /// uninterrupted run's report byte for byte.
+    #[test]
+    fn checkpoints_restore_to_audited_bit_identical_states(
+        mut p in arb_params(),
+        every in 50u64..2_000,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        p.total_tasks = p.total_tasks.min(40);
+        // Faults exercise the RNG-heavy paths the checkpoint must capture.
+        p.faults.node_mttf = Some(2_000);
+        p.faults.reconfig_fail_prob = 0.1;
+        let dir = std::env::temp_dir().join(format!(
+            "dreamsim-prop-cp-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let build = || Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(&p),
+            CaseStudyScheduler::new(),
+        ).unwrap();
+        let opts = RunOptions {
+            checkpoint_every: Some(every),
+            checkpoint_dir: Some(dir.clone()),
+            audit: true,
+            ..RunOptions::default()
+        };
+        let reference = build().run_with(&opts).unwrap();
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        // Resuming re-runs the remainder of the simulation, so sample a
+        // handful of snapshots instead of replaying from every one.
+        let step = (files.len() / 4).max(1);
+        for file in files.iter().step_by(step) {
+            let cp = read_checkpoint(file).unwrap();
+            let sim = Simulation::resume(
+                cp,
+                SyntheticSource::from_params(&p),
+                CaseStudyScheduler::new(),
+            ).unwrap();
+            // `resume` audits internally; re-assert explicitly so a
+            // future relaxation of that behaviour fails loudly here.
+            prop_assert!(sim.audit().is_ok());
+            let resumed = sim.run_with(&RunOptions::default()).unwrap();
+            prop_assert_eq!(&resumed.metrics, &reference.metrics);
+            prop_assert_eq!(resumed.report.to_xml(), reference.report.to_xml());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Phantom-preferring tasks are only ever assigned a configuration
