@@ -1,0 +1,55 @@
+//! Search-backend comparison: the paper-faithful linear list walks vs
+//! the indexed backend (sorted config index + area-ordered node sets),
+//! which answers every query identically — byte-identical reports,
+//! identical model step counts — while spending less wall-clock time
+//! per search. `dreamsim bench-search` produces the same numbers
+//! offline (BENCH_search.json); this target adds Criterion statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_bench::{BENCH_SEED, BENCH_TASKS};
+use dreamsim_model::SearchBackend;
+use dreamsim_sweep::bench::{end_to_end_point, populated_store, search_workout};
+use std::hint::black_box;
+
+fn search_backends(c: &mut Criterion) {
+    // Cross-check once before timing anything: both backends must agree
+    // on every probe of the workout (the checksum folds results and
+    // charged steps).
+    for nodes in [100, 200] {
+        let lin = populated_store(nodes, SearchBackend::Linear);
+        let idx = populated_store(nodes, SearchBackend::Indexed);
+        assert_eq!(
+            search_workout(&lin, 64),
+            search_workout(&idx, 64),
+            "backends disagree at {nodes} nodes"
+        );
+    }
+
+    let mut group = c.benchmark_group("search_micro");
+    for nodes in [100, 200] {
+        for backend in [SearchBackend::Linear, SearchBackend::Indexed] {
+            let rm = populated_store(nodes, backend);
+            group.bench_function(format!("{nodes}n_{backend}"), |b| {
+                b.iter(|| black_box(search_workout(black_box(&rm), 16)));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("search_end_to_end");
+    group.sample_size(10);
+    let tasks = *BENCH_TASKS.last().unwrap();
+    for nodes in [100, 200] {
+        group.bench_function(format!("{nodes}n_t{tasks}"), |b| {
+            b.iter(|| {
+                let p = end_to_end_point(black_box(nodes), black_box(tasks), BENCH_SEED);
+                assert!(p.reports_identical);
+                black_box((p.linear_ns, p.indexed_ns))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_backends);
+criterion_main!(benches);

@@ -17,8 +17,8 @@ mod args;
 
 use args::{ArgError, Args};
 use dreamsim_engine::{
-    read_checkpoint, ArrivalDistribution, ReconfigMode, Report, RunOptions, RunResult, SimParams,
-    Simulation,
+    read_checkpoint, ArrivalDistribution, ReconfigMode, Report, RunOptions, RunResult,
+    SearchBackend, SimParams, Simulation,
 };
 use dreamsim_rng::Rng;
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
@@ -43,12 +43,16 @@ USAGE:
                [--swf FILE [--ticks-per-second N] [--max-jobs N]]
                [--checkpoint-every TICKS] [--checkpoint-dir DIR]
                [--audit] [--audit-every TICKS] [--resume-from FILE]
+               [--search linear|indexed]
                [--report table|xml|json|csv] [--out FILE]
   dreamsim figures [--fig 6a|6b|7a|7b|8a|8b|9a|9b|10|all]
                    [--max-tasks N | --tasks N1,N2,...]
                    [--threads T] [--seed S] [--out-dir DIR]
+                   [--search linear|indexed]
   dreamsim ablations [--which a1|a2|a3|a4|a5|all] [--nodes N] [--tasks N]
                      [--seed S] [--threads T]
+  dreamsim bench-search [--nodes N1,N2,...] [--tasks N1,N2,...]
+                        [--rounds N] [--seed S] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
   dreamsim help
 
@@ -73,6 +77,17 @@ Simulation parameters come from the checkpoint; for trace/SWF runs
 re-supply the same --replay/--swf file. --audit cross-checks the internal
 state invariants after every dispatched event (and always at checkpoint
 boundaries); --audit-every N audits on a period instead.
+
+Search backends: --search selects how the store answers placement
+searches. linear (default) is the paper's scan; indexed answers the same
+queries from ordered indexes in O(log n) wall-clock time while charging
+the paper's exact step counts, so reports, figures, and checkpoints are
+byte-identical under both (the differential test suite proves it).
+--search also applies to --resume-from: checkpoints never store the
+backend, and the index is rebuilt from the restored state.
+bench-search measures both backends (search-time micro benchmark plus
+end-to-end runs) and writes the results as JSON (default
+BENCH_search.json).
 ";
 
 fn main() -> ExitCode {
@@ -87,6 +102,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args),
         Some("figures") => cmd_figures(&args),
         Some("ablations") => cmd_ablations(&args),
+        Some("bench-search") => cmd_bench_search(&args),
         Some("trace") => cmd_trace(&args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -112,6 +128,12 @@ fn parse_mode(s: &str) -> Result<ReconfigMode, ArgError> {
             "--mode must be full or partial, got {s:?}"
         ))),
     }
+}
+
+fn parse_search(args: &Args) -> Result<SearchBackend, ArgError> {
+    let s = args.get("search", "linear");
+    SearchBackend::parse(s)
+        .ok_or_else(|| ArgError(format!("--search must be linear or indexed, got {s:?}")))
 }
 
 fn parse_strategy(s: &str) -> Result<AllocationStrategy, ArgError> {
@@ -318,7 +340,11 @@ fn trace_from_args(args: &Args, num_configs: usize) -> Result<TraceSource, ArgEr
 /// simulation parameters (and for synthetic workloads the entire task
 /// stream) come from the checkpoint itself; trace/SWF runs re-supply the
 /// same workload file, which the restored cursor fast-forwards.
-fn resume_run(args: &Args, run_opts: &RunOptions) -> Result<RunResult, ArgError> {
+fn resume_run(
+    args: &Args,
+    run_opts: &RunOptions,
+    search: SearchBackend,
+) -> Result<RunResult, ArgError> {
     let path = args.get("resume-from", "");
     let cp = read_checkpoint(Path::new(path))
         .map_err(|e| ArgError(format!("reading checkpoint {path}: {e}")))?;
@@ -346,6 +372,7 @@ fn resume_run(args: &Args, run_opts: &RunOptions) -> Result<RunResult, ArgError>
             let source = SyntheticSource::from_params(cp.params());
             Simulation::resume(cp, source, policy)
                 .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
+                .with_search_backend(search)
                 .run_with(run_opts)
         }
         "trace" => {
@@ -358,6 +385,7 @@ fn resume_run(args: &Args, run_opts: &RunOptions) -> Result<RunResult, ArgError>
             let source = trace_from_args(args, cp.params().total_configs)?;
             Simulation::resume(cp, source, policy)
                 .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
+                .with_search_backend(search)
                 .run_with(run_opts)
         }
         other => {
@@ -371,8 +399,9 @@ fn resume_run(args: &Args, run_opts: &RunOptions) -> Result<RunResult, ArgError>
 
 fn cmd_run(args: &Args) -> Result<(), ArgError> {
     let run_opts = run_options_from_args(args)?;
+    let search = parse_search(args)?;
     let result: RunResult = if args.has("resume-from") {
-        resume_run(args, &run_opts)?
+        resume_run(args, &run_opts, search)?
     } else {
         let params = params_from_args(args)?;
         let strategy = parse_strategy(args.get("policy", "best-fit"))?;
@@ -384,12 +413,14 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
             p.total_tasks = source.len();
             Simulation::new(p, source, policy)
                 .map_err(|e| ArgError(e.to_string()))?
+                .with_search_backend(search)
                 .run_with(&run_opts)
                 .map_err(|e| ArgError(e.to_string()))?
         } else {
             let source = SyntheticSource::from_params(&params);
             Simulation::new(params, source, policy)
                 .map_err(|e| ArgError(e.to_string()))?
+                .with_search_backend(search)
                 .run_with(&run_opts)
                 .map_err(|e| ArgError(e.to_string()))?
         }
@@ -426,7 +457,13 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
             threads.to_string()
         }
     );
-    let grid = ExperimentGrid::run(&node_counts, &task_counts, seed, threads);
+    let grid = ExperimentGrid::run_with_backend(
+        &node_counts,
+        &task_counts,
+        seed,
+        threads,
+        parse_search(args)?,
+    );
     let out_dir = args.get("out-dir", "");
     for fig in figs {
         let series = grid.figure(fig);
@@ -536,6 +573,48 @@ fn cmd_ablations(args: &Args) -> Result<(), ArgError> {
             contiguous.mean_fragmentation_end
         );
     }
+    Ok(())
+}
+
+/// `bench-search`: measure both search backends (micro + end-to-end)
+/// and write the results as `BENCH_search.json`-schema JSON.
+fn cmd_bench_search(args: &Args) -> Result<(), ArgError> {
+    let seed = args.get_num("seed", 2012u64)?;
+    let rounds = args.get_num("rounds", 512usize)?;
+    let node_ladder: Vec<usize> = if args.has("nodes") {
+        args.get_list("nodes", &[])?
+    } else {
+        vec![100, 200]
+    };
+    let task_ladder: Vec<usize> = if args.has("tasks") {
+        args.get_list("tasks", &[])?
+    } else {
+        vec![500, 1_000, 2_000]
+    };
+    eprintln!(
+        "benchmarking search backends: nodes {node_ladder:?} x tasks {task_ladder:?}, \
+         {rounds} micro rounds (seed {seed})"
+    );
+    let report = dreamsim_sweep::run_search_bench(&node_ladder, &task_ladder, seed, rounds);
+    for p in &report.micro {
+        println!(
+            "micro  n{:<5} linear {:>11} ns  indexed {:>11} ns  speedup {:.2}x",
+            p.nodes, p.linear_ns, p.indexed_ns, p.speedup
+        );
+    }
+    for p in &report.end_to_end {
+        println!(
+            "run    n{:<5} t{:<6} linear {:>11} ns  indexed {:>11} ns  speedup {:.2}x  \
+             reports identical: {}",
+            p.nodes, p.tasks, p.linear_ns, p.indexed_ns, p.speedup, p.reports_identical
+        );
+    }
+    let out = args.get("out", "BENCH_search.json");
+    std::fs::write(out, report.to_json()).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "wrote {out} (peak micro speedup {:.2}x)",
+        report.peak_micro_speedup()
+    );
     Ok(())
 }
 

@@ -12,10 +12,15 @@
 //!
 //! **Not captured:** attached [`Observer`](crate::monitor::Observer)s
 //! (they are trait objects owned by the caller; a resumed run starts
-//! with an empty observer list) and the task source / policy internals
+//! with an empty observer list), the task source / policy internals
 //! beyond a cursor and an identity label — sources declare a replay
 //! cursor via [`TaskSource`](crate::TaskSource) hooks, and stateless
-//! policies are rebuilt from their label.
+//! policies are rebuilt from their label — and the store's search
+//! backend/index selection: search backends are byte-equivalent by
+//! construction (DESIGN.md §11), so the index is derived state. A
+//! resumed run starts on the default (linear) backend and re-selects
+//! with [`Simulation::with_search_backend`](crate::Simulation::with_search_backend),
+//! which rebuilds the index from the restored store.
 //!
 //! ## File format
 //!

@@ -38,6 +38,7 @@ pub use audit::AuditError;
 pub use checkpoint::{
     read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, FORMAT_VERSION,
 };
+pub use dreamsim_model::SearchBackend;
 pub use event::{Event, EventQueue};
 pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};

@@ -564,6 +564,19 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         self
     }
 
+    /// Select the store's search backend (CLI `--search`). Both
+    /// backends produce byte-identical reports, figures, and
+    /// checkpoints — they differ only in wall-clock speed (DESIGN.md
+    /// §11). Works on fresh *and* resumed simulations: checkpoints
+    /// never carry the index, so this is also how a resumed run
+    /// re-selects the indexed backend (the index is rebuilt from the
+    /// restored store).
+    #[must_use]
+    pub fn with_search_backend(mut self, backend: dreamsim_model::SearchBackend) -> Self {
+        self.resources.set_search_backend(backend);
+        self
+    }
+
     /// Read-only access to the resource manager (tests/monitoring).
     #[must_use]
     pub fn resources(&self) -> &ResourceManager {

@@ -46,6 +46,7 @@ pub mod ids;
 pub mod lists;
 pub mod naive;
 pub mod node;
+pub mod search;
 pub mod steps;
 pub mod store;
 pub mod suspension;
@@ -57,6 +58,7 @@ pub use contiguous::{GapFit, Strip};
 pub use ids::{Area, ConfigId, EntryRef, NodeId, TaskId, Ticks};
 pub use lists::ConfigLists;
 pub use node::{Node, NodeState, Slot};
+pub use search::{IndexSnapshot, SearchBackend, SearchIndex};
 pub use steps::StepCounter;
 pub use store::{Demand, ResourceManager};
 pub use suspension::SuspensionQueue;

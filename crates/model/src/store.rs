@@ -7,12 +7,19 @@
 //! charges [`StepKind::Housekeeping`] (the resource information module's
 //! own work). The sum of the two is the paper's *total scheduler
 //! workload*.
+//!
+//! Searches can be answered by either of two [`SearchBackend`]s: the
+//! paper's linear scans (default) or ordered indexes
+//! ([`crate::search`]). The backend changes wall-clock cost only — both
+//! backends return the same results **and charge the same steps**, so
+//! reports and checkpoints are backend-independent (DESIGN.md §11).
 
 use crate::caps::Capabilities;
 use crate::config::Config;
 use crate::ids::{Area, ConfigId, EntryRef, NodeId, TaskId};
 use crate::lists::{ConfigLists, ListKind};
 use crate::node::{Node, NodeError, NodeState};
+use crate::search::{IndexSnapshot, SearchBackend, SearchIndex};
 use crate::steps::{StepCounter, StepKind};
 use crate::task::PreferredConfig;
 use std::collections::HashSet;
@@ -61,6 +68,17 @@ pub struct ResourceManager {
     nodes: Vec<Node>,
     configs: Vec<Config>,
     lists: ConfigLists,
+    /// Active search backend. Run-scoped and deliberately **not**
+    /// serialized: checkpoints are backend-independent, and a restored
+    /// store starts on the default (linear) backend until
+    /// [`set_search_backend`](Self::set_search_backend) re-selects one.
+    #[serde(skip)]
+    backend: SearchBackend,
+    /// The ordered indexes backing [`SearchBackend::Indexed`]; empty
+    /// (and ignored) under the linear backend. Rebuilt from the node
+    /// table and lists whenever the indexed backend is (re-)selected.
+    #[serde(skip)]
+    index: SearchIndex,
 }
 
 impl ResourceManager {
@@ -82,7 +100,50 @@ impl ResourceManager {
             nodes,
             configs,
             lists,
+            backend: SearchBackend::default(),
+            index: SearchIndex::default(),
         }
+    }
+
+    /// The backend currently answering placement searches.
+    #[must_use]
+    pub fn search_backend(&self) -> SearchBackend {
+        self.backend
+    }
+
+    /// Select the search backend. Selecting
+    /// [`SearchBackend::Indexed`] (re-)builds the ordered indexes from
+    /// the current node table and lists — this is also the restore path
+    /// after a checkpoint resume, since the index is never serialized.
+    /// Selecting [`SearchBackend::Linear`] drops them. Idempotent and
+    /// safe at any point in a run; switching backends never changes
+    /// step counters, search results, or serialized state.
+    pub fn set_search_backend(&mut self, backend: SearchBackend) {
+        self.backend = backend;
+        match backend {
+            SearchBackend::Linear => self.index.clear(),
+            SearchBackend::Indexed => {
+                self.index = SearchIndex::rebuild(&self.nodes, &self.configs, &self.lists);
+            }
+        }
+    }
+
+    /// Snapshot of the live search index, or `None` under the linear
+    /// backend. Property tests compare this against
+    /// [`rebuilt_index_snapshot`](Self::rebuilt_index_snapshot).
+    #[must_use]
+    pub fn search_index_snapshot(&self) -> Option<IndexSnapshot> {
+        match self.backend {
+            SearchBackend::Indexed => Some(self.index.snapshot()),
+            SearchBackend::Linear => None,
+        }
+    }
+
+    /// Snapshot of a from-scratch index rebuild off the current store
+    /// state — the ground truth the live index must match.
+    #[must_use]
+    pub fn rebuilt_index_snapshot(&self) -> IndexSnapshot {
+        SearchIndex::rebuild(&self.nodes, &self.configs, &self.lists).snapshot()
     }
 
     /// Number of nodes.
@@ -166,6 +227,18 @@ impl ResourceManager {
     ) -> Option<ConfigId> {
         match pref {
             PreferredConfig::Known(id) => {
+                if self.backend == SearchBackend::Indexed {
+                    // Config ids are dense and ordered (checked at
+                    // construction), so the linear scan reaches `id`
+                    // after exactly `index + 1` probes, or exhausts the
+                    // list if the id is out of range.
+                    if id.index() < self.configs.len() {
+                        steps.charge(StepKind::Scheduling, id.index() as u64 + 1);
+                        return Some(id);
+                    }
+                    steps.charge(StepKind::Scheduling, self.configs.len() as u64);
+                    return None;
+                }
                 for c in &self.configs {
                     steps.tick(StepKind::Scheduling);
                     if c.id == id {
@@ -189,6 +262,10 @@ impl ResourceManager {
         needed_area: Area,
         steps: &mut StepCounter,
     ) -> Option<ConfigId> {
+        if self.backend == SearchBackend::Indexed {
+            steps.charge(StepKind::Scheduling, self.configs.len() as u64);
+            return self.index.closest_config(needed_area);
+        }
         let mut best: Option<(Area, ConfigId)> = None;
         for c in &self.configs {
             steps.tick(StepKind::Scheduling);
@@ -208,6 +285,11 @@ impl ResourceManager {
     /// minimum `AvailableArea` (best fit — "so that the nodes with larger
     /// AvailableArea are utilized for later re-configurations").
     pub fn find_best_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
+        if self.backend == SearchBackend::Indexed {
+            // The linear walk visits every list entry; charge the same.
+            steps.charge(StepKind::Scheduling, self.index.idle_len(config) as u64);
+            return self.index.best_idle(config);
+        }
         let mut best: Option<(Area, EntryRef)> = None;
         for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
             steps.tick(StepKind::Scheduling);
@@ -221,6 +303,12 @@ impl ResourceManager {
 
     /// First idle instance of `config` in list order (first fit), for the
     /// policy-ablation schedulers.
+    ///
+    /// Identical under both backends: the intrusive list head is already
+    /// O(1), so the indexed backend has nothing to accelerate. A probe
+    /// of an **empty** list charges zero scheduling steps (there is no
+    /// entry to examine) — pinned by a unit test so the backends cannot
+    /// drift apart on step accounting.
     pub fn find_first_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
         let e = self.lists.iter(&self.nodes, ListKind::Idle, config).next();
         if e.is_some() {
@@ -232,6 +320,10 @@ impl ResourceManager {
     /// Among idle instances of `config`, the node with **maximum**
     /// available area (worst fit), for the policy ablation.
     pub fn find_worst_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Option<EntryRef> {
+        if self.backend == SearchBackend::Indexed {
+            steps.charge(StepKind::Scheduling, self.index.idle_len(config) as u64);
+            return self.index.worst_idle(config);
+        }
         let mut best: Option<(Area, EntryRef)> = None;
         for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
             steps.tick(StepKind::Scheduling);
@@ -245,6 +337,11 @@ impl ResourceManager {
 
     /// All idle instances of `config`, charging one scheduling step per
     /// visited entry (random-choice policy support).
+    ///
+    /// Identical under both backends: the caller (the random policy)
+    /// indexes into the returned vector with an RNG draw, so the
+    /// **list order** of the result is semantically significant and must
+    /// not depend on the backend. An empty list charges zero steps.
     pub fn collect_idle(&self, config: ConfigId, steps: &mut StepCounter) -> Vec<EntryRef> {
         let v: Vec<EntryRef> = self
             .lists
@@ -258,6 +355,18 @@ impl ResourceManager {
     /// `TotalArea` among eligible blank nodes (scans the node table; the
     /// paper keeps no blank list).
     pub fn find_best_blank(&self, demand: Demand, steps: &mut StepCounter) -> Option<NodeId> {
+        if self.backend == SearchBackend::Indexed {
+            // Charge the full table scan the linear backend performs,
+            // then answer from the blank index: candidates arrive in
+            // ascending (TotalArea, NodeId) order — exactly the linear
+            // scan's preference — so the first one passing the
+            // capability and placement filters is the linear pick.
+            steps.charge(StepKind::Scheduling, self.nodes.len() as u64);
+            return self.index.blank_candidates(demand.area).find(|&id| {
+                let n = &self.nodes[id.index()];
+                demand.caps_ok(n) && n.can_host(demand.area)
+            });
+        }
         let mut best: Option<(Area, NodeId)> = None;
         for n in &self.nodes {
             steps.tick(StepKind::Scheduling);
@@ -280,6 +389,13 @@ impl ResourceManager {
         demand: Demand,
         steps: &mut StepCounter,
     ) -> Option<NodeId> {
+        if self.backend == SearchBackend::Indexed {
+            steps.charge(StepKind::Scheduling, self.nodes.len() as u64);
+            return self.index.partial_candidates(demand.area).find(|&id| {
+                let n = &self.nodes[id.index()];
+                demand.caps_ok(n) && n.can_host(demand.area)
+            });
+        }
         let mut best: Option<(Area, NodeId)> = None;
         for n in &self.nodes {
             steps.tick(StepKind::Scheduling);
@@ -300,6 +416,11 @@ impl ResourceManager {
     /// entry charges one scheduling step (the paper increments both
     /// `SearchLength` and `TotalSimWorkLoad`; scheduling steps fold into
     /// the workload total by definition here).
+    ///
+    /// Identical under both backends: the step charge equals the number
+    /// of slots examined before the accumulation threshold is reached,
+    /// which no index can reproduce without performing the walk
+    /// (DESIGN.md §11).
     pub fn find_any_idle_node(
         &self,
         demand: Demand,
@@ -328,6 +449,10 @@ impl ResourceManager {
     /// "Query busy list for potential candidate": does any currently busy
     /// node have `TotalArea ≥ req_area`, so that suspending the task and
     /// waiting for that node is worthwhile?
+    ///
+    /// Identical under both backends: the early-exit scan charges
+    /// exactly the position of the first match, a quantity only the scan
+    /// itself can produce (DESIGN.md §11).
     pub fn busy_candidate_exists(&self, demand: Demand, steps: &mut StepCounter) -> bool {
         for n in &self.nodes {
             steps.tick(StepKind::Scheduling);
@@ -359,6 +484,10 @@ impl ResourceManager {
         let entry = EntryRef::new(node, slot);
         self.lists
             .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
+        if self.backend == SearchBackend::Indexed {
+            self.index.refresh_node(&self.nodes, node);
+            self.index.add_entry(&self.nodes, entry, config);
+        }
         Ok(entry)
     }
 
@@ -391,7 +520,13 @@ impl ResourceManager {
                 removed,
                 "idle slot {entry} missing from idle list of {config}"
             );
+            if self.backend == SearchBackend::Indexed {
+                self.index.remove_entry(node, idx);
+            }
             self.nodes[node.index()].evict_slot(idx)?;
+            if self.backend == SearchBackend::Indexed {
+                self.index.refresh_node(&self.nodes, node);
+            }
         }
         Ok(())
     }
@@ -417,6 +552,10 @@ impl ResourceManager {
             .lists
             .remove(&mut self.nodes, ListKind::Idle, config, entry, steps);
         assert!(removed, "assigning {entry}: not on idle list of {config}");
+        if self.backend == SearchBackend::Indexed {
+            // Assignment changes no areas, only list membership.
+            self.index.remove_entry(entry.node, entry.slot);
+        }
         self.nodes[entry.node.index()].add_task(entry.slot, task)?;
         self.lists
             .push(&mut self.nodes, ListKind::Busy, config, entry, steps);
@@ -447,6 +586,10 @@ impl ResourceManager {
         let task = self.nodes[entry.node.index()].remove_task(entry.slot)?;
         self.lists
             .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
+        if self.backend == SearchBackend::Indexed {
+            self.index.refresh_node(&self.nodes, entry.node);
+            self.index.add_entry(&self.nodes, entry, config);
+        }
         Ok(task)
     }
 
@@ -494,12 +637,20 @@ impl ResourceManager {
             }
         }
         self.nodes[node.index()].down = true;
+        if self.backend == SearchBackend::Indexed {
+            // The loop above did not re-key per slot; purge uses the
+            // recorded keys and drops the node's set registration.
+            self.index.purge_node(&self.nodes, node);
+        }
         killed
     }
 
     /// Bring a failed node back online, blank.
     pub fn repair_node(&mut self, node: NodeId) {
         self.nodes[node.index()].down = false;
+        if self.backend == SearchBackend::Indexed {
+            self.index.refresh_node(&self.nodes, node);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -538,7 +689,10 @@ impl ResourceManager {
     /// 2. every live slot appears on exactly one list — the idle list of
     ///    its config when vacant, the busy list when running a task;
     /// 3. the lists contain no duplicates, no dangling entries, and no
-    ///    entries of the wrong configuration.
+    ///    entries of the wrong configuration;
+    /// 4. under [`SearchBackend::Indexed`], the incrementally maintained
+    ///    index matches a from-scratch rebuild — membership, keys, and
+    ///    tie-break order ([`IndexSnapshot`] equality).
     pub fn check_invariants(&self) -> Result<(), String> {
         for n in &self.nodes {
             if !n.area_invariant_holds() {
@@ -575,6 +729,15 @@ impl ResourceManager {
                 "{live} live slots but {} listed entries",
                 listed.len()
             ));
+        }
+        if self.backend == SearchBackend::Indexed {
+            if let Some(divergence) = self
+                .index
+                .snapshot()
+                .first_divergence(&self.rebuilt_index_snapshot())
+            {
+                return Err(format!("search index out of sync: {divergence}"));
+            }
         }
         Ok(())
     }
@@ -831,6 +994,178 @@ mod tests {
         // Idempotent failure on an empty down node.
         let killed = rm.fail_node(NodeId(1), &mut s);
         assert!(killed.is_empty());
+    }
+
+    #[test]
+    fn empty_probe_charges_zero_steps_under_both_backends() {
+        // Satellite: `find_first_idle` and `collect_idle` on an empty
+        // idle list examine no entries, so they must charge exactly
+        // zero scheduling steps — under both backends. Pinned so a
+        // future backend cannot silently diverge on the empty case.
+        for backend in [SearchBackend::Linear, SearchBackend::Indexed] {
+            let mut rm = make(&[(0, 400)], &[1000]);
+            rm.set_search_backend(backend);
+            let mut s = StepCounter::new();
+            assert_eq!(rm.find_first_idle(ConfigId(0), &mut s), None);
+            assert!(rm.collect_idle(ConfigId(0), &mut s).is_empty());
+            assert_eq!(rm.find_best_idle(ConfigId(0), &mut s), None);
+            assert_eq!(rm.find_worst_idle(ConfigId(0), &mut s), None);
+            assert_eq!(s.scheduling, 0, "{backend}: empty probes must be free");
+            assert_eq!(s.housekeeping, 0);
+        }
+    }
+
+    #[test]
+    fn indexed_backend_matches_linear_results_and_steps() {
+        let configs = &[(0, 300), (1, 500), (2, 700)];
+        let areas = &[4000, 2000, 3000, 800, 2000];
+        let mut lin = make(configs, areas);
+        let mut idx = make(configs, areas);
+        idx.set_search_backend(SearchBackend::Indexed);
+        let mut sl = StepCounter::new();
+        let mut si = StepCounter::new();
+        // Drive both stores through the same mutation sequence,
+        // comparing every search and both counters at each step.
+        let check = |lin: &ResourceManager,
+                         idx: &ResourceManager,
+                         sl: &mut StepCounter,
+                         si: &mut StepCounter| {
+            for pref in [
+                PreferredConfig::Known(ConfigId(1)),
+                PreferredConfig::Known(ConfigId(2)),
+                PreferredConfig::Phantom { area: 400 },
+            ] {
+                assert_eq!(
+                    lin.find_preferred_config(pref, sl),
+                    idx.find_preferred_config(pref, si)
+                );
+            }
+            for a in [0, 299, 300, 500, 699, 700] {
+                assert_eq!(
+                    lin.find_closest_config(a, sl),
+                    idx.find_closest_config(a, si)
+                );
+                assert_eq!(
+                    lin.find_best_blank(Demand::area(a), sl),
+                    idx.find_best_blank(Demand::area(a), si)
+                );
+                assert_eq!(
+                    lin.find_best_partially_blank(Demand::area(a), sl),
+                    idx.find_best_partially_blank(Demand::area(a), si)
+                );
+            }
+            for c in 0..3 {
+                assert_eq!(
+                    lin.find_best_idle(ConfigId(c), sl),
+                    idx.find_best_idle(ConfigId(c), si)
+                );
+                assert_eq!(
+                    lin.find_worst_idle(ConfigId(c), sl),
+                    idx.find_worst_idle(ConfigId(c), si)
+                );
+                assert_eq!(
+                    lin.find_first_idle(ConfigId(c), sl),
+                    idx.find_first_idle(ConfigId(c), si)
+                );
+                assert_eq!(
+                    lin.collect_idle(ConfigId(c), sl),
+                    idx.collect_idle(ConfigId(c), si)
+                );
+            }
+            assert_eq!(sl.scheduling, si.scheduling, "scheduling steps diverged");
+            assert_eq!(
+                sl.housekeeping, si.housekeeping,
+                "housekeeping steps diverged"
+            );
+            lin.check_invariants().unwrap();
+            idx.check_invariants().unwrap();
+            if idx.search_backend() == SearchBackend::Indexed {
+                assert_eq!(
+                    idx.search_index_snapshot(),
+                    Some(idx.rebuilt_index_snapshot())
+                );
+            }
+        };
+        check(&lin, &idx, &mut sl, &mut si);
+        let mut entries = Vec::new();
+        for (n, c) in [(0, 0), (1, 0), (2, 0), (0, 1), (4, 2), (2, 1)] {
+            let el = lin.configure_slot(NodeId(n), ConfigId(c), &mut sl).unwrap();
+            let ei = idx.configure_slot(NodeId(n), ConfigId(c), &mut si).unwrap();
+            assert_eq!(el, ei);
+            entries.push(el);
+            check(&lin, &idx, &mut sl, &mut si);
+        }
+        // Assign, release, evict, fail, repair — same on both.
+        lin.assign_task(entries[1], TaskId(0), &mut sl).unwrap();
+        idx.assign_task(entries[1], TaskId(0), &mut si).unwrap();
+        check(&lin, &idx, &mut sl, &mut si);
+        assert_eq!(
+            lin.release_task(entries[1], &mut sl).unwrap(),
+            idx.release_task(entries[1], &mut si).unwrap()
+        );
+        check(&lin, &idx, &mut sl, &mut si);
+        lin.evict_idle_slots(NodeId(0), &[entries[3].slot], &mut sl)
+            .unwrap();
+        idx.evict_idle_slots(NodeId(0), &[entries[3].slot], &mut si)
+            .unwrap();
+        check(&lin, &idx, &mut sl, &mut si);
+        assert_eq!(
+            lin.fail_node(NodeId(2), &mut sl),
+            idx.fail_node(NodeId(2), &mut si)
+        );
+        check(&lin, &idx, &mut sl, &mut si);
+        lin.repair_node(NodeId(2));
+        idx.repair_node(NodeId(2));
+        check(&lin, &idx, &mut sl, &mut si);
+        // Switching the indexed store back to linear is lossless.
+        idx.set_search_backend(SearchBackend::Linear);
+        assert_eq!(idx.search_index_snapshot(), None);
+        check(&lin, &idx, &mut sl, &mut si);
+    }
+
+    #[test]
+    fn indexed_worst_fit_breaks_ties_like_the_list_walk() {
+        // Three idle instances on equal-area nodes: the linear walk
+        // keeps the *first* entry it sees, i.e. the most recently
+        // pushed one (LIFO head). The index must pick the same entry.
+        let configs = &[(0, 400)];
+        let areas = &[1000, 1000, 1000];
+        let mut lin = make(configs, areas);
+        let mut idx = make(configs, areas);
+        idx.set_search_backend(SearchBackend::Indexed);
+        let mut s = StepCounter::new();
+        for n in 0..3 {
+            lin.configure_slot(NodeId(n), ConfigId(0), &mut s).unwrap();
+            idx.configure_slot(NodeId(n), ConfigId(0), &mut s).unwrap();
+        }
+        let wl = lin.find_worst_idle(ConfigId(0), &mut s).unwrap();
+        let wi = idx.find_worst_idle(ConfigId(0), &mut s).unwrap();
+        assert_eq!(wl, wi);
+        assert_eq!(wl.node, NodeId(2), "head of the LIFO list wins ties");
+        let bl = lin.find_best_idle(ConfigId(0), &mut s).unwrap();
+        let bi = idx.find_best_idle(ConfigId(0), &mut s).unwrap();
+        assert_eq!(bl, bi);
+        assert_eq!(bl.node, NodeId(2));
+    }
+
+    #[test]
+    fn rebuild_on_reselect_restores_a_consistent_index() {
+        // Simulates the checkpoint-resume path: mutate under Linear
+        // (as a deserialized store would be), then select Indexed and
+        // verify the rebuilt index is immediately consistent.
+        let mut rm = make(&[(0, 400), (1, 600)], &[2000, 1500]);
+        let mut s = StepCounter::new();
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.configure_slot(NodeId(1), ConfigId(1), &mut s).unwrap();
+        rm.assign_task(e, TaskId(1), &mut s).unwrap();
+        assert_eq!(rm.search_index_snapshot(), None);
+        rm.set_search_backend(SearchBackend::Indexed);
+        assert_eq!(rm.search_backend(), SearchBackend::Indexed);
+        rm.check_invariants().unwrap();
+        assert_eq!(
+            rm.search_index_snapshot(),
+            Some(rm.rebuilt_index_snapshot())
+        );
     }
 
     #[test]

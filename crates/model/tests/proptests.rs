@@ -3,7 +3,8 @@
 //! (Eq. 4 area accounting, idle/busy list partition, no leaks).
 
 use dreamsim_model::{
-    Config, ConfigId, EntryRef, Node, NodeId, ResourceManager, StepCounter, TaskId,
+    Config, ConfigId, Demand, EntryRef, Node, NodeId, ResourceManager, SearchBackend, StepCounter,
+    TaskId,
 };
 use proptest::prelude::*;
 
@@ -66,6 +67,55 @@ fn busy_entries(rm: &ResourceManager) -> Vec<EntryRef> {
                 .map(move |(i, _)| EntryRef::new(n.id, i))
         })
         .collect()
+}
+
+/// Apply one abstract op to a store. Both stores in the differential
+/// test receive the identical sequence, so index-based entry picks
+/// resolve to the same slots on each side.
+fn apply(
+    rm: &mut ResourceManager,
+    op: &Op,
+    steps: &mut StepCounter,
+    next_task: &mut u32,
+    nodes: usize,
+    configs: usize,
+) {
+    match *op {
+        Op::Configure { n, c } => {
+            let node = NodeId::from_index(n % nodes);
+            let config = ConfigId::from_index(c % configs);
+            if !rm.node(node).down {
+                let _ = rm.configure_slot(node, config, steps);
+            }
+        }
+        Op::Assign { k } => {
+            let idle = idle_entries(rm);
+            if !idle.is_empty() {
+                rm.assign_task(idle[k % idle.len()], TaskId(*next_task), steps)
+                    .unwrap();
+                *next_task += 1;
+            }
+        }
+        Op::Release { k } => {
+            let busy = busy_entries(rm);
+            if !busy.is_empty() {
+                rm.release_task(busy[k % busy.len()], steps).unwrap();
+            }
+        }
+        Op::Evict { k } => {
+            let idle = idle_entries(rm);
+            if !idle.is_empty() {
+                let e = idle[k % idle.len()];
+                rm.evict_idle_slots(e.node, &[e.slot], steps).unwrap();
+            }
+        }
+        Op::Fail { n } => {
+            let _ = rm.fail_node(NodeId::from_index(n % nodes), steps);
+        }
+        Op::Repair { n } => {
+            rm.repair_node(NodeId::from_index(n % nodes));
+        }
+    }
 }
 
 proptest! {
@@ -185,6 +235,78 @@ proptest! {
                 );
             }
             other => prop_assert!(false, "presence disagrees: {other:?}"),
+        }
+    }
+
+    /// The incremental index equals a from-scratch rebuild after every
+    /// single mutation, every query answers exactly like the linear
+    /// walk, and both backends charge identical model step counts.
+    #[test]
+    fn indexed_backend_tracks_linear_through_arbitrary_ops(
+        nodes in 1usize..12,
+        configs in 1usize..8,
+        ops in prop::collection::vec(arb_op(), 1..120),
+        probe_cfg in 0usize..8,
+        probe_area in 1u64..4_000,
+    ) {
+        let mut lin = build(nodes, configs);
+        let mut idx = build(nodes, configs);
+        idx.set_search_backend(SearchBackend::Indexed);
+        let mut lin_steps = StepCounter::new();
+        let mut idx_steps = StepCounter::new();
+        let mut lin_task = 0u32;
+        let mut idx_task = 0u32;
+        let probe = ConfigId::from_index(probe_cfg % configs);
+        let demand = Demand::area(probe_area);
+        for op in &ops {
+            apply(&mut lin, op, &mut lin_steps, &mut lin_task, nodes, configs);
+            apply(&mut idx, op, &mut idx_steps, &mut idx_task, nodes, configs);
+            // Structural health first: list/area invariants on both
+            // sides, and the live index vs a from-scratch rebuild
+            // (membership *and* tie-break order, via IndexSnapshot).
+            if let Err(e) = lin.check_invariants() {
+                prop_assert!(false, "linear invariant after {op:?}: {e}");
+            }
+            if let Err(e) = idx.check_invariants() {
+                prop_assert!(false, "indexed invariant after {op:?}: {e}");
+            }
+            let live = idx.search_index_snapshot();
+            let rebuilt = idx.rebuilt_index_snapshot();
+            prop_assert_eq!(live, Some(rebuilt), "index != rebuild after {:?}", op);
+            // Every search path answers identically and charges the
+            // same model steps.
+            prop_assert_eq!(
+                lin.find_closest_config(probe_area, &mut lin_steps),
+                idx.find_closest_config(probe_area, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.find_best_idle(probe, &mut lin_steps),
+                idx.find_best_idle(probe, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.find_worst_idle(probe, &mut lin_steps),
+                idx.find_worst_idle(probe, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.find_first_idle(probe, &mut lin_steps),
+                idx.find_first_idle(probe, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.find_best_blank(demand, &mut lin_steps),
+                idx.find_best_blank(demand, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.find_best_partially_blank(demand, &mut lin_steps),
+                idx.find_best_partially_blank(demand, &mut idx_steps)
+            );
+            prop_assert_eq!(
+                lin.busy_candidate_exists(demand, &mut lin_steps),
+                idx.busy_candidate_exists(demand, &mut idx_steps)
+            );
+            prop_assert_eq!(lin_steps.scheduling, idx_steps.scheduling,
+                "scheduling steps diverged after {:?}", op);
+            prop_assert_eq!(lin_steps.housekeeping, idx_steps.housekeeping,
+                "housekeeping steps diverged after {:?}", op);
         }
     }
 

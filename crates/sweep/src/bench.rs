@@ -1,0 +1,326 @@
+//! Offline search-backend benchmark harness (`dreamsim bench-search`).
+//!
+//! Measures the wall-clock effect of [`SearchBackend::Indexed`] against
+//! the paper-faithful linear backend, in two modes:
+//!
+//! * **micro** — a populated store is hammered with a deterministic mix
+//!   of placement searches (`find_closest_config`, `find_best_blank`,
+//!   `find_best_partially_blank`, `find_best_idle`, `find_worst_idle`);
+//!   this isolates *scheduler-search time*, the quantity the indexed
+//!   backend targets;
+//! * **end-to-end** — full simulation runs over the bench grid
+//!   (node ladder × task ladder), where search is only one slice of the
+//!   event loop, so speedups are diluted but reports can be checked
+//!   byte-identical across backends in the same breath.
+//!
+//! Every measurement takes the minimum of several repetitions (minimum,
+//! not mean: noise on a deterministic workload is strictly additive),
+//! and both backends' search results are folded into checksums that
+//! must agree — a benchmark that silently compared different answers
+//! would be meaningless.
+//!
+//! The harness is dependency-free (`std::time::Instant` only) so it
+//! runs in offline builds; the Criterion target in `crates/bench`
+//! (`search_backends.rs`) wraps these same helpers for statistically
+//! rigorous numbers when the registry is reachable. Results serialize
+//! to the `BENCH_search.json` schema committed at the repo root.
+
+use crate::runner::{run_point, SweepPoint};
+use dreamsim_engine::{ReconfigMode, SearchBackend, SimParams};
+use dreamsim_model::{Config, ConfigId, Demand, Node, NodeId, ResourceManager, StepCounter};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Repetitions per timed measurement; the minimum is reported.
+const REPS: usize = 3;
+
+/// Build a store with `num_nodes` nodes of varied area, a 16-entry
+/// configuration list, and a mixed population of blank, partially
+/// blank, and idle-instance-holding nodes — enough variety that every
+/// search kind has real work to do.
+#[must_use]
+pub fn populated_store(num_nodes: usize, backend: SearchBackend) -> ResourceManager {
+    let num_configs = 16usize;
+    let configs: Vec<Config> = (0..num_configs)
+        .map(|i| Config::new(ConfigId(i as u32), 100 + ((i as u64 * 211) % 900), 10))
+        .collect();
+    let nodes: Vec<Node> = (0..num_nodes)
+        .map(|i| Node::new(NodeId::from_index(i), 500 + ((i as u64 * 307) % 2500), 2))
+        .collect();
+    let mut rm = ResourceManager::new(nodes, configs);
+    rm.set_search_backend(backend);
+    let mut sink = StepCounter::new();
+    for i in 0..num_nodes {
+        // Two thirds of the nodes hold an idle instance; a third of
+        // those hold a second one. The rest stay blank.
+        if i % 3 == 2 {
+            continue;
+        }
+        let c = ConfigId((i % num_configs) as u32);
+        let _ = rm.configure_slot(NodeId::from_index(i), c, &mut sink);
+        if i % 3 == 0 {
+            let c2 = ConfigId(((i + 7) % num_configs) as u32);
+            let _ = rm.configure_slot(NodeId::from_index(i), c2, &mut sink);
+        }
+    }
+    rm
+}
+
+/// Run `rounds` rounds of the deterministic search mix and fold every
+/// answer (plus the charged step totals) into a checksum. Identical
+/// across backends by construction — asserted by the callers.
+#[must_use]
+pub fn search_workout(rm: &ResourceManager, rounds: usize) -> u64 {
+    let mut steps = StepCounter::new();
+    let mut acc = 0u64;
+    for r in 0..rounds {
+        let area = 100 + ((r as u64 * 37) % 900);
+        if let Some(c) = rm.find_closest_config(area, &mut steps) {
+            acc = acc.wrapping_add(c.index() as u64 + 1);
+        }
+        if let Some(n) = rm.find_best_blank(Demand::area(area), &mut steps) {
+            acc = acc.wrapping_add(n.index() as u64 + 1);
+        }
+        if let Some(n) = rm.find_best_partially_blank(Demand::area(area), &mut steps) {
+            acc = acc.wrapping_add(n.index() as u64 + 1);
+        }
+        let c = ConfigId((r % 16) as u32);
+        if let Some(e) = rm.find_best_idle(c, &mut steps) {
+            acc = acc.wrapping_add(e.node.index() as u64 + 1);
+        }
+        if let Some(e) = rm.find_worst_idle(c, &mut steps) {
+            acc = acc.wrapping_add(e.node.index() as u64 + 1);
+        }
+    }
+    acc.wrapping_add(steps.scheduling)
+        .wrapping_add(steps.housekeeping)
+}
+
+fn time_best_of<R>(mut f: impl FnMut() -> R) -> (R, u128) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos().max(1));
+        out = Some(r);
+    }
+    (out.expect("REPS >= 1"), best)
+}
+
+/// One micro measurement: search time only, at a fixed node count.
+#[derive(Clone, Debug)]
+pub struct MicroPoint {
+    /// Node-table size of the populated store.
+    pub nodes: usize,
+    /// Rounds of the search mix per measurement.
+    pub rounds: usize,
+    /// Best-of-[`REPS`] wall time under the linear backend, ns.
+    pub linear_ns: u128,
+    /// Best-of-[`REPS`] wall time under the indexed backend, ns.
+    pub indexed_ns: u128,
+    /// `linear_ns / indexed_ns`.
+    pub speedup: f64,
+}
+
+/// One end-to-end measurement: a full simulation at a grid cell.
+#[derive(Clone, Debug)]
+pub struct EndToEndPoint {
+    /// Node count of the cell.
+    pub nodes: usize,
+    /// Task count of the cell.
+    pub tasks: usize,
+    /// Best-of-[`REPS`] wall time of the whole run, linear backend, ns.
+    pub linear_ns: u128,
+    /// Best-of-[`REPS`] wall time of the whole run, indexed backend, ns.
+    pub indexed_ns: u128,
+    /// `linear_ns / indexed_ns`.
+    pub speedup: f64,
+    /// Whether the two backends' XML reports were byte-identical
+    /// (always true; recorded so the JSON is self-certifying).
+    pub reports_identical: bool,
+}
+
+/// Full benchmark output, serializable to `BENCH_search.json`.
+#[derive(Clone, Debug)]
+pub struct SearchBenchReport {
+    /// Base seed of the end-to-end grid cells.
+    pub seed: u64,
+    /// Search-time-only measurements across the node ladder.
+    pub micro: Vec<MicroPoint>,
+    /// Whole-run measurements across the node × task grid.
+    pub end_to_end: Vec<EndToEndPoint>,
+}
+
+impl SearchBenchReport {
+    /// Micro speedup at the largest node count (the acceptance number).
+    #[must_use]
+    pub fn peak_micro_speedup(&self) -> f64 {
+        self.micro.last().map_or(0.0, |p| p.speedup)
+    }
+
+    /// Serialize to the committed `BENCH_search.json` schema.
+    ///
+    /// Hand-rolled (instead of a serde derive) so the u128 nanosecond
+    /// fields and the fixed field order are under our control.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"search-backends\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "  \"peak_micro_speedup\": {:.2},",
+            self.peak_micro_speedup()
+        );
+        let _ = writeln!(out, "  \"micro\": [");
+        for (i, p) in self.micro.iter().enumerate() {
+            let comma = if i + 1 < self.micro.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"nodes\": {}, \"rounds\": {}, \"linear_ns\": {}, \
+                 \"indexed_ns\": {}, \"speedup\": {:.2}}}{comma}",
+                p.nodes, p.rounds, p.linear_ns, p.indexed_ns, p.speedup
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"end_to_end\": [");
+        for (i, p) in self.end_to_end.iter().enumerate() {
+            let comma = if i + 1 < self.end_to_end.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"nodes\": {}, \"tasks\": {}, \"linear_ns\": {}, \
+                 \"indexed_ns\": {}, \"speedup\": {:.2}, \"reports_identical\": {}}}{comma}",
+                p.nodes, p.tasks, p.linear_ns, p.indexed_ns, p.speedup, p.reports_identical
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Time the search mix at one node count under both backends.
+///
+/// # Panics
+/// Panics if the two backends' workout checksums disagree — that would
+/// mean the backends returned different search results, and no timing
+/// of wrong answers is worth reporting.
+#[must_use]
+pub fn micro_point(nodes: usize, rounds: usize) -> MicroPoint {
+    let lin = populated_store(nodes, SearchBackend::Linear);
+    let idx = populated_store(nodes, SearchBackend::Indexed);
+    // Warm up (page in both stores) and verify equivalence first.
+    let check_l = search_workout(&lin, rounds);
+    let check_i = search_workout(&idx, rounds);
+    assert_eq!(
+        check_l, check_i,
+        "backends disagreed on the {nodes}-node search workout"
+    );
+    let (_, linear_ns) = time_best_of(|| search_workout(&lin, rounds));
+    let (_, indexed_ns) = time_best_of(|| search_workout(&idx, rounds));
+    MicroPoint {
+        nodes,
+        rounds,
+        linear_ns,
+        indexed_ns,
+        speedup: linear_ns as f64 / indexed_ns as f64,
+    }
+}
+
+/// Time one full grid cell under both backends and check the reports
+/// are byte-identical.
+///
+/// # Panics
+/// Panics if the parameters fail validation or the backends' XML
+/// reports differ (they cannot, by DESIGN.md §11 — this is the bench's
+/// own guard).
+#[must_use]
+pub fn end_to_end_point(nodes: usize, tasks: usize, seed: u64) -> EndToEndPoint {
+    let mut params = SimParams::paper(nodes, tasks, ReconfigMode::Partial);
+    params.seed = dreamsim_rng::derive_stream(seed, (nodes as u64) << 32 | tasks as u64);
+    let label = format!("bench-n{nodes}-t{tasks}");
+    let lin_point = SweepPoint::new(label.clone(), params.clone());
+    let idx_point = SweepPoint::new(label, params).with_search(SearchBackend::Indexed);
+    let (lin_report, linear_ns) = time_best_of(|| run_point(&lin_point));
+    let (idx_report, indexed_ns) = time_best_of(|| run_point(&idx_point));
+    let identical = lin_report.to_xml() == idx_report.to_xml();
+    assert!(identical, "backend reports diverged at n{nodes}/t{tasks}");
+    EndToEndPoint {
+        nodes,
+        tasks,
+        linear_ns,
+        indexed_ns,
+        speedup: linear_ns as f64 / indexed_ns as f64,
+        reports_identical: identical,
+    }
+}
+
+/// Run the full benchmark: micro points across `node_ladder` (ascending
+/// order recommended — the last entry is the headline number) and
+/// end-to-end points across `node_ladder × task_ladder`.
+#[must_use]
+pub fn run_search_bench(
+    node_ladder: &[usize],
+    task_ladder: &[usize],
+    seed: u64,
+    rounds: usize,
+) -> SearchBenchReport {
+    let micro = node_ladder
+        .iter()
+        .map(|&n| micro_point(n, rounds))
+        .collect();
+    let mut end_to_end = Vec::new();
+    for &n in node_ladder {
+        for &t in task_ladder {
+            end_to_end.push(end_to_end_point(n, t, seed));
+        }
+    }
+    SearchBenchReport {
+        seed,
+        micro,
+        end_to_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workout_checksums_agree_across_backends() {
+        for nodes in [10, 50, 150] {
+            let lin = populated_store(nodes, SearchBackend::Linear);
+            let idx = populated_store(nodes, SearchBackend::Indexed);
+            assert_eq!(
+                search_workout(&lin, 64),
+                search_workout(&idx, 64),
+                "{nodes} nodes"
+            );
+            idx.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_report_serializes_expected_schema() {
+        let report = run_search_bench(&[20, 40], &[100], 7, 16);
+        assert_eq!(report.micro.len(), 2);
+        assert_eq!(report.end_to_end.len(), 2);
+        assert!(report.end_to_end.iter().all(|p| p.reports_identical));
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"search-backends\"",
+            "\"peak_micro_speedup\"",
+            "\"micro\"",
+            "\"end_to_end\"",
+            "\"reports_identical\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(report.peak_micro_speedup() > 0.0);
+    }
+}

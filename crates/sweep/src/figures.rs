@@ -18,7 +18,7 @@
 //! (node count × mode × task count) — and extracts every figure from it.
 
 use crate::runner::{run_batch, SweepPoint};
-use dreamsim_engine::{Metrics, ReconfigMode, SimParams};
+use dreamsim_engine::{Metrics, ReconfigMode, SearchBackend, SimParams};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -198,6 +198,28 @@ impl ExperimentGrid {
     /// reproducible.
     #[must_use]
     pub fn run(node_counts: &[usize], task_counts: &[usize], seed: u64, threads: usize) -> Self {
+        Self::run_with_backend(
+            node_counts,
+            task_counts,
+            seed,
+            threads,
+            SearchBackend::default(),
+        )
+    }
+
+    /// [`run`](Self::run) with an explicit search backend. Backends are
+    /// byte-equivalent (DESIGN.md §11), so the grid's metrics — and
+    /// every figure extracted from them — are identical under both; the
+    /// indexed backend only regenerates them faster. Pinned by the
+    /// seed-golden figures test.
+    #[must_use]
+    pub fn run_with_backend(
+        node_counts: &[usize],
+        task_counts: &[usize],
+        seed: u64,
+        threads: usize,
+        search: SearchBackend,
+    ) -> Self {
         let mut points = Vec::new();
         let mut keys = Vec::new();
         for &nodes in node_counts {
@@ -210,10 +232,10 @@ impl ExperimentGrid {
                     params.seed =
                         dreamsim_rng::derive_stream(seed, (nodes as u64) << 32 | tasks as u64);
                     keys.push((nodes, mode.label(), tasks));
-                    points.push(SweepPoint::new(
-                        format!("n{nodes}-{}-t{tasks}", mode.label()),
-                        params,
-                    ));
+                    points.push(
+                        SweepPoint::new(format!("n{nodes}-{}-t{tasks}", mode.label()), params)
+                            .with_search(search),
+                    );
                 }
             }
         }

@@ -13,13 +13,17 @@
 //!   read different metrics off the same (nodes × mode × tasks) runs.
 //! * [`ablations`] — the DESIGN.md A1–A4 ablation harnesses (allocation
 //!   strategy, data structures, suspension queue, driver equivalence).
+//! * [`bench`] — the offline search-backend benchmark harness behind
+//!   `dreamsim bench-search` and the `BENCH_search.json` baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod figures;
 pub mod runner;
 
+pub use bench::{run_search_bench, SearchBenchReport};
 pub use figures::{ExperimentGrid, Figure, FigureSeries};
 pub use runner::{replicate, run_batch, run_point, PolicyConfig, Replicated, SweepPoint};

@@ -5,7 +5,7 @@
 //! batches can execute on any number of threads in any order and still
 //! produce identical reports — pinned by the determinism tests.
 
-use dreamsim_engine::{Report, SimParams, Simulation};
+use dreamsim_engine::{Report, SearchBackend, SimParams, Simulation};
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
 use dreamsim_workload::SyntheticSource;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +43,10 @@ pub struct SweepPoint {
     pub params: SimParams,
     /// Policy configuration.
     pub policy: PolicyConfig,
+    /// Search backend the store uses. Backends are byte-equivalent
+    /// (DESIGN.md §11), so this changes wall-clock speed only, never the
+    /// report — which is why it lives outside [`SimParams`].
+    pub search: SearchBackend,
 }
 
 impl SweepPoint {
@@ -53,6 +57,7 @@ impl SweepPoint {
             label: label.into(),
             params,
             policy: PolicyConfig::paper(),
+            search: SearchBackend::default(),
         }
     }
 
@@ -60,6 +65,13 @@ impl SweepPoint {
     #[must_use]
     pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Builder-style search-backend override.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchBackend) -> Self {
+        self.search = search;
         self
     }
 }
@@ -73,7 +85,8 @@ impl SweepPoint {
 pub fn run_point(point: &SweepPoint) -> Report {
     let source = SyntheticSource::from_params(&point.params);
     let sim = Simulation::new(point.params.clone(), source, point.policy.build())
-        .expect("sweep point parameters must validate");
+        .expect("sweep point parameters must validate")
+        .with_search_backend(point.search);
     sim.run().report
 }
 
@@ -258,6 +271,15 @@ mod tests {
         assert_eq!(rep.std_dev, 0.0);
         assert_eq!(rep.ci95_half_width, 0.0);
         assert_eq!(rep.mean, rep.samples[0]);
+    }
+
+    #[test]
+    fn indexed_backend_point_reports_identically() {
+        let point = small(9, ReconfigMode::Partial);
+        let lin = run_point(&point);
+        let idx = run_point(&point.clone().with_search(SearchBackend::Indexed));
+        assert_eq!(lin.metrics, idx.metrics, "backends must be equivalent");
+        assert_eq!(lin.to_xml(), idx.to_xml());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Differential equivalence suite for the search backends (DESIGN.md
+//! §11): every policy × reconfiguration mode × fault-injection cell must
+//! produce **byte-identical** reports and checkpoints under the linear
+//! and indexed backends, and a run may switch backends at any
+//! checkpoint boundary without perturbing anything.
+
+use dreamsim::engine::{
+    read_checkpoint, ReconfigMode, RunOptions, RunResult, SearchBackend, SimParams, Simulation,
+};
+use dreamsim::sched::{AllocationStrategy, CaseStudyScheduler};
+use dreamsim::workload::SyntheticSource;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const STRATEGIES: [AllocationStrategy; 5] = [
+    AllocationStrategy::BestFit,
+    AllocationStrategy::FirstFit,
+    AllocationStrategy::WorstFit,
+    AllocationStrategy::Random,
+    AllocationStrategy::LeastLoaded,
+];
+
+fn params(mode: ReconfigMode, faults: bool, seed: u64) -> SimParams {
+    let mut p = SimParams::paper(20, 200, mode);
+    p.seed = seed;
+    // Short tasks keep the 40-cell grid fast.
+    p.task_time = dreamsim::engine::params::Range::new(10, 2_000);
+    if faults {
+        p.faults.node_mttf = Some(20_000);
+        p.faults.node_mttr = 2_000;
+        p.faults.reconfig_fail_prob = 0.15;
+        p.faults.task_fail_prob = 0.05;
+        p.faults.suspension_deadline = Some(100_000);
+    }
+    p
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dreamsim-diff-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_cell(
+    p: &SimParams,
+    strategy: AllocationStrategy,
+    backend: SearchBackend,
+    checkpoint_dir: Option<&Path>,
+) -> RunResult {
+    let opts = RunOptions {
+        checkpoint_every: checkpoint_dir.map(|_| 5_000),
+        checkpoint_dir: checkpoint_dir.map(Path::to_path_buf),
+        ..RunOptions::default()
+    };
+    Simulation::new(
+        p.clone(),
+        SyntheticSource::from_params(p),
+        CaseStudyScheduler::with_strategy(strategy),
+    )
+    .unwrap()
+    .with_search_backend(backend)
+    .run_with(&opts)
+    .unwrap()
+}
+
+/// Sorted checkpoint file names and their raw bytes.
+fn checkpoint_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|f| {
+            let name = f.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(&f).unwrap())
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: every policy × mode × fault cell is
+/// byte-identical across backends — reports (XML and JSON) *and* every
+/// mid-run checkpoint file written along the way.
+#[test]
+fn full_grid_reports_and_checkpoints_byte_identical() {
+    for strategy in STRATEGIES {
+        for mode in [ReconfigMode::Full, ReconfigMode::Partial] {
+            for faults in [false, true] {
+                let cell = format!("{strategy:?}/{mode:?}/faults={faults}");
+                let p = params(mode, faults, 0xD1FF);
+                let lin_dir = fresh_dir("lin");
+                let idx_dir = fresh_dir("idx");
+                let lin = run_cell(&p, strategy, SearchBackend::Linear, Some(&lin_dir));
+                let idx = run_cell(&p, strategy, SearchBackend::Indexed, Some(&idx_dir));
+                assert_eq!(lin.metrics, idx.metrics, "{cell}: metrics");
+                assert_eq!(
+                    lin.report.to_xml(),
+                    idx.report.to_xml(),
+                    "{cell}: XML report"
+                );
+                assert_eq!(
+                    lin.report.to_json(),
+                    idx.report.to_json(),
+                    "{cell}: JSON report"
+                );
+                assert_eq!(lin.tasks, idx.tasks, "{cell}: task table");
+                let lin_cps = checkpoint_files(&lin_dir);
+                let idx_cps = checkpoint_files(&idx_dir);
+                assert!(
+                    !lin_cps.is_empty(),
+                    "{cell}: grid cells must actually checkpoint"
+                );
+                assert_eq!(
+                    lin_cps.len(),
+                    idx_cps.len(),
+                    "{cell}: checkpoint cadence diverged"
+                );
+                for ((ln, lb), (in_, ib)) in lin_cps.iter().zip(&idx_cps) {
+                    assert_eq!(ln, in_, "{cell}: checkpoint file names");
+                    assert_eq!(lb, ib, "{cell}: checkpoint {ln} not byte-identical");
+                }
+                std::fs::remove_dir_all(&lin_dir).ok();
+                std::fs::remove_dir_all(&idx_dir).ok();
+            }
+        }
+    }
+}
+
+/// Resume-mid-run-then-switch-backend: a checkpoint taken under one
+/// backend can be resumed under the other (in both directions), and
+/// every combination finishes with the uninterrupted run's exact
+/// report.
+#[test]
+fn resume_mid_run_and_switch_backend() {
+    let p = params(ReconfigMode::Partial, true, 0x5EED5);
+    let reference = run_cell(&p, AllocationStrategy::BestFit, SearchBackend::Linear, None);
+    for writer in [SearchBackend::Linear, SearchBackend::Indexed] {
+        let dir = fresh_dir("switch");
+        let _ = run_cell(&p, AllocationStrategy::BestFit, writer, Some(&dir));
+        let files = checkpoint_files(&dir);
+        assert!(files.len() >= 2, "need a mid-run checkpoint to switch at");
+        // A middle checkpoint, not the last one: real work remains.
+        let mid = &files[files.len() / 2].0;
+        for resumer in [SearchBackend::Linear, SearchBackend::Indexed] {
+            let cp = read_checkpoint(&dir.join(mid)).unwrap();
+            let resumed = Simulation::resume(
+                cp,
+                SyntheticSource::from_params(&p),
+                CaseStudyScheduler::new(),
+            )
+            .unwrap()
+            .with_search_backend(resumer)
+            .run_with(&RunOptions::default())
+            .unwrap();
+            assert_eq!(
+                resumed.report.to_xml(),
+                reference.report.to_xml(),
+                "wrote under {writer}, resumed {mid} under {resumer}"
+            );
+            assert_eq!(resumed.metrics, reference.metrics);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The continuous auditor accepts the indexed backend after **every**
+/// dispatched event — including fault, retry, and eviction paths — so
+/// the incremental index hooks are validated at event granularity, not
+/// just at run end.
+#[test]
+fn audit_every_event_passes_under_indexed_backend() {
+    for mode in [ReconfigMode::Full, ReconfigMode::Partial] {
+        let p = params(mode, true, 0xA0D1);
+        let opts = RunOptions {
+            audit: true,
+            ..RunOptions::default()
+        };
+        let result = Simulation::new(
+            p.clone(),
+            SyntheticSource::from_params(&p),
+            CaseStudyScheduler::new(),
+        )
+        .unwrap()
+        .with_search_backend(SearchBackend::Indexed)
+        .run_with(&opts)
+        .unwrap();
+        assert!(
+            result.metrics.node_failures > 0,
+            "{mode:?}: the audit run should actually exercise fault paths"
+        );
+    }
+}

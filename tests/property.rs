@@ -1,7 +1,9 @@
 //! Cross-crate property tests: arbitrary small parameter sets and
 //! workloads must never violate the simulator's global invariants.
 
-use dreamsim::engine::{read_checkpoint, ReconfigMode, RunOptions, SimParams, Simulation};
+use dreamsim::engine::{
+    read_checkpoint, ReconfigMode, RunOptions, SearchBackend, SimParams, Simulation,
+};
 use dreamsim::model::PreferredConfig;
 use dreamsim::sched::CaseStudyScheduler;
 use dreamsim::sweep::runner::{run_point, SweepPoint};
@@ -158,6 +160,34 @@ proptest! {
             prop_assert_eq!(resumed.report.to_xml(), reference.report.to_xml());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Arbitrary workloads behave identically under the indexed search
+    /// backend: the per-event auditor (which cross-checks the live index
+    /// against a from-scratch rebuild) accepts every state, and the
+    /// final report matches the linear backend byte for byte.
+    #[test]
+    fn indexed_backend_audits_clean_and_matches_linear(mut p in arb_params()) {
+        p.total_tasks = p.total_tasks.min(60);
+        // Faults exercise the purge/repair index hooks.
+        p.faults.node_mttf = Some(2_000);
+        p.faults.reconfig_fail_prob = 0.1;
+        let run = |backend: SearchBackend| {
+            Simulation::new(
+                p.clone(),
+                SyntheticSource::from_params(&p),
+                CaseStudyScheduler::new(),
+            )
+            .unwrap()
+            .with_search_backend(backend)
+            .run_with(&RunOptions { audit: true, ..RunOptions::default() })
+            .unwrap()
+        };
+        let lin = run(SearchBackend::Linear);
+        let idx = run(SearchBackend::Indexed);
+        prop_assert_eq!(&lin.metrics, &idx.metrics);
+        prop_assert_eq!(lin.report.to_xml(), idx.report.to_xml());
+        prop_assert_eq!(lin.tasks, idx.tasks);
     }
 
     /// Phantom-preferring tasks are only ever assigned a configuration
