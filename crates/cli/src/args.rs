@@ -45,10 +45,10 @@ impl Args {
                     out.flags.insert(k.to_string(), v.to_string());
                 } else {
                     let value = match it.peek() {
-                        Some(next) if !next.starts_with("--") => it.next().unwrap(),
-                        _ => String::new(),
+                        Some(next) if !next.starts_with("--") => it.next(),
+                        _ => None,
                     };
-                    out.flags.insert(key.to_string(), value);
+                    out.flags.insert(key.to_string(), value.unwrap_or_default());
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);

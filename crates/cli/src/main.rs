@@ -10,6 +10,8 @@
 //!   direction.
 //! * `ablations` — run the A1–A4 ablation harnesses.
 //! * `trace` — generate a synthetic trace file for later replay.
+//! * `lint` — the determinism static-analysis pass (see the
+//!   `dreamsim-lint` crate); nonzero exit on unsuppressed findings.
 //!
 //! Run `dreamsim help` for usage.
 
@@ -54,6 +56,8 @@ USAGE:
   dreamsim bench-search [--nodes N1,N2,...] [--tasks N1,N2,...]
                         [--rounds N] [--seed S] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
+  dreamsim lint [--root DIR] [--format text|json] [--out FILE]
+                [--list-rules] [FILES...]
   dreamsim help
 
 Defaults follow Table II of the paper: 50 configs, arrival U[1..50],
@@ -104,6 +108,7 @@ fn main() -> ExitCode {
         Some("ablations") => cmd_ablations(&args),
         Some("bench-search") => cmd_bench_search(&args),
         Some("trace") => cmd_trace(&args),
+        Some("lint") => cmd_lint(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -446,6 +451,8 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
         default_task_counts(max_tasks)
     };
     let mut node_counts: Vec<usize> = figs.iter().map(|f| f.node_count()).collect();
+    // TIEBREAK: usize keys with dedup below — equal elements are
+    // indistinguishable.
     node_counts.sort_unstable();
     node_counts.dedup();
     eprintln!(
@@ -616,6 +623,51 @@ fn cmd_bench_search(args: &Args) -> Result<(), ArgError> {
         report.peak_micro_speedup()
     );
     Ok(())
+}
+
+/// `dreamsim lint` — the determinism static-analysis pass, sharing its
+/// engine with the standalone `dreamsim-lint` binary and the CI gate.
+fn cmd_lint(args: &Args) -> Result<(), ArgError> {
+    use dreamsim_lint as lint;
+    if args.has("list-rules") {
+        print!("{}", lint::rule_catalogue());
+        return Ok(());
+    }
+    let root = Path::new(args.get("root", "."));
+    let format: lint::Format = args.get("format", "text").parse().map_err(ArgError)?;
+    let report = if args.positionals.is_empty() {
+        lint::lint_workspace(root)
+    } else {
+        let files: Vec<std::path::PathBuf> = args
+            .positionals
+            .iter()
+            .map(std::path::PathBuf::from)
+            .collect();
+        lint::lint_files(root, &files)
+    }
+    .map_err(|e| ArgError(format!("lint scan failed: {e}")))?;
+    let rendered = lint::render(&report, format);
+    match args.flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            println!(
+                "lint: {} finding(s), {} suppression(s), {} file(s) -> {path}",
+                report.findings.len(),
+                report.suppressions.len(),
+                report.files_scanned
+            );
+        }
+        _ => print!("{rendered}"),
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "lint: {} unsuppressed finding(s)",
+            report.findings.len()
+        )))
+    }
 }
 
 fn cmd_trace(args: &Args) -> Result<(), ArgError> {

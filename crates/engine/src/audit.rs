@@ -24,7 +24,7 @@ use crate::sim::TaskTable;
 use dreamsim_model::{
     Area, ConfigId, EntryRef, NodeId, ResourceManager, SuspensionQueue, TaskId, TaskState, Ticks,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A violated state invariant, with enough context to locate the
 /// corruption.
@@ -177,7 +177,7 @@ fn check_task_slot_bijection(
     resources: &ResourceManager,
     tasks: &TaskTable,
 ) -> Result<(), AuditError> {
-    let mut placed: HashMap<TaskId, EntryRef> = HashMap::new();
+    let mut placed: BTreeMap<TaskId, EntryRef> = BTreeMap::new();
     for n in resources.nodes() {
         for (idx, slot) in n.slots() {
             let Some(task) = slot.task else { continue };
@@ -224,7 +224,7 @@ fn check_event_targets(
     events: &EventQueue,
     clock: Ticks,
 ) -> Result<(), AuditError> {
-    let queued: HashSet<TaskId> = suspension.iter().collect();
+    let queued: BTreeSet<TaskId> = suspension.iter().collect();
     let task_in_range = |t: TaskId| t.index() < tasks.len();
     let node_in_range = |n: NodeId| n.index() < resources.num_nodes();
     for (time, ev) in events.pending() {
@@ -306,7 +306,7 @@ fn check_event_targets(
 }
 
 fn check_suspension(tasks: &TaskTable, suspension: &SuspensionQueue) -> Result<(), AuditError> {
-    let mut seen: HashSet<TaskId> = HashSet::new();
+    let mut seen: BTreeSet<TaskId> = BTreeSet::new();
     for task in suspension.iter() {
         if task.index() >= tasks.len() {
             return Err(AuditError::Suspension {

@@ -122,6 +122,9 @@ impl FaultModel {
     /// # Panics
     /// Panics if the MTTF process is not configured.
     pub fn draw_ttf(&mut self) -> Ticks {
+        // INVARIANT: the engine schedules NodeFailure events only when
+        // `node_faults_enabled()` (node_mttf is Some); documented panic
+        // for direct misuse.
         let mttf = self.params.node_mttf.expect("draw_ttf requires node_mttf");
         draw_exp(&mut self.rng, mttf)
     }

@@ -586,6 +586,8 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     /// Run event-driven to completion.
     pub fn run(self) -> RunResult {
         self.run_with(&RunOptions::default())
+            // INVARIANT: RunError only arises from checkpoint I/O or a
+            // failed audit; default options enable neither.
             .expect("a run without checkpoints or audits cannot fail")
     }
 
@@ -650,6 +652,8 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     /// small workloads.
     pub fn run_tick_stepped(self) -> RunResult {
         self.run_tick_stepped_with(&RunOptions::default())
+            // INVARIANT: RunError only arises from checkpoint I/O or a
+            // failed audit; default options enable neither.
             .expect("a run without checkpoints or audits cannot fail")
     }
 
@@ -859,6 +863,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         let released = self
             .resources
             .release_task(entry, &mut self.steps)
+            // INVARIANT: the staleness guard above verified the slot is
+            // live and still holds `task`; the auditor pins the same
+            // task ⇔ slot bijection on every audited event.
             .expect("completion event for a live busy slot");
         assert_eq!(released, task, "completion event / slot task mismatch");
         {
@@ -981,6 +988,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         let released = self
             .resources
             .release_task(entry, &mut self.steps)
+            // INVARIANT: the staleness guard above verified the slot is
+            // live and still holds `task`; the auditor pins the same
+            // task ⇔ slot bijection on every audited event.
             .expect("failure event for a live busy slot");
         assert_eq!(released, task, "failure event / slot task mismatch");
         self.stats.task_failures += 1;
@@ -1138,10 +1148,15 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         let released = self
             .resources
             .release_task(p.entry, &mut self.steps)
+            // INVARIANT: abort_reconfig runs synchronously inside the
+            // placement that configured `p.entry`; no event can have
+            // touched the slot in between.
             .expect("aborted placement holds a live busy slot");
         assert_eq!(released, p.task, "aborted placement / slot task mismatch");
         self.resources
             .evict_idle_slots(p.entry.node, &[p.entry.slot], &mut self.steps)
+            // INVARIANT: release_task just returned Ok for this very
+            // slot, leaving it idle.
             .expect("aborted slot is idle after release");
         self.stats.record_reconfig_failure(p.config_time);
         let attempt = {

@@ -113,6 +113,10 @@ pub struct Stats {
     pub tasks_lost: u64,
     /// Every placed task's waiting time, for distribution statistics
     /// (P50/P95/P99 in [`Metrics`]); one `u64` per placed task.
+    // REBUILD: not silently defaulted — `Checkpoint` carries its own
+    // `wait_samples` copy and `Simulation::resume` writes it back, so a
+    // resumed run reports identical percentiles (pinned by the
+    // byte-identical-resume tests).
     #[serde(skip)]
     pub wait_samples: Vec<Ticks>,
 }
@@ -188,6 +192,8 @@ impl Stats {
             }
         };
         let mut waits = self.wait_samples.clone();
+        // TIEBREAK: u64 keys — equal waits are indistinguishable, so an
+        // unstable sort cannot reorder anything observable.
         waits.sort_unstable();
         let pct = |p: f64| -> Ticks {
             if waits.is_empty() {

@@ -1,0 +1,568 @@
+//! Hand-rolled Rust lexer for the determinism lint engine.
+//!
+//! The rules in this crate match on *token* streams, never on raw text,
+//! so occurrences inside comments, string literals, raw strings, char
+//! literals, and doc comments are never mistaken for code. The lexer is
+//! deliberately small: it does not parse Rust, it only has to classify
+//! source bytes well enough that
+//!
+//! * identifiers and literals are separated from comments and strings,
+//! * multi-char operators the rules care about (`==`, `!=`, `::`) come
+//!   out as single tokens,
+//! * float literals are distinguishable from integer literals,
+//! * lifetimes (`'a`) are not confused with char literals (`'a'`),
+//! * line numbers survive for reporting.
+//!
+//! Comments are collected on the side (they carry suppression pragmas
+//! and justification markers) rather than emitted into the token
+//! stream.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix
+    /// stripped).
+    Ident,
+    /// Integer literal (including tuple-index positions like the `0` in
+    /// `pair.0`).
+    Int,
+    /// Float literal: has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Operator or punctuation; multi-char operators from a fixed list
+    /// are single tokens, everything else is one char.
+    Op,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification used by the rule matchers.
+    pub kind: TokKind,
+    /// Token text (for `Str`/`Char` the raw literal body is elided —
+    /// rules never need it).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line span it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// First line of the comment.
+    pub line_start: u32,
+    /// Last line of the comment (equals `line_start` for `//` comments).
+    pub line_end: u32,
+    /// Full comment text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus side-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Total number of lines in the source.
+    pub total_lines: u32,
+}
+
+/// Two-character operators emitted as single tokens. Order matters only
+/// for readability; all entries are the same length.
+const TWO_CHAR_OPS: [&str; 18] = [
+    "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes are emitted as
+/// single-char `Op` tokens, and unterminated literals run to the end of
+/// input (a linter must keep going, not abort the file).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: impl Into<String>, line: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text: text.into(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' => self.prefixed(),
+                '\'' => self.quote(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.op(),
+            }
+        }
+        self.out.total_lines = self.line;
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line_start: start,
+            line_end: start,
+            text,
+        });
+    }
+
+    /// Nested block comment (`/* /* */ */` closes at the outer `*/`).
+    fn block_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line_start: start,
+            line_end: self.line,
+            text,
+        });
+    }
+
+    /// Normal string body after the opening `"` has been seen (caller
+    /// consumes the opening quote before calling).
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.string_body();
+        self.push(TokKind::Str, "\"…\"", line);
+    }
+
+    /// Raw string body: `#` count already known, opening quote consumed.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Tokens starting with `r` or `b`: raw strings (`r"…"`, `r#"…"#`),
+    /// byte strings (`b"…"`, `br"…"`), byte chars (`b'…'`), raw
+    /// identifiers (`r#ident`), or plain identifiers.
+    fn prefixed(&mut self) {
+        let line = self.line;
+        let first = self.peek(0);
+        let second = self.peek(1);
+        match (first, second) {
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.char_body();
+                self.push(TokKind::Char, "b'…'", line);
+            }
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.bump();
+                self.string_body();
+                self.push(TokKind::Str, "b\"…\"", line);
+            }
+            (Some('b'), Some('r')) if matches!(self.peek(2), Some('"' | '#')) => {
+                self.bump();
+                self.bump();
+                self.raw_after_prefix(line);
+            }
+            (Some('r'), Some('"' | '#')) => {
+                // `r#ident` (raw identifier) vs `r#"…"#` (raw string):
+                // decided inside by what follows the hashes.
+                self.bump();
+                self.raw_after_prefix(line);
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// After the `r` of a raw string / raw identifier, `self.i` at the
+    /// first `#` or `"`.
+    fn raw_after_prefix(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) == Some('"') {
+            for _ in 0..=hashes {
+                self.bump();
+            }
+            self.raw_string_body(hashes);
+            self.push(TokKind::Str, "r\"…\"", line);
+        } else if hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+            self.bump();
+            self.ident();
+        } else {
+            // `r` followed by stray hashes: emit the `r` as an ident and
+            // let the main loop classify the rest.
+            self.push(TokKind::Ident, "r", line);
+        }
+    }
+
+    /// Char-literal body after the opening `'` (consumes through the
+    /// closing `'`).
+    fn char_body(&mut self) {
+        if self.bump() == Some('\\') {
+            // Escape: consume the escape head; `\u{…}` runs to `}`.
+            if self.bump() == Some('u') && self.peek(0) == Some('{') {
+                while let Some(c) = self.bump() {
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// `'…`: lifetime or char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match (next, after) {
+            // `'x'` — single ident-ish char closed by a quote.
+            (Some(n), Some('\'')) if is_ident_start(n) => true,
+            // `'a`, `'static`, `'_` followed by anything else: lifetime.
+            (Some(n), _) if is_ident_start(n) => false,
+            // `'\n'`, `'0'`, `' '` … anything non-ident is a char.
+            _ => true,
+        };
+        if is_char {
+            self.bump();
+            self.char_body();
+            self.push(TokKind::Char, "'…'", line);
+        } else {
+            self.bump();
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                name.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, name, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Tuple indices (`pair.0`) must stay integers: after a `.` the
+        // digits are a field position, never a float.
+        let after_dot =
+            matches!(self.out.tokens.last(), Some(t) if t.kind == TokKind::Op && t.text == ".");
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: digits and underscores only, then suffix.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `1.5`, `1.` — but not ranges (`1..n`), method
+        // calls on literals, or tuple-index digits.
+        if !after_dot && self.peek(0) == Some('.') {
+            let nxt = self.peek(1);
+            let fractional = match nxt {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('.') => false,
+                Some(c) if is_ident_start(c) => false,
+                _ => true,
+            };
+            if fractional {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent: `1e9`, `2.5E-3`.
+        if !after_dot && matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+' | '-') => digit.is_some_and(|c| c.is_ascii_digit()),
+                _ => false,
+            };
+            if has_exp {
+                is_float = true;
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix: `1u64`, `1.5f32`.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn op(&mut self) {
+        let line = self.line;
+        if let (Some(a), Some(b)) = (self.peek(0), self.peek(1)) {
+            let pair: String = [a, b].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Op, pair, line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Op, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_hazard_words() {
+        let l = lex("// HashMap in a comment\nlet s = \"Instant::now()\"; /* thread_rng */");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "Instant" && t.text != "thread_rng"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let l = lex("let x = r#\"unwrap() \" quote\"#; /* outer /* inner */ still */ y");
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'…'".into())));
+        let toks = texts("let c = '\\''; let l: &'static str = s;");
+        assert!(toks.contains(&(TokKind::Char, "'…'".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "static".into())));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_tuple_index() {
+        assert!(texts("1.5").contains(&(TokKind::Float, "1.5".into())));
+        assert!(texts("1e9").contains(&(TokKind::Float, "1e9".into())));
+        assert!(texts("2.5e-3").contains(&(TokKind::Float, "2.5e-3".into())));
+        assert!(texts("3f64").contains(&(TokKind::Float, "3f64".into())));
+        assert!(texts("42u32").contains(&(TokKind::Int, "42u32".into())));
+        assert!(texts("0xFF").contains(&(TokKind::Int, "0xFF".into())));
+        let range = texts("for i in 0..10 {}");
+        assert!(range.contains(&(TokKind::Int, "0".into())));
+        assert!(range.contains(&(TokKind::Op, "..".into())));
+        assert!(range.contains(&(TokKind::Int, "10".into())));
+        let tup = texts("pair.0 == other.0");
+        assert!(tup.contains(&(TokKind::Int, "0".into())));
+        assert!(!tup.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let toks = texts("a == b != c :: d -> e");
+        for op in ["==", "!=", "::", "->"] {
+            assert!(toks.contains(&(TokKind::Op, op.into())), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let l = lex("a\n\"two\nlines\"\nb /* c\nd */ e");
+        let a = &l.tokens[0];
+        let b = &l.tokens[2];
+        let e = &l.tokens[3];
+        assert_eq!((a.text.as_str(), a.line), ("a", 1));
+        assert_eq!((b.text.as_str(), b.line), ("b", 4));
+        assert_eq!((e.text.as_str(), e.line), ("e", 5));
+        assert_eq!(l.comments[0].line_start, 4);
+        assert_eq!(l.comments[0].line_end, 5);
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let toks = texts("let x = b'\\n'; let y = b\"bytes\"; let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Char, "b'…'".into())));
+        assert!(toks.contains(&(TokKind::Str, "b\"…\"".into())));
+        assert!(toks.contains(&(TokKind::Ident, "type".into())));
+    }
+}

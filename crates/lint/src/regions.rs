@@ -1,0 +1,292 @@
+//! Source-region analysis over the token stream: which lines belong to
+//! test code (`#[cfg(test)]` items, `mod tests` bodies), which lines
+//! carry code at all, and what comment text is attached to each line.
+//!
+//! Rules use this to (a) skip test code entirely — the determinism
+//! guarantees only cover shipping simulator paths — and (b) find the
+//! justification markers (`INVARIANT:`, `TIEBREAK:`, `REBUILD:`) and
+//! suppression pragmas that sit in comments adjacent to a finding.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Per-line facts about one source file (all vectors are indexed by
+/// 1-based line number; index 0 is unused).
+#[derive(Debug)]
+pub struct LineMap {
+    /// Line is inside a `#[cfg(test)]` item or a `mod tests` body.
+    test: Vec<bool>,
+    /// Line carries at least one code token.
+    code: Vec<bool>,
+    /// Concatenated comment text touching the line (empty if none).
+    comments: Vec<String>,
+}
+
+impl LineMap {
+    /// Build the map for one lexed file.
+    #[must_use]
+    pub fn build(lexed: &Lexed) -> Self {
+        let lines = lexed.total_lines as usize + 2;
+        let mut map = Self {
+            test: vec![false; lines],
+            code: vec![false; lines],
+            comments: vec![String::new(); lines],
+        };
+        for t in &lexed.tokens {
+            map.code[t.line as usize] = true;
+        }
+        for c in &lexed.comments {
+            for line in c.line_start..=c.line_end {
+                let slot = &mut map.comments[line as usize];
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str(&c.text);
+            }
+        }
+        for (start, end) in test_regions(&lexed.tokens) {
+            let hi = (end as usize).min(lines - 1);
+            for flag in &mut map.test[start as usize..=hi] {
+                *flag = true;
+            }
+        }
+        map
+    }
+
+    /// Whether `line` is inside test-only code.
+    #[must_use]
+    pub fn is_test(&self, line: u32) -> bool {
+        self.test.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `line` has code tokens on it.
+    #[must_use]
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Comment text touching `line` (empty string if none).
+    #[must_use]
+    pub fn comment(&self, line: u32) -> &str {
+        self.comments.get(line as usize).map_or("", String::as_str)
+    }
+
+    /// Whether a justification `marker` (e.g. `"INVARIANT:"`) appears in
+    /// the comment on `line` itself or in the contiguous block of
+    /// comment-only lines directly above it. This is how `.expect()`
+    /// chains document their invariants:
+    ///
+    /// ```text
+    /// // INVARIANT: the slot was checked busy two lines up.
+    /// .expect("busy slot has a task")
+    /// ```
+    #[must_use]
+    pub fn justified(&self, line: u32, marker: &str) -> bool {
+        if self.comment(line).contains(marker) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && !self.has_code(l) && !self.comment(l).is_empty() {
+            if self.comment(l).contains(marker) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// The first code-carrying line at or after `line` (used to attach a
+    /// pragma written on its own comment line to the statement below).
+    #[must_use]
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        (line as usize..self.code.len())
+            .find(|&l| self.code[l])
+            .map(|l| l as u32)
+    }
+}
+
+/// Find `(start_line, end_line)` spans of test-only code: items under a
+/// `#[cfg(test)]` attribute and bodies of `mod tests`.
+fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut k = 0usize;
+    while k < tokens.len() {
+        // `#[…]` / `#![…]` attribute.
+        if tokens[k].text == "#" && tokens[k].kind == TokKind::Op {
+            let inner = matches!(tokens.get(k + 1), Some(t) if t.text == "!");
+            let open = if inner { k + 2 } else { k + 1 };
+            if matches!(tokens.get(open), Some(t) if t.text == "[") {
+                let close = matching_bracket(tokens, open);
+                if attr_is_cfg_test(&tokens[open + 1..close]) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole file is test code.
+                        regions.push((1, u32::MAX));
+                    } else if let Some(span) = item_span(tokens, close + 1, tokens[k].line) {
+                        regions.push(span);
+                    }
+                }
+                k = close + 1;
+                continue;
+            }
+        }
+        // `mod tests { … }` without an attribute.
+        if tokens[k].kind == TokKind::Ident
+            && tokens[k].text == "mod"
+            && matches!(tokens.get(k + 1), Some(t) if t.kind == TokKind::Ident && t.text == "tests")
+            && matches!(tokens.get(k + 2), Some(t) if t.text == "{")
+        {
+            let close = matching_brace(tokens, k + 2);
+            let end = tokens.get(close).map_or(u32::MAX, |t| t.line);
+            regions.push((tokens[k].line, end));
+            k = close + 1;
+            continue;
+        }
+        k += 1;
+    }
+    regions
+}
+
+/// Whether attribute tokens (between `[` and `]`) are a `cfg` predicate
+/// that compiles only under test: first ident `cfg`, mentions `test`,
+/// and has no `not` (so `#[cfg(not(test))]` — shipping code — and
+/// `#[cfg_attr(test, …)]` are both excluded).
+fn attr_is_cfg_test(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not")
+}
+
+/// Span of the item following a `#[cfg(test)]` attribute, starting the
+/// scan at token `k` (just past the attribute's `]`). Skips any further
+/// attributes, then runs to the item's closing brace — or its `;` for
+/// brace-less items (`use …;`, `mod tests;`).
+fn item_span(tokens: &[Tok], mut k: usize, start_line: u32) -> Option<(u32, u32)> {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod t {`).
+    while matches!(tokens.get(k), Some(t) if t.text == "#")
+        && matches!(tokens.get(k + 1), Some(t) if t.text == "[")
+    {
+        k = matching_bracket(tokens, k + 1) + 1;
+    }
+    let mut parens = 0usize;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "(" | "[" => parens += 1,
+            ")" | "]" => parens = parens.saturating_sub(1),
+            "{" if parens == 0 => {
+                let close = matching_brace(tokens, k);
+                let end = tokens.get(close).map_or(u32::MAX, |t| t.line);
+                return Some((start_line, end));
+            }
+            ";" if parens == 0 => return Some((start_line, tokens[k].line)),
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((start_line, u32::MAX))
+}
+
+/// Index of the `]` matching the `[` at `open` (token index past the end
+/// if unterminated).
+fn matching_bracket(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (token index past the end
+/// if unterminated).
+fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> LineMap {
+        LineMap::build(&lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let m = map(src);
+        assert!(!m.is_test(1));
+        assert!(m.is_test(2));
+        assert!(m.is_test(3));
+        assert!(m.is_test(4));
+        assert!(m.is_test(5));
+        assert!(!m.is_test(6));
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_is_masked() {
+        let m = map("mod tests {\n    fn t() {}\n}\nfn live() {}\n");
+        assert!(m.is_test(1));
+        assert!(m.is_test(2));
+        assert!(!m.is_test(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let m = map("#[cfg(not(test))]\nfn shipping() {}\n");
+        assert!(!m.is_test(1));
+        assert!(!m.is_test(2));
+    }
+
+    #[test]
+    fn stacked_attributes_and_braces_in_signature() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t(x: [u8; 2]) -> Vec<u8> {\n    x.to_vec()\n}\nfn live() {}\n";
+        let m = map(src);
+        assert!(m.is_test(4));
+        assert!(!m.is_test(6));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let m = map("#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(m.is_test(2));
+        assert!(!m.is_test(3));
+    }
+
+    #[test]
+    fn justification_scans_contiguous_comment_block() {
+        let src = "fn f() {\n    // INVARIANT: checked above.\n    // continues here.\n    x.expect(\"ok\");\n    y.expect(\"no\");\n}\n";
+        let m = map(src);
+        assert!(m.justified(4, "INVARIANT:"));
+        assert!(!m.justified(5, "INVARIANT:"));
+    }
+
+    #[test]
+    fn trailing_comment_justifies_its_own_line() {
+        let m = map("let x = v.sort_unstable(); // TIEBREAK: u64 keys, ties identical\n");
+        assert!(m.justified(1, "TIEBREAK:"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The determinism rule catalogue and the token-stream matchers.
+//!
+//! Every rule guards one hazard class that can silently break the
+//! simulator's bit-identical guarantees (checkpoint resume, the
+//! linear-vs-indexed differential proof, seeded figure sweeps):
+//!
+//! | id | hazard |
+//! |----|--------|
+//! | r1 | `HashMap`/`HashSet` in scheduler-visible crates — iteration order varies per process |
+//! | r2 | wall clock / ambient entropy (`Instant`, `SystemTime`, `std::time`, `std::env`, `thread_rng`) |
+//! | r3 | float `==`/`!=` and `partial_cmp().unwrap()` where `total_cmp` is required |
+//! | r4 | `.unwrap()`/`.expect()` without an adjacent `// INVARIANT:` justification |
+//! | r5 | `sort_unstable*` without a `// TIEBREAK:` note documenting why ties cannot reorder |
+//! | r6 | `#[serde(skip)]` fields without a `// REBUILD:` rebuild-on-resume story |
+//! | p0 | malformed suppression pragma (unparseable, unknown rule id, or missing reason) |
+//! | p1 | unused suppression pragma (suppresses nothing — stale after a fix) |
+//!
+//! Rules are scoped by path: r1 only fires in the crates whose state
+//! feeds the event loop (`model`, `engine`, `sched`, `sweep`); r2 is
+//! waived for the `cli` crate and for bench harness code (`crates/bench`
+//! and `bench.rs` modules), which measure wall-clock time by design.
+//! Test code (`#[cfg(test)]`, `mod tests`) is never scanned — the
+//! guarantees cover shipping simulator paths only.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::regions::LineMap;
+
+/// Static description of one rule, for `--list-rules` and docs.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable id used in findings and suppression pragmas.
+    pub id: &'static str,
+    /// Short human name.
+    pub name: &'static str,
+    /// One-line description of the hazard.
+    pub summary: &'static str,
+}
+
+/// The full rule catalogue (including the pragma meta-rules).
+pub const RULES: [RuleInfo; 8] = [
+    RuleInfo {
+        id: "r1",
+        name: "nondet-iteration",
+        summary: "HashMap/HashSet in scheduler-visible code: iteration order varies per process; \
+                  use BTreeMap/BTreeSet or an order-preserving index",
+    },
+    RuleInfo {
+        id: "r2",
+        name: "ambient-entropy",
+        summary: "wall clock or ambient entropy (Instant, SystemTime, std::time, std::env, \
+                  thread_rng) outside cli/bench: simulated time and the seeded Rng are the only \
+                  admissible sources",
+    },
+    RuleInfo {
+        id: "r3",
+        name: "float-hazard",
+        summary: "float ==/!= or partial_cmp().unwrap(): use integer ticks, an epsilon, or \
+                  f64::total_cmp",
+    },
+    RuleInfo {
+        id: "r4",
+        name: "unjustified-panic",
+        summary: ".unwrap()/.expect() without an adjacent // INVARIANT: comment naming the \
+                  invariant that rules the panic out",
+    },
+    RuleInfo {
+        id: "r5",
+        name: "unstable-sort",
+        summary: "sort_unstable* without a // TIEBREAK: note documenting why equal keys cannot \
+                  reorder observably",
+    },
+    RuleInfo {
+        id: "r6",
+        name: "skipped-field",
+        summary: "#[serde(skip)] field without a // REBUILD: note telling the checkpoint-resume \
+                  story (rebuilt, re-captured, or safely empty)",
+    },
+    RuleInfo {
+        id: "p0",
+        name: "malformed-pragma",
+        summary: "suppression pragma that cannot be honoured: unparseable, unknown rule id, or \
+                  missing the mandatory `-- reason`",
+    },
+    RuleInfo {
+        id: "p1",
+        name: "unused-pragma",
+        summary: "suppression pragma that suppressed nothing: stale after a fix, delete it",
+    },
+];
+
+/// Look up a rule by id.
+#[must_use]
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Crates whose state feeds the deterministic event loop (r1 scope).
+const R1_CRATES: [&str; 4] = ["model", "engine", "sched", "sweep"];
+
+/// Whether `rule` applies to the file at `path` (paths use `/`
+/// separators; fixture tests pass synthetic labels to pick a scope).
+#[must_use]
+pub fn rule_applies(rule: &str, path: &str) -> bool {
+    let segments: Vec<&str> = path.split('/').collect();
+    match rule {
+        "r1" => match segments.iter().position(|s| *s == "crates") {
+            Some(i) => segments.get(i + 1).is_some_and(|c| R1_CRATES.contains(c)),
+            // Paths outside a crates/ tree (ad-hoc file scans) get the
+            // full rule set.
+            None => true,
+        },
+        "r2" => !segments
+            .iter()
+            .any(|s| *s == "cli" || *s == "bench" || *s == "bench.rs"),
+        _ => true,
+    }
+}
+
+/// A rule hit before suppression pragmas are applied.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// Rule id (`r1` … `r6`).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message naming the hazard and the fix.
+    pub message: String,
+}
+
+/// Run every scoped rule over one lexed file. Findings come out
+/// deduplicated per `(rule, line)` and sorted by line.
+#[must_use]
+pub fn scan(lexed: &Lexed, map: &LineMap, path: &str) -> Vec<RawFinding> {
+    let toks = &lexed.tokens;
+    let mut out: Vec<RawFinding> = Vec::new();
+    let applies = |rule: &str| rule_applies(rule, path);
+
+    for (k, t) in toks.iter().enumerate() {
+        if map.is_test(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                scan_ident(toks, k, map, &applies, &mut out);
+            }
+            TokKind::Op
+                if (t.text == "==" || t.text == "!=")
+                    && applies("r3")
+                    && float_neighbour(toks, k) =>
+            {
+                out.push(RawFinding {
+                    rule: "r3",
+                    line: t.line,
+                    message: format!(
+                        "float `{}` comparison: exact float equality is \
+                         representation-sensitive; compare integer ticks or use an epsilon",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Op if t.text == "#" => {
+                scan_attr(toks, k, map, &applies, &mut out);
+            }
+            _ => {}
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+fn scan_ident(
+    toks: &[Tok],
+    k: usize,
+    map: &LineMap,
+    applies: &impl Fn(&str) -> bool,
+    out: &mut Vec<RawFinding>,
+) {
+    let t = &toks[k];
+    let prev_is_dot = k > 0 && toks[k - 1].kind == TokKind::Op && toks[k - 1].text == ".";
+    let next_is_paren = matches!(toks.get(k + 1), Some(n) if n.text == "(");
+    match t.text.as_str() {
+        "HashMap" | "HashSet" if applies("r1") => out.push(RawFinding {
+            rule: "r1",
+            line: t.line,
+            message: format!(
+                "nondeterministic iteration hazard: `{}` in scheduler-visible code; use \
+                 BTreeMap/BTreeSet or an order-preserving index",
+                t.text
+            ),
+        }),
+        "Instant" | "SystemTime" | "thread_rng" if applies("r2") => out.push(RawFinding {
+            rule: "r2",
+            line: t.line,
+            message: format!(
+                "ambient entropy: `{}` outside cli/bench; simulated time and the seeded Rng are \
+                 the only admissible sources",
+                t.text
+            ),
+        }),
+        "std" if applies("r2") => {
+            let path_next = matches!(toks.get(k + 1), Some(n) if n.text == "::");
+            if path_next {
+                if let Some(seg) = toks.get(k + 2) {
+                    if seg.kind == TokKind::Ident && (seg.text == "time" || seg.text == "env") {
+                        out.push(RawFinding {
+                            rule: "r2",
+                            line: t.line,
+                            message: format!(
+                                "ambient entropy: `std::{}` outside cli/bench; simulated time \
+                                 and the seeded Rng are the only admissible sources",
+                                seg.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        "partial_cmp" if applies("r3") && next_is_paren => {
+            if let Some(close) = matching_paren(toks, k + 1) {
+                let chained_panic = matches!(toks.get(close + 1), Some(d) if d.text == ".")
+                    && matches!(
+                        toks.get(close + 2),
+                        Some(m) if m.text == "unwrap" || m.text == "expect"
+                    );
+                if chained_panic {
+                    out.push(RawFinding {
+                        rule: "r3",
+                        line: t.line,
+                        message: "float ordering via `partial_cmp().unwrap()`: NaN panics and \
+                                  totality is unchecked; use `f64::total_cmp`"
+                            .into(),
+                    });
+                }
+            }
+        }
+        "unwrap" | "expect"
+            if prev_is_dot
+                && next_is_paren
+                && applies("r4")
+                && !map.justified(t.line, "INVARIANT:") =>
+        {
+            out.push(RawFinding {
+                rule: "r4",
+                line: t.line,
+                message: format!(
+                    "possible panic: `.{}()` without an adjacent `// INVARIANT:` comment; \
+                     return a typed error or document the invariant that rules the panic out",
+                    t.text
+                ),
+            });
+        }
+        s if s.starts_with("sort_unstable")
+            && prev_is_dot
+            && applies("r5")
+            && !map.justified(t.line, "TIEBREAK:") =>
+        {
+            out.push(RawFinding {
+                rule: "r5",
+                line: t.line,
+                message: format!(
+                    "unstable sort: `.{}()` without an adjacent `// TIEBREAK:` note; equal \
+                     keys may reorder — document why ties are unobservable or sort by a \
+                     total key",
+                    t.text
+                ),
+            });
+        }
+        _ => {}
+    }
+}
+
+/// `#[serde(skip)]` attribute scan (r6).
+fn scan_attr(
+    toks: &[Tok],
+    k: usize,
+    map: &LineMap,
+    applies: &impl Fn(&str) -> bool,
+    out: &mut Vec<RawFinding>,
+) {
+    if !applies("r6") {
+        return;
+    }
+    if !matches!(toks.get(k + 1), Some(n) if n.text == "[") {
+        return;
+    }
+    let Some(close) = matching_square(toks, k + 1) else {
+        return;
+    };
+    let idents: Vec<&str> = toks[k + 1..close]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    if idents.first() == Some(&"serde")
+        && idents.contains(&"skip")
+        && !map.justified(toks[k].line, "REBUILD:")
+    {
+        out.push(RawFinding {
+            rule: "r6",
+            line: toks[k].line,
+            message: "`#[serde(skip)]` field without an adjacent `// REBUILD:` note; a \
+                      checkpoint-resumed value is silently defaulted unless the resume path \
+                      provably rebuilds it — document that story"
+                .into(),
+        });
+    }
+}
+
+/// Whether either operand next to the comparison at `k` is a float
+/// literal.
+fn float_neighbour(toks: &[Tok], k: usize) -> bool {
+    let prev = k.checked_sub(1).and_then(|p| toks.get(p));
+    let next = toks.get(k + 1);
+    prev.is_some_and(|t| t.kind == TokKind::Float) || next.is_some_and(|t| t.kind == TokKind::Float)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_square(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,83 @@
+//! Deterministic, path-based workspace walk.
+//!
+//! The walk is driven by the directory layout, **not** by cargo
+//! metadata, so crates excluded from the cargo workspace (the
+//! criterion-dependent `crates/bench`) are still scanned. Scan roots
+//! are every `crates/<name>/src` directory plus the facade crate's
+//! `src/`; `tests/`, `benches/`, and `examples/` trees are out of scope
+//! (they are test/bench code, which the determinism guarantees do not
+//! cover). Directory entries are sorted before recursion so the report
+//! order — and therefore the uploaded CI artifact — is byte-stable
+//! across filesystems.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under the workspace's scan roots, sorted.
+///
+/// # Errors
+/// Propagates filesystem errors other than a missing optional root.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_entries(&crates_dir)? {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        collect_rs(&facade_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively gather `.rs` files under `dir` (sorted within each
+/// directory by the sorted `read_dir`).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `read_dir` with a defined order: the OS yields entries in arbitrary
+/// order, which would make finding order nondeterministic — exactly the
+/// class of bug this tool exists to catch.
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for e in std::fs::read_dir(dir)? {
+        entries.push(e?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Workspace-relative label (with `/` separators) for a scanned path.
+#[must_use]
+pub fn label_for(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_relative_and_slash_separated() {
+        let root = Path::new("/repo");
+        let p = Path::new("/repo/crates/model/src/store.rs");
+        assert_eq!(label_for(root, p), "crates/model/src/store.rs");
+        let outside = Path::new("/elsewhere/x.rs");
+        assert_eq!(label_for(root, outside), "/elsewhere/x.rs");
+    }
+}

@@ -1,0 +1,25 @@
+//! r1 fixture: hash collections in deterministic crates.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Table {
+    by_id: HashMap<u32, u64>,
+    seen: HashSet<u32>,
+}
+
+impl Table {
+    pub fn tally(&self) -> usize {
+        self.by_id.len() + self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! r1 fixture (clean): ordered collections, plus a doc-comment mention
+//! of HashMap that must not trip the lexer-aware scan.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Unlike a HashMap, a BTreeMap iterates in key order.
+pub struct Table {
+    by_id: BTreeMap<u32, u64>,
+    seen: BTreeSet<u32>,
+}
+
+impl Table {
+    pub fn tally(&self) -> usize {
+        let name = "HashMap in a string is not a finding";
+        self.by_id.len() + self.seen.len() + name.len()
+    }
+}

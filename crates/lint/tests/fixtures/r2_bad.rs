@@ -1,0 +1,10 @@
+//! r2 fixture: wall-clock and environment reads in simulation code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn configured_threads() -> usize {
+    std::env::var("THREADS").map_or(1, |v| v.parse().unwrap_or(1))
+}

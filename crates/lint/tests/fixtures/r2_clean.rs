@@ -1,0 +1,17 @@
+//! r2 fixture (clean): simulated time comes from the tick counter, and
+//! the one real-clock read is suppressed with a reasoned pragma.
+pub struct Clock {
+    tick: u64,
+}
+
+impl Clock {
+    pub fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+pub fn progress_seconds() -> u64 {
+    // lint: allow(r2) -- progress display only; never feeds simulation state
+    std::time::Instant::now().elapsed().as_secs()
+}

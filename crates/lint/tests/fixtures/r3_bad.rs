@@ -1,0 +1,16 @@
+//! r3 fixture: float equality comparisons.
+pub fn converged(delta: f64) -> bool {
+    delta == 0.0
+}
+
+pub fn still_moving(delta: f64) -> bool {
+    0.0 != delta
+}
+
+pub fn pick(a: f64, b: f64) -> f64 {
+    if a.partial_cmp(&b).unwrap() == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}

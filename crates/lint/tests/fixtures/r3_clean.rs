@@ -1,0 +1,17 @@
+//! r3 fixture (clean): total_cmp and an explicit tolerance instead of
+//! float `==`; integer equality is not a finding.
+pub fn converged(prev: f64, next: f64) -> bool {
+    (prev - next).abs() < 1e-12
+}
+
+pub fn pick(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+pub fn same_count(a: u64, b: u64) -> bool {
+    a == b
+}

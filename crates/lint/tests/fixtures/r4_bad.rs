@@ -1,0 +1,9 @@
+//! r4 fixture: unwrap/expect with no adjacent INVARIANT justification.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    // A plain comment that is not an invariant note does not justify it.
+    s.parse().expect("must be a number")
+}

@@ -1,0 +1,11 @@
+//! r4 fixture (clean): every panic site carries an adjacent INVARIANT
+//! note — trailing on the same line, or directly above inside a chain.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // INVARIANT: caller guarantees xs is non-empty
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse()
+        // INVARIANT: s was produced by u32::to_string upstream.
+        .expect("round-trip of a u32")
+}

@@ -1,0 +1,10 @@
+//! r5 fixture: unstable sorts with no documented tie-break.
+pub fn order(mut xs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    xs.sort_unstable_by_key(|p| p.1);
+    xs
+}
+
+pub fn order_ids(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids
+}

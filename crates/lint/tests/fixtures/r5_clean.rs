@@ -1,0 +1,17 @@
+//! r5 fixture (clean): unstable sorts with the tie-break documented, and
+//! a stable sort which needs no note.
+pub fn order(mut xs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    // TIEBREAK: full-tuple key, so equal elements are indistinguishable.
+    xs.sort_unstable_by_key(|p| (p.1, p.0));
+    xs
+}
+
+pub fn order_ids(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable(); // TIEBREAK: u32 keys are total; duplicates are identical
+    ids
+}
+
+pub fn order_stable(mut xs: Vec<u32>) -> Vec<u32> {
+    xs.sort();
+    xs
+}

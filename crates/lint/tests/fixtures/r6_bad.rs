@@ -1,0 +1,9 @@
+//! r6 fixture: a skipped field with no rebuild-on-resume note.
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+pub struct State {
+    pub counter: u64,
+    #[serde(skip)]
+    pub cache: Vec<u64>,
+}

@@ -1,0 +1,11 @@
+//! r6 fixture (clean): the skipped field documents its rebuild story.
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+pub struct State {
+    pub counter: u64,
+    // REBUILD: derived from `counter` by rebuild_cache() immediately
+    // after deserialization; never read before that.
+    #[serde(skip)]
+    pub cache: Vec<u64>,
+}

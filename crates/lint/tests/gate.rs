@@ -1,0 +1,107 @@
+//! End-to-end tests of the `dreamsim-lint` binary as a CI gate: exit
+//! code 1 (with the finding in the output) on a tree seeded with a
+//! known-bad file, exit 0 on a clean tree.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dreamsim-lint")
+}
+
+/// A scratch workspace under the target dir, unique per test name.
+fn scratch_tree(test: &str, file: &str, contents: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("gate-{test}"));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clear scratch tree");
+    }
+    let path = root.join(file);
+    std::fs::create_dir_all(path.parent().expect("file has a parent")).expect("mkdir");
+    std::fs::write(&path, contents).expect("write seed file");
+    root
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+#[test]
+fn gate_fails_on_a_seeded_bad_file() {
+    let root = scratch_tree("bad", "crates/model/src/table.rs", &fixture("r1_bad"));
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(&root)
+        .args(["--format", "json"])
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded r1 violation must fail the gate; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"rule\": \"r1\"") && stdout.contains("crates/model/src/table.rs"),
+        "JSON output must name the rule and file; got: {stdout}"
+    );
+}
+
+#[test]
+fn gate_passes_on_a_clean_tree() {
+    let root = scratch_tree("clean", "crates/model/src/table.rs", &fixture("r1_clean"));
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(&root)
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must pass; stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn gate_writes_the_json_artifact() {
+    let root = scratch_tree("artifact", "crates/model/src/table.rs", &fixture("r1_bad"));
+    let report_path = root.join("lint-report.json");
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(&root)
+        .args(["--format", "json", "--out"])
+        .arg(&report_path)
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(&report_path).expect("artifact written");
+    assert!(
+        json.contains("\"findings\""),
+        "artifact is a report: {json}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(bin())
+        .arg("--no-such-flag")
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explicit_file_arguments_are_scanned() {
+    let root = scratch_tree("files", "src/lib.rs", &fixture("r4_bad"));
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(&root)
+        .arg(root.join("src/lib.rs"))
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[r4]"));
+}

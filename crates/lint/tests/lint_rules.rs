@@ -1,0 +1,140 @@
+//! Fixture-driven rule tests: one bad/clean pair per rule, linted
+//! through the public `lint_source` entry point with synthetic labels
+//! that place the fixture in a specific scope.
+
+use dreamsim_lint::{lint_source, LintReport};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Lint a fixture as if it lived at `label` (scoping is path-based).
+fn lint_fixture(name: &str, label: &str) -> LintReport {
+    lint_source(label, &fixture(name))
+}
+
+/// Label that puts every rule in scope (r1 needs model/engine/sched/
+/// sweep; r2 needs a non-cli, non-bench path).
+const IN_SCOPE: &str = "crates/engine/src/fixture.rs";
+
+fn rules_hit(report: &LintReport) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn bad_fixtures_trip_their_rule() {
+    for rule in ["r1", "r2", "r3", "r4", "r5", "r6"] {
+        let report = lint_fixture(&format!("{rule}_bad"), IN_SCOPE);
+        assert!(
+            rules_hit(&report).contains(&rule),
+            "{rule}_bad.rs should produce at least one {rule} finding, got {:?}",
+            rules_hit(&report)
+        );
+        for f in &report.findings {
+            assert_eq!(f.file, IN_SCOPE);
+            assert!(f.line > 0, "findings carry 1-based lines");
+            assert!(!f.excerpt.is_empty(), "findings carry a source excerpt");
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for rule in ["r1", "r2", "r3", "r4", "r5", "r6"] {
+        let report = lint_fixture(&format!("{rule}_clean"), IN_SCOPE);
+        assert!(
+            report.is_clean(),
+            "{rule}_clean.rs should be clean, got {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_findings_are_line_accurate() {
+    let report = lint_fixture("r1_bad", "crates/model/src/table.rs");
+    let lines: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "r1")
+        .map(|f| f.line)
+        .collect();
+    // Two `use` lines and two struct fields; the test-module HashMap is
+    // exempt.
+    assert_eq!(lines, vec![2, 3, 6, 7], "findings: {:?}", report.findings);
+}
+
+#[test]
+fn r2_clean_pragma_is_counted_with_its_reason() {
+    let report = lint_fixture("r2_clean", IN_SCOPE);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressions.len(), 1);
+    let s = &report.suppressions[0];
+    assert_eq!(s.rule, "r2");
+    assert_eq!(
+        s.reason,
+        "progress display only; never feeds simulation state"
+    );
+}
+
+#[test]
+fn r1_is_scoped_to_scheduler_visible_crates() {
+    let in_cli = lint_fixture("r1_bad", "crates/cli/src/table.rs");
+    assert!(
+        !rules_hit(&in_cli).contains(&"r1"),
+        "r1 must not fire in crates/cli"
+    );
+    for scope in ["model", "engine", "sched", "sweep"] {
+        let report = lint_fixture("r1_bad", &format!("crates/{scope}/src/table.rs"));
+        assert!(
+            rules_hit(&report).contains(&"r1"),
+            "r1 must fire in {scope}"
+        );
+    }
+}
+
+#[test]
+fn r2_is_waived_for_cli_and_bench() {
+    for label in [
+        "crates/cli/src/main.rs",
+        "crates/bench/src/lib.rs",
+        "crates/sweep/src/bench.rs",
+    ] {
+        let report = lint_fixture("r2_bad", label);
+        assert!(
+            !rules_hit(&report).contains(&"r2"),
+            "r2 must be waived for {label}, got {:?}",
+            report.findings
+        );
+    }
+    assert!(rules_hit(&lint_fixture("r2_bad", IN_SCOPE)).contains(&"r2"));
+}
+
+#[test]
+fn adhoc_paths_outside_crates_get_the_full_rule_set() {
+    let report = lint_fixture("r1_bad", "scratch/table.rs");
+    assert!(rules_hit(&report).contains(&"r1"));
+}
+
+#[test]
+fn malformed_pragma_is_a_p0_finding() {
+    let src = "// lint: allow(r1)\nfn f() {}\n";
+    let report = lint_source(IN_SCOPE, src);
+    assert!(
+        rules_hit(&report).contains(&"p0"),
+        "reason-less pragma must be flagged, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn stale_pragma_is_a_p1_finding() {
+    let src = "fn f() -> u32 {\n    // lint: allow(r4) -- nothing to suppress here\n    42\n}\n";
+    let report = lint_source(IN_SCOPE, src);
+    assert!(
+        rules_hit(&report).contains(&"p1"),
+        "pragma that suppresses nothing must be flagged, got {:?}",
+        report.findings
+    );
+}

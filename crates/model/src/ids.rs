@@ -39,6 +39,9 @@ macro_rules! id_type {
             #[inline]
             #[must_use]
             pub fn from_index(index: usize) -> Self {
+                // INVARIANT: arenas are dense and sized at init from the
+                // validated SimParams, which cap every entity count far
+                // below u32::MAX (documented panic for hand-built ids).
                 Self(u32::try_from(index).expect("id index overflow"))
             }
         }
@@ -65,8 +68,10 @@ id_type! {
 }
 
 /// Reference to one config-task-pair slot on a node: the unit the
-/// per-configuration idle/busy lists link together.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// per-configuration idle/busy lists link together. Ordered by
+/// `(node, slot)` so entry sets can live in deterministic ordered
+/// collections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EntryRef {
     /// The node holding the slot.
     pub node: NodeId,

@@ -85,6 +85,9 @@ impl ConfigLists {
         let old_head = *self.head_mut(kind, config);
         nodes[entry.node.index()]
             .slot_mut(entry.slot)
+            // INVARIANT: the debug_assert above pins `entry` to a live
+            // slot of `config`; the auditor cross-checks lists ⇔ slot
+            // flags on every audited event.
             .expect("live slot")
             .link = old_head;
         *self.head_mut(kind, config) = Some(entry);
@@ -113,6 +116,9 @@ impl ConfigLists {
                     Some(p) => {
                         nodes[p.node.index()]
                             .slot_mut(p.slot)
+                            // INVARIANT: `p` was visited by this very
+                            // traversal one step earlier, so its slot
+                            // is live; nothing mutates between visits.
                             .expect("live predecessor")
                             .link = next;
                     }

@@ -64,7 +64,7 @@ use crate::ids::{Area, ConfigId, EntryRef, NodeId};
 use crate::lists::{ConfigLists, ListKind};
 use crate::node::Node;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which implementation answers the store's placement searches.
 ///
@@ -133,7 +133,9 @@ struct NodeIndexState {
     /// currently keyed in the per-config idle maps.
     keyed_avail: Area,
     /// Idle entries of this node: slot → (config, push sequence).
-    slots: HashMap<u32, (ConfigId, u64)>,
+    /// Ordered so every traversal (re-keying on area change) visits
+    /// slots in a defined order.
+    slots: BTreeMap<u32, (ConfigId, u64)>,
 }
 
 /// Comparable, order-preserving summary of a [`SearchIndex`].
@@ -191,6 +193,8 @@ impl SearchIndex {
     pub fn rebuild(nodes: &[Node], configs: &[Config], lists: &ConfigLists) -> Self {
         let mut configs_by_area: Vec<(Area, ConfigId)> =
             configs.iter().map(|c| (c.req_area, c.id)).collect();
+        // TIEBREAK: ConfigId is unique per element, so the (area, id)
+        // keys are all distinct — stability cannot matter.
         configs_by_area.sort_unstable();
         let mut idx = Self {
             configs_by_area,
@@ -202,7 +206,7 @@ impl SearchIndex {
                 .map(|n| NodeIndexState {
                     set_key: None,
                     keyed_avail: n.available_area(),
-                    slots: HashMap::new(),
+                    slots: BTreeMap::new(),
                 })
                 .collect(),
             seq_next: 0,
@@ -275,9 +279,9 @@ impl SearchIndex {
         let avail = n.available_area();
         let old = self.node_state[i].keyed_avail;
         if old != avail {
-            // Move every idle entry of this node to its new area key.
-            // HashMap iteration order is arbitrary, but the moves
-            // commute, so the resulting maps are deterministic.
+            // Move every idle entry of this node to its new area key,
+            // in slot order (the moves commute, but an ordered walk
+            // keeps even the intermediate states deterministic).
             let moved: Vec<(ConfigId, u64)> = self.node_state[i].slots.values().copied().collect();
             for (config, seq) in moved {
                 let map = &mut self.idle[config.index()];

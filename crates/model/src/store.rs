@@ -22,7 +22,7 @@ use crate::node::{Node, NodeError, NodeState};
 use crate::search::{IndexSnapshot, SearchBackend, SearchIndex};
 use crate::steps::{StepCounter, StepKind};
 use crate::task::PreferredConfig;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What a placement search is looking for: reconfigurable area plus any
 /// hardware capabilities the configuration requires of its host node
@@ -72,11 +72,17 @@ pub struct ResourceManager {
     /// serialized: checkpoints are backend-independent, and a restored
     /// store starts on the default (linear) backend until
     /// [`set_search_backend`](Self::set_search_backend) re-selects one.
+    // REBUILD: resume restores the default (linear) backend; the run
+    // options re-select via `set_search_backend`, which never touches
+    // serialized state — so the skip cannot desynchronize a checkpoint.
     #[serde(skip)]
     backend: SearchBackend,
     /// The ordered indexes backing [`SearchBackend::Indexed`]; empty
     /// (and ignored) under the linear backend. Rebuilt from the node
     /// table and lists whenever the indexed backend is (re-)selected.
+    // REBUILD: derived state only — `set_search_backend(Indexed)` calls
+    // `SearchIndex::rebuild` from the restored nodes/lists, and the
+    // auditor pins live-vs-rebuilt snapshot equality after resume.
     #[serde(skip)]
     index: SearchIndex,
 }
@@ -699,7 +705,7 @@ impl ResourceManager {
                 return Err(format!("{}: Eq. 4 area invariant violated", n.id));
             }
         }
-        let mut listed: HashSet<EntryRef> = HashSet::new();
+        let mut listed: BTreeSet<EntryRef> = BTreeSet::new();
         for c in &self.configs {
             for (kind, want_busy) in [(ListKind::Idle, false), (ListKind::Busy, true)] {
                 let mut visited = 0usize;
@@ -1027,9 +1033,9 @@ mod tests {
         // Drive both stores through the same mutation sequence,
         // comparing every search and both counters at each step.
         let check = |lin: &ResourceManager,
-                         idx: &ResourceManager,
-                         sl: &mut StepCounter,
-                         si: &mut StepCounter| {
+                     idx: &ResourceManager,
+                     sl: &mut StepCounter,
+                     si: &mut StepCounter| {
             for pref in [
                 PreferredConfig::Known(ConfigId(1)),
                 PreferredConfig::Known(ConfigId(2)),

@@ -64,6 +64,8 @@ pub fn multinomial<R: RngCore>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
         let last_pos = probs
             .iter()
             .rposition(|&w| w > 0.0)
+            // INVARIANT: the caller-validated total of weights is > 0,
+            // so at least one weight is positive.
             .expect("checked: total > 0");
         counts[last_pos] += n - assigned;
     }

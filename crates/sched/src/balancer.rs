@@ -78,6 +78,7 @@ fn mean_cv(xs: &[usize]) -> (f64, f64) {
     }
     let n = xs.len() as f64;
     let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    // lint: allow(r3) -- exact-zero guard on a sum of integer-valued samples, which f64 represents exactly
     if mean == 0.0 {
         return (0.0, 0.0);
     }
@@ -98,6 +99,7 @@ fn gini(xs: &[usize]) -> f64 {
         return 0.0;
     }
     let total: f64 = xs.iter().map(|&x| x as f64).sum();
+    // lint: allow(r3) -- exact-zero guard on a sum of integer-valued samples, which f64 represents exactly
     if total == 0.0 {
         return 0.0;
     }

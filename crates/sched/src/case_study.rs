@@ -174,14 +174,14 @@ impl CaseStudyScheduler {
     ) -> Option<Placement> {
         // Phase: Allocation.
         if let Some(entry) = self.pick_idle(ctx, config) {
-            // Invariant: `pick_idle` only returns entries drawn from the
-            // idle lists (or a naive scan for idle slots), and nothing
-            // runs between the search and the assignment, so the slot
-            // cannot have become busy. A failure here is store
-            // corruption, which the engine's auditor reports as a typed
-            // error before the policy ever sees the slot.
             ctx.resources
                 .assign_task(entry, task, ctx.steps)
+                // INVARIANT: `pick_idle` only returns entries drawn from
+                // the idle lists (or a naive scan for idle slots), and
+                // nothing runs between the search and the assignment, so
+                // the slot cannot have become busy. A failure here is
+                // store corruption, which the engine's auditor reports
+                // as a typed error before the policy ever sees the slot.
                 .expect("idle entry accepts a task");
             return Some(Placement {
                 task,
@@ -221,11 +221,12 @@ impl CaseStudyScheduler {
         }
         // Phase: (Partial) re-configuration — Algorithm 1.
         if let Some((node, evict)) = ctx.resources.find_any_idle_node(demand, ctx.steps) {
-            // Invariant: Algorithm 1 selected `evict` from the node's
-            // currently idle slots and holds the mutable borrow until
-            // eviction, so every listed slot is still idle.
             ctx.resources
                 .evict_idle_slots(node, &evict, ctx.steps)
+                // INVARIANT: Algorithm 1 selected `evict` from the
+                // node's currently idle slots and holds the mutable
+                // borrow until eviction, so every listed slot is still
+                // idle.
                 .expect("Algorithm 1 returns idle slots");
             return Some(self.configure_and_assign(
                 ctx,
@@ -248,16 +249,16 @@ impl CaseStudyScheduler {
         config_time: u64,
         phase: PhaseKind,
     ) -> Placement {
-        // Invariants: every caller reaches this point straight from a
-        // search (or eviction) that established the node has enough free
-        // area for `config`, and a just-configured slot is idle by
-        // construction, so neither call can fail on a consistent store.
         let entry = ctx
             .resources
             .configure_slot(node, config, ctx.steps)
+            // INVARIANT: every caller reaches this point straight from a
+            // search (or eviction) that established the node has enough
+            // free area for `config`.
             .expect("search guaranteed the area fits");
         ctx.resources
             .assign_task(entry, task, ctx.steps)
+            // INVARIANT: a just-configured slot is idle by construction.
             .expect("fresh slot is idle");
         Placement {
             task,
@@ -398,22 +399,22 @@ impl SchedulePolicy for CaseStudyScheduler {
         }
         // Enact the chosen plan.
         if let Some((tid, plan)) = chosen {
-            // Invariant: the scan closures above only choose a task
-            // after reading its `resolved_config`, and nothing clears
-            // that field between the scan and here.
             let config = ctx
                 .tasks
                 .get(tid)
                 .resolved_config
+                // INVARIANT: the scan closures above only choose a task
+                // after reading its `resolved_config`, and nothing
+                // clears that field between the scan and here.
                 .expect("plan implies config");
             let ct = ctx.resources.config(config).config_time;
             let placement = match plan {
                 Plan::Allocate(entry) => {
-                    // Invariant: `entry` is the slot whose task just
-                    // completed; it was freed before this hook ran and
-                    // only one plan is enacted per freed slot.
                     ctx.resources
                         .assign_task(entry, tid, ctx.steps)
+                        // INVARIANT: `entry` is the slot whose task just
+                        // completed; it was freed before this hook ran
+                        // and only one plan is enacted per freed slot.
                         .expect("freed slot is idle");
                     Placement {
                         task: tid,
@@ -432,11 +433,12 @@ impl SchedulePolicy for CaseStudyScheduler {
                     PhaseKind::PartialConfiguration,
                 ),
                 Plan::Reconfigure(evict) => {
-                    // Invariant: the plan listed slots that were idle
-                    // during the read-only scan, and no placement has
-                    // touched this node since (one plan per freed slot).
                     ctx.resources
                         .evict_idle_slots(node, &evict, ctx.steps)
+                        // INVARIANT: the plan listed slots that were
+                        // idle during the read-only scan, and no
+                        // placement has touched this node since (one
+                        // plan per freed slot).
                         .expect("planned slots are idle");
                     self.configure_and_assign(
                         ctx,
@@ -490,7 +492,7 @@ impl SchedulePolicy for CaseStudyScheduler {
             });
         }
         if let Some(tid) = chosen {
-            // Invariant: the scan closure only set `chosen` after
+            // INVARIANT: the scan closure only set `chosen` after
             // reading `resolved_config` as `Some`.
             let config = ctx.tasks.get(tid).resolved_config.expect("checked above");
             let ct = ctx.resources.config(config).config_time;

@@ -74,6 +74,8 @@ pub fn driver_comparison(base: &SimParams) -> (Metrics, Metrics) {
             SyntheticSource::from_params(base),
             CaseStudyScheduler::new(),
         )
+        // INVARIANT: ablation grids are built from the validated
+        // Table II defaults; rejection would be a programmer error.
         .expect("ablation parameters must validate")
     };
     let event = build().run();

@@ -85,6 +85,8 @@ impl SweepPoint {
 pub fn run_point(point: &SweepPoint) -> Report {
     let source = SyntheticSource::from_params(&point.params);
     let sim = Simulation::new(point.params.clone(), source, point.policy.build())
+        // INVARIANT: sweep declarations are programmer input (documented
+        // panic above), validated once per point.
         .expect("sweep point parameters must validate")
         .with_search_backend(point.search);
     sim.run().report
@@ -112,14 +114,20 @@ pub fn run_batch(points: &[SweepPoint], threads: usize) -> Vec<Report> {
                     break;
                 }
                 let report = run_point(&points[i]);
+                // INVARIANT: the mutex is poisoned only if a worker
+                // panicked, and a panicked sweep has no result to save.
                 results.lock().expect("sweep worker panicked")[i] = Some(report);
             });
         }
     });
     results
         .into_inner()
+        // INVARIANT: scope joined every worker; poisoning implies a
+        // worker panic, which already aborted the sweep.
         .expect("sweep worker panicked")
         .into_iter()
+        // INVARIANT: the atomic counter hands out each index exactly
+        // once and the scope joins only after all are processed.
         .map(|r| r.expect("every index was processed"))
         .collect()
 }

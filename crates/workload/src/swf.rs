@@ -131,6 +131,8 @@ pub fn import_swf(text: &str, opts: &SwfOptions) -> Result<Vec<TaskSpec>, SwfErr
     }
     // Rank job sizes into `num_configs` quantile buckets.
     let mut sizes: Vec<u64> = jobs.iter().map(|j| j.procs).collect();
+    // TIEBREAK: u64 keys with dedup below — equal elements are
+    // indistinguishable.
     sizes.sort_unstable();
     sizes.dedup();
     let bucket_of = |procs: u64| -> usize {
