@@ -45,16 +45,18 @@ USAGE:
                [--swf FILE [--ticks-per-second N] [--max-jobs N]]
                [--checkpoint-every TICKS] [--checkpoint-dir DIR]
                [--audit] [--audit-every TICKS] [--resume-from FILE]
-               [--search linear|indexed]
+               [--search auto|linear|indexed]
                [--report table|xml|json|csv] [--out FILE]
   dreamsim figures [--fig 6a|6b|7a|7b|8a|8b|9a|9b|10|all]
                    [--max-tasks N | --tasks N1,N2,...]
-                   [--threads T] [--seed S] [--out-dir DIR]
-                   [--search linear|indexed]
+                   [--jobs N] [--seed S] [--out-dir DIR]
+                   [--search auto|linear|indexed]
   dreamsim ablations [--which a1|a2|a3|a4|a5|all] [--nodes N] [--tasks N]
-                     [--seed S] [--threads T]
+                     [--seed S] [--jobs N]
   dreamsim bench-search [--nodes N1,N2,...] [--tasks N1,N2,...]
                         [--rounds N] [--seed S] [--out FILE]
+  dreamsim bench-grid [--nodes N1,N2,...] [--tasks N1,N2,...]
+                      [--jobs J1,J2,...] [--seed S] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
   dreamsim lint [--root DIR] [--format text|json] [--out FILE]
                 [--list-rules] [FILES...]
@@ -83,15 +85,24 @@ state invariants after every dispatched event (and always at checkpoint
 boundaries); --audit-every N audits on a period instead.
 
 Search backends: --search selects how the store answers placement
-searches. linear (default) is the paper's scan; indexed answers the same
-queries from ordered indexes in O(log n) wall-clock time while charging
-the paper's exact step counts, so reports, figures, and checkpoints are
+searches. linear is the paper's scan; indexed answers the same queries
+from ordered indexes in O(log n) wall-clock time while charging the
+paper's exact step counts, so reports, figures, and checkpoints are
 byte-identical under both (the differential test suite proves it).
+auto (default) picks per run from the node count: linear below 200
+nodes, indexed at or above, matching the measured end-to-end break-even.
 --search also applies to --resume-from: checkpoints never store the
 backend, and the index is rebuilt from the restored state.
 bench-search measures both backends (search-time micro benchmark plus
 end-to-end runs) and writes the results as JSON (default
 BENCH_search.json).
+
+Parallel sweeps: figures and ablations fan their independent simulation
+points across --jobs worker threads (0 or omitted = all hardware
+threads; --threads is an alias). Results are merged in point order, so
+output is byte-identical for every --jobs value. bench-grid times the
+figures grid serially under each backend and in parallel across a jobs
+ladder, checksums every run's cells, and writes BENCH_grid.json.
 ";
 
 fn main() -> ExitCode {
@@ -107,6 +118,7 @@ fn main() -> ExitCode {
         Some("figures") => cmd_figures(&args),
         Some("ablations") => cmd_ablations(&args),
         Some("bench-search") => cmd_bench_search(&args),
+        Some("bench-grid") => cmd_bench_grid(&args),
         Some("trace") => cmd_trace(&args),
         Some("lint") => cmd_lint(&args),
         Some("help") | None => {
@@ -136,9 +148,23 @@ fn parse_mode(s: &str) -> Result<ReconfigMode, ArgError> {
 }
 
 fn parse_search(args: &Args) -> Result<SearchBackend, ArgError> {
-    let s = args.get("search", "linear");
-    SearchBackend::parse(s)
-        .ok_or_else(|| ArgError(format!("--search must be linear or indexed, got {s:?}")))
+    let s = args.get("search", "auto");
+    SearchBackend::parse(s).ok_or_else(|| {
+        ArgError(format!(
+            "--search must be auto, linear, or indexed, got {s:?}"
+        ))
+    })
+}
+
+/// Worker count for parallel sweeps: `--jobs N` (preferred), with
+/// `--threads N` kept as an alias; 0 or omitted selects the hardware
+/// parallelism.
+fn parse_jobs(args: &Args) -> Result<usize, ArgError> {
+    if args.has("jobs") {
+        args.get_num("jobs", 0usize)
+    } else {
+        args.get_num("threads", 0usize)
+    }
 }
 
 fn parse_strategy(s: &str) -> Result<AllocationStrategy, ArgError> {
@@ -442,7 +468,7 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
         vec![Figure::parse(which).ok_or_else(|| ArgError(format!("unknown figure {which:?}")))?]
     };
     let max_tasks = args.get_num("max-tasks", 10_000usize)?;
-    let threads = args.get_num("threads", 0usize)?;
+    let jobs = parse_jobs(args)?;
     let seed = args.get_num("seed", 2012u64)?;
     // Explicit --tasks 1000,2000,... overrides the default ladder.
     let task_counts = if args.has("tasks") {
@@ -457,18 +483,18 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
     node_counts.dedup();
     eprintln!(
         "running grid: nodes {node_counts:?} x modes [full, partial] x tasks {task_counts:?} \
-         (seed {seed}, threads {})",
-        if threads == 0 {
+         (seed {seed}, jobs {})",
+        if jobs == 0 {
             "auto".to_string()
         } else {
-            threads.to_string()
+            jobs.to_string()
         }
     );
     let grid = ExperimentGrid::run_with_backend(
         &node_counts,
         &task_counts,
         seed,
-        threads,
+        jobs,
         parse_search(args)?,
     );
     let out_dir = args.get("out-dir", "");
@@ -505,7 +531,7 @@ fn cmd_ablations(args: &Args) -> Result<(), ArgError> {
         mode,
     );
     base.seed = args.get_num("seed", 7u64)?;
-    let threads = args.get_num("threads", 0usize)?;
+    let threads = parse_jobs(args)?;
     let run_a1 = which == "all" || which == "a1";
     let run_a2 = which == "all" || which == "a2";
     let run_a3 = which == "all" || which == "a3";
@@ -621,6 +647,55 @@ fn cmd_bench_search(args: &Args) -> Result<(), ArgError> {
     println!(
         "wrote {out} (peak micro speedup {:.2}x)",
         report.peak_micro_speedup()
+    );
+    Ok(())
+}
+
+/// `bench-grid`: time the figures grid serially under every backend and
+/// in parallel across a jobs ladder, and write `BENCH_grid.json`.
+fn cmd_bench_grid(args: &Args) -> Result<(), ArgError> {
+    let seed = args.get_num("seed", 2012u64)?;
+    let node_ladder: Vec<usize> = if args.has("nodes") {
+        args.get_list("nodes", &[])?
+    } else {
+        vec![100, 200]
+    };
+    let task_ladder: Vec<usize> = if args.has("tasks") {
+        args.get_list("tasks", &[])?
+    } else {
+        vec![500, 1_000, 2_000]
+    };
+    let jobs_ladder: Vec<usize> = if args.has("jobs") {
+        args.get_list("jobs", &[])?
+    } else {
+        vec![1, 2, 4]
+    };
+    if jobs_ladder.is_empty() || jobs_ladder.contains(&0) {
+        return Err(ArgError("--jobs ladder entries must be > 0".into()));
+    }
+    eprintln!(
+        "benchmarking grid: nodes {node_ladder:?} x tasks {task_ladder:?}, jobs {jobs_ladder:?} \
+         (seed {seed})"
+    );
+    let report = dreamsim_sweep::run_grid_bench(&node_ladder, &task_ladder, seed, &jobs_ladder);
+    for p in &report.serial {
+        println!(
+            "serial n{:<5} linear {:>12} ns  indexed {:>12} ns  auto {:>12} ns  \
+             (auto/best {:.3})",
+            p.nodes, p.linear_ns, p.indexed_ns, p.auto_ns, p.auto_vs_best
+        );
+    }
+    for p in &report.parallel {
+        println!(
+            "grid   -j{:<4} {:>12} ns  speedup vs -j1 {:.2}x",
+            p.jobs, p.wall_ns, p.speedup_vs_j1
+        );
+    }
+    let out = args.get("out", "BENCH_grid.json");
+    std::fs::write(out, report.to_json()).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "wrote {out} ({} hardware threads, checksum {:016x}, all runs identical: {})",
+        report.hardware_threads, report.checksum, report.checksums_identical
     );
     Ok(())
 }

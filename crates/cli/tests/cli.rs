@@ -248,6 +248,91 @@ fn checkpoint_resume_reproduces_fault_run_byte_for_byte() {
 }
 
 #[test]
+fn search_auto_accepted_and_report_matches_explicit_backends() {
+    let run = |search: &str| {
+        run_ok(&[
+            "run", "--nodes", "20", "--tasks", "100", "--seed", "3", "--search", search,
+            "--report", "csv",
+        ])
+    };
+    let auto = run("auto");
+    assert_eq!(auto, run("linear"), "auto vs linear");
+    assert_eq!(auto, run("indexed"), "auto vs indexed");
+    let bad = dreamsim()
+        .args(["run", "--search", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("--search must be auto, linear, or indexed")
+    );
+}
+
+#[test]
+fn figures_output_invariant_across_jobs() {
+    let base = std::env::temp_dir().join(format!("dreamsim-figs-jobs-{}", std::process::id()));
+    let csv_at = |jobs: &str| {
+        let dir = base.join(format!("j{jobs}"));
+        run_ok(&[
+            "figures",
+            "--fig",
+            "9b",
+            "--tasks",
+            "100,200",
+            "--seed",
+            "6",
+            "--jobs",
+            jobs,
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        std::fs::read_to_string(dir.join("fig9b.csv")).expect("csv written")
+    };
+    let j1 = csv_at("1");
+    assert_eq!(j1, csv_at("2"), "figures diverged at --jobs 2");
+    assert_eq!(j1, csv_at("8"), "figures diverged at --jobs 8");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn bench_grid_writes_json_report() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-bench-grid-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_grid.json");
+    let stdout = run_ok(&[
+        "bench-grid",
+        "--nodes",
+        "20",
+        "--tasks",
+        "100",
+        "--jobs",
+        "1,2",
+        "--seed",
+        "7",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("all runs identical: true"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["benchmark"], "grid-parallel");
+    assert_eq!(v["seed"], 7);
+    assert!(v["hardware_threads"].as_u64().unwrap() >= 1);
+    assert_eq!(v["serial"][0]["nodes"], 20);
+    assert_eq!(v["parallel"][0]["jobs"], 1);
+    assert_eq!(v["parallel"][1]["jobs"], 2);
+    assert_eq!(v["checksums_identical"], true);
+    // A zero entry in the jobs ladder is rejected up front.
+    let bad = dreamsim()
+        .args(["bench-grid", "--jobs", "0,2"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--jobs ladder"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ablations_run_end_to_end() {
     let out = run_ok(&[
         "ablations",

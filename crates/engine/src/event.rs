@@ -102,6 +102,47 @@ impl EventQueue {
         Self::default()
     }
 
+    /// An empty queue pre-sized for `capacity` pending events, so the
+    /// simulation hot path never reallocates the heap mid-run.
+    /// Capacity is invisible to every observable behaviour (pop order,
+    /// serialization, checkpoints) — pinned by the capacity regression
+    /// test below.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Grow the heap's capacity to at least `total` entries (no-op if
+    /// already that large). Used on checkpoint resume, where
+    /// deserialization sizes the heap to exactly the pending entries:
+    /// this restores the expected-peak headroom so the resumed run's
+    /// pushes do not reallocate either.
+    pub fn ensure_capacity(&mut self, total: usize) {
+        let have = self.heap.capacity();
+        if total > have {
+            self.heap.reserve(total - have);
+        }
+    }
+
+    /// Remove every pending event and reset the sequence counter,
+    /// keeping the allocated capacity. A cleared queue is
+    /// indistinguishable from a fresh one (same tie-breaking from seq
+    /// 0), which is what lets sweep workers recycle queues across
+    /// points.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Current heap capacity (allocation-diet tests only).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `event` at absolute time `time`.
     pub fn push(&mut self, time: Ticks, event: Event) {
         let seq = self.next_seq;
@@ -326,6 +367,64 @@ mod tests {
         })
         .collect();
         assert_eq!(order, vec![12, 10, 11, 13]);
+    }
+
+    #[test]
+    fn capacity_is_invisible_to_pop_order_and_serialization() {
+        // The allocation-diet contract: a pre-sized queue and a fresh
+        // queue fed the same pushes drain identically and serialize to
+        // identical bytes.
+        let mut plain = EventQueue::new();
+        let mut sized = EventQueue::with_capacity(64);
+        assert!(sized.capacity() >= 64);
+        let pushes: Vec<(Ticks, Event)> =
+            (0..20).map(|i| ((i * 13) % 7, arrival(i as u32))).collect();
+        for &(t, e) in &pushes {
+            plain.push(t, e);
+            sized.push(t, e);
+        }
+        assert_eq!(plain.pending(), sized.pending());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&sized).unwrap()
+        );
+        let plain_order: Vec<(Ticks, Event)> = std::iter::from_fn(|| plain.pop()).collect();
+        let sized_order: Vec<(Ticks, Event)> = std::iter::from_fn(|| sized.pop()).collect();
+        assert_eq!(plain_order, sized_order);
+    }
+
+    #[test]
+    fn clear_resets_sequencing_but_keeps_capacity() {
+        let mut q = EventQueue::with_capacity(32);
+        for i in 0..10 {
+            q.push(5, arrival(i));
+        }
+        let cap = q.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "clear must keep the allocation");
+        // A cleared queue tie-breaks exactly like a fresh one: same-tick
+        // insertion order restarts from sequence 0.
+        let mut fresh = EventQueue::new();
+        for i in 0..6 {
+            q.push(3, arrival(100 + i));
+            fresh.push(3, arrival(100 + i));
+        }
+        assert_eq!(q.pending(), fresh.pending());
+        assert_eq!(
+            serde_json::to_string(&q).unwrap(),
+            serde_json::to_string(&fresh).unwrap()
+        );
+    }
+
+    #[test]
+    fn ensure_capacity_grows_but_never_shrinks() {
+        let mut q = EventQueue::new();
+        q.ensure_capacity(100);
+        let grown = q.capacity();
+        assert!(grown >= 100);
+        q.ensure_capacity(10);
+        assert_eq!(q.capacity(), grown, "ensure_capacity never shrinks");
     }
 
     #[test]

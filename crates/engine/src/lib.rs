@@ -48,6 +48,6 @@ pub use params::{
 pub use report::Report;
 pub use sim::{
     Decision, DiscardReason, PlacePhase, Placement, Resume, RunError, RunOptions, RunResult,
-    SchedCtx, SchedulePolicy, Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
+    SchedCtx, SchedulePolicy, SimScratch, Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
 };
 pub use stats::{Metrics, PhaseCounts, PhaseKind, Stats};

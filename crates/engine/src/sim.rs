@@ -379,6 +379,38 @@ pub struct RunResult {
     pub tasks: Vec<Task>,
 }
 
+/// Reusable allocation arena for back-to-back runs (sweep points).
+///
+/// A simulation built with [`Simulation::new_with_scratch`] steals the
+/// arena's buffers (event heap, wait-sample vector, task table) instead
+/// of allocating fresh ones, and a run finished through
+/// [`Simulation::run_with_scratch`] hands them back — cleared but with
+/// capacity intact — so the next point on the same worker reallocates
+/// nothing. Capacity is unobservable: pop order, reports, and
+/// checkpoint bytes are identical whether or not an arena is used
+/// (pinned by `scratch_reuse_is_byte_identical`).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    events: EventQueue,
+    wait_samples: Vec<Ticks>,
+    tasks: Vec<Task>,
+}
+
+impl SimScratch {
+    /// Fresh, empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a finished run's task vector to the arena once the caller
+    /// is done reading it, so the next point reuses its capacity.
+    pub fn reclaim_tasks(&mut self, mut tasks: Vec<Task>) {
+        tasks.clear();
+        self.tasks = tasks;
+    }
+}
+
 /// Per-tick scheduling steps charged while the suspension queue is
 /// non-empty: the tick-driven scheduler of the original simulator probes
 /// the queue head every timetick (a bounded feasibility check across the
@@ -394,6 +426,20 @@ pub const POLL_SCHED_STEPS: u64 = 16;
 /// Table I). Calibrated against Fig. 9b (total workload ≈1.6×10¹⁰ at
 /// 100 000 tasks / 200 nodes).
 pub const POLL_HOUSEKEEPING_PER_NODE: u64 = 3;
+
+/// Capacity hint for the event heap. Pending events at any moment are
+/// bounded by: one chained arrival, at most one completion-or-failure
+/// event per occupied slot (a handful per node under partial
+/// reconfiguration), one failure-process event per node plus its
+/// repair, and one timeout per suspended task — so a small per-node
+/// multiple, capped by a per-task multiple for tiny workloads on big
+/// grids. Purely a size hint: heap capacity is unobservable in pop
+/// order, reports, and checkpoint bytes.
+fn expected_pending_events(params: &SimParams) -> usize {
+    let per_node = params.total_nodes.saturating_mul(4).saturating_add(64);
+    let per_task = params.total_tasks.saturating_mul(2).saturating_add(16);
+    per_node.min(per_task)
+}
 
 /// First multiple of `every` strictly after `clock` (intervals of 0 are
 /// treated as 1 so boundary arithmetic can never stall the clock).
@@ -430,21 +476,49 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     /// Build a simulation: validates parameters and generates the node
     /// and configuration tables from the master seed.
     pub fn new(params: SimParams, source: S, policy: P) -> Result<Self, ParamsError> {
+        Self::new_with_scratch(params, source, policy, &mut SimScratch::new())
+    }
+
+    /// Like [`new`](Self::new), but steal the buffers of a
+    /// [`SimScratch`] arena instead of allocating fresh ones. The arena
+    /// is left empty; [`run_with_scratch`](Self::run_with_scratch)
+    /// refills it when the run finishes. Behavior is identical to
+    /// [`new`](Self::new) — only allocation traffic changes.
+    pub fn new_with_scratch(
+        params: SimParams,
+        source: S,
+        policy: P,
+        scratch: &mut SimScratch,
+    ) -> Result<Self, ParamsError> {
         params.validate()?;
         let mut rng = Rng::seed_from(params.seed);
         let configs = init::generate_configs(&params, &mut rng);
         let nodes = init::generate_nodes(&params, &mut rng);
         let resources = ResourceManager::new(nodes, configs);
         let fault = FaultModel::new(&params);
+        let mut events = std::mem::take(&mut scratch.events);
+        events.clear();
+        events.ensure_capacity(expected_pending_events(&params));
+        let mut stats = Stats::default();
+        stats.wait_samples = std::mem::take(&mut scratch.wait_samples);
+        stats.wait_samples.clear();
+        let extra = params
+            .total_tasks
+            .saturating_sub(stats.wait_samples.capacity());
+        stats.wait_samples.reserve(extra);
+        let mut task_vec = std::mem::take(&mut scratch.tasks);
+        task_vec.clear();
+        let extra = params.total_tasks.saturating_sub(task_vec.capacity());
+        task_vec.reserve(extra);
         Ok(Self {
             fault,
             params,
             resources,
-            tasks: TaskTable::new(),
-            events: EventQueue::new(),
+            tasks: TaskTable { tasks: task_vec },
+            events,
             suspension: SuspensionQueue::new(),
             steps: StepCounter::new(),
-            stats: Stats::default(),
+            stats,
             rng,
             source,
             policy,
@@ -496,11 +570,17 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         }
         let mut stats = cp.stats;
         stats.wait_samples = cp.wait_samples;
+        let mut events = cp.events;
+        // Deserialization sizes the heap to exactly the pending entries;
+        // restore the same headroom a fresh run starts with so the
+        // resumed half pushes without regrowing (capacity is
+        // unobservable — resumes stay byte-identical).
+        events.ensure_capacity(expected_pending_events(&cp.params));
         let sim = Self {
             params: cp.params,
             resources: cp.resources,
             tasks: cp.tasks,
-            events: cp.events,
+            events,
             suspension: cp.suspension,
             steps: cp.steps,
             stats,
@@ -602,6 +682,25 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
     /// [`run_tick_stepped_with`](Self::run_tick_stepped_with) under the
     /// same options are byte-identical.
     pub fn run_with(mut self, opts: &RunOptions) -> Result<RunResult, RunError> {
+        self.drive(opts)?;
+        Ok(self.finish(None))
+    }
+
+    /// [`run_with`](Self::run_with), returning the big buffers to a
+    /// [`SimScratch`] arena after the report is assembled so the next
+    /// run on this worker reuses their capacity. Results are identical
+    /// to [`run_with`](Self::run_with).
+    pub fn run_with_scratch(
+        mut self,
+        opts: &RunOptions,
+        scratch: &mut SimScratch,
+    ) -> Result<RunResult, RunError> {
+        self.drive(opts)?;
+        Ok(self.finish(Some(scratch)))
+    }
+
+    /// The event-driven main loop shared by the `run*` entry points.
+    fn drive(&mut self, opts: &RunOptions) -> Result<(), RunError> {
         let mut next_cp = opts.checkpoint_every.map(|e| next_boundary(self.clock, e));
         let mut next_audit = opts.audit_every.map(|e| next_boundary(self.clock, e));
         if !self.primed {
@@ -621,7 +720,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.dispatch(ev);
             self.at_boundary(opts, &mut next_cp, &mut next_audit)?;
         }
-        Ok(self.finish())
+        Ok(())
     }
 
     /// Step accounting for the interval between events: the original
@@ -682,7 +781,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.charge_idle_polls(1);
             self.clock += 1;
         }
-        Ok(self.finish())
+        Ok(self.finish(None))
     }
 
     /// Post-dispatch hook of the `*_with` drivers: audit and/or write a
@@ -1212,8 +1311,10 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         }
     }
 
-    /// Drain leftovers, finalize metrics, and assemble the result.
-    fn finish(mut self) -> RunResult {
+    /// Drain leftovers, finalize metrics, and assemble the result;
+    /// with a scratch arena, hand the event heap and wait-sample
+    /// buffer back (cleared, capacity kept) for the next run.
+    fn finish(mut self, scratch: Option<&mut SimScratch>) -> RunResult {
         // Tasks still suspended can never run: no completions remain to
         // free capacity. Count them as discarded.
         let mut leftovers = Vec::new();
@@ -1251,6 +1352,13 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.fault.total_downtime(self.clock),
         );
         let report = Report::new(self.params.clone(), metrics.clone());
+        if let Some(scratch) = scratch {
+            self.events.clear();
+            scratch.events = self.events;
+            let mut samples = std::mem::take(&mut self.stats.wait_samples);
+            samples.clear();
+            scratch.wait_samples = samples;
+        }
         RunResult {
             metrics,
             report,
@@ -1695,6 +1803,74 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        // A run whose buffers came from a dirty arena (capacity and
+        // leftovers from a different workload) must match a fresh run
+        // bit for bit.
+        let p = fault_params();
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let mut scratch = SimScratch::new();
+        let mut warm_params = fault_params();
+        warm_params.seed = 999;
+        warm_params.total_tasks = 60;
+        let warm =
+            Simulation::new_with_scratch(warm_params, FixedSource, GreedyPolicy, &mut scratch)
+                .unwrap()
+                .run_with_scratch(&RunOptions::default(), &mut scratch)
+                .unwrap();
+        scratch.reclaim_tasks(warm.tasks);
+        let reused = Simulation::new_with_scratch(p, FixedSource, GreedyPolicy, &mut scratch)
+            .unwrap()
+            .run_with_scratch(&RunOptions::default(), &mut scratch)
+            .unwrap();
+        assert_eq!(base.metrics, reused.metrics);
+        assert_eq!(base.tasks, reused.tasks);
+        assert_eq!(base.report.to_xml(), reused.report.to_xml());
+    }
+
+    #[test]
+    fn presized_event_heap_checkpoints_identically() {
+        // Heap capacity (pre-sizing in new, restoration in resume) must
+        // be invisible in checkpoint bytes: a fresh sim and a
+        // scratch-built sim driven to the same clock serialize the same.
+        let p = fault_params();
+        let mut fresh = Simulation::new(p.clone(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut fresh, 200);
+        let mut scratch = SimScratch::new();
+        let mut warm_params = fault_params();
+        warm_params.seed = 999;
+        let warm =
+            Simulation::new_with_scratch(warm_params, FixedSource, GreedyPolicy, &mut scratch)
+                .unwrap()
+                .run_with_scratch(&RunOptions::default(), &mut scratch)
+                .unwrap();
+        scratch.reclaim_tasks(warm.tasks);
+        let mut reused =
+            Simulation::new_with_scratch(p, FixedSource, GreedyPolicy, &mut scratch).unwrap();
+        drive_until(&mut reused, 200);
+        let dir = temp_dir("scratch-cp");
+        let (pa, pb) = (dir.join("fresh.dsc"), dir.join("scratch.dsc"));
+        write_checkpoint(&pa, &fresh.checkpoint()).unwrap();
+        write_checkpoint(&pb, &reused.checkpoint()).unwrap();
+        assert_eq!(
+            std::fs::read(&pa).unwrap(),
+            std::fs::read(&pb).unwrap(),
+            "scratch reuse leaked into checkpoint bytes"
+        );
+        // And a resume from that checkpoint still reconverges.
+        let cp = read_checkpoint(&pb).unwrap();
+        let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let base = Simulation::new(fault_params(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        assert_eq!(base.metrics, resumed.metrics);
     }
 
     #[test]

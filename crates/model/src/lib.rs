@@ -58,7 +58,7 @@ pub use contiguous::{GapFit, Strip};
 pub use ids::{Area, ConfigId, EntryRef, NodeId, TaskId, Ticks};
 pub use lists::ConfigLists;
 pub use node::{Node, NodeState, Slot};
-pub use search::{IndexSnapshot, SearchBackend, SearchIndex};
+pub use search::{IndexSnapshot, SearchBackend, SearchIndex, AUTO_INDEXED_MIN_NODES};
 pub use steps::StepCounter;
 pub use store::{Demand, ResourceManager};
 pub use suspension::SuspensionQueue;

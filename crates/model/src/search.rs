@@ -68,10 +68,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Which implementation answers the store's placement searches.
 ///
-/// Both backends charge identical [`StepCounter`](crate::StepCounter)
-/// costs and return identical results; they differ only in wall-clock
-/// time. Selected per run (CLI `--search`); never serialized into
-/// reports or checkpoints.
+/// Both concrete backends charge identical
+/// [`StepCounter`](crate::StepCounter) costs and return identical
+/// results; they differ only in wall-clock time. Selected per run (CLI
+/// `--search`); never serialized into reports or checkpoints.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SearchBackend {
     /// The paper's linear scans (default).
@@ -79,15 +79,32 @@ pub enum SearchBackend {
     Linear,
     /// Ordered-index lookups with linear-equivalent step charging.
     Indexed,
+    /// Pick [`Linear`](Self::Linear) or [`Indexed`](Self::Indexed) per
+    /// run from the node count (see [`Self::resolve`]). The store
+    /// resolves this to a concrete backend at selection time, so `Auto`
+    /// never answers a query itself.
+    Auto,
 }
 
+/// Node count at which [`SearchBackend::Auto`] switches from linear to
+/// indexed searches.
+///
+/// The indexed backend's per-query win grows with the node count, but
+/// it pays a roughly constant index-maintenance cost on every store
+/// mutation. `BENCH_search.json` puts the end-to-end break-even at
+/// ≈200 nodes (0.86–0.89× at 100 nodes, 0.98–1.04× at 200), so auto
+/// stays linear below 200 nodes and goes indexed at 200 and above,
+/// where the maintenance cost is amortized.
+pub const AUTO_INDEXED_MIN_NODES: usize = 200;
+
 impl SearchBackend {
-    /// Parse a CLI spelling (`"linear"` / `"indexed"`).
+    /// Parse a CLI spelling (`"linear"` / `"indexed"` / `"auto"`).
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "linear" => Some(SearchBackend::Linear),
             "indexed" => Some(SearchBackend::Indexed),
+            "auto" => Some(SearchBackend::Auto),
             _ => None,
         }
     }
@@ -98,6 +115,25 @@ impl SearchBackend {
         match self {
             SearchBackend::Linear => "linear",
             SearchBackend::Indexed => "indexed",
+            SearchBackend::Auto => "auto",
+        }
+    }
+
+    /// Resolve to a concrete backend for a store of `total_nodes`
+    /// nodes: `Auto` picks by [`AUTO_INDEXED_MIN_NODES`]; the explicit
+    /// backends return themselves. Backend choice never changes
+    /// results, so this affects wall-clock time only.
+    #[must_use]
+    pub fn resolve(self, total_nodes: usize) -> SearchBackend {
+        match self {
+            SearchBackend::Auto => {
+                if total_nodes >= AUTO_INDEXED_MIN_NODES {
+                    SearchBackend::Indexed
+                } else {
+                    SearchBackend::Linear
+                }
+            }
+            concrete => concrete,
         }
     }
 }
@@ -456,12 +492,32 @@ mod tests {
 
     #[test]
     fn backend_parse_round_trips() {
-        for b in [SearchBackend::Linear, SearchBackend::Indexed] {
+        for b in [
+            SearchBackend::Linear,
+            SearchBackend::Indexed,
+            SearchBackend::Auto,
+        ] {
             assert_eq!(SearchBackend::parse(b.label()), Some(b));
             assert_eq!(b.to_string(), b.label());
         }
         assert_eq!(SearchBackend::parse("btree"), None);
         assert_eq!(SearchBackend::default(), SearchBackend::Linear);
+    }
+
+    #[test]
+    fn auto_resolves_by_node_count() {
+        assert_eq!(
+            SearchBackend::Auto.resolve(AUTO_INDEXED_MIN_NODES - 1),
+            SearchBackend::Linear
+        );
+        assert_eq!(
+            SearchBackend::Auto.resolve(AUTO_INDEXED_MIN_NODES),
+            SearchBackend::Indexed
+        );
+        assert_eq!(SearchBackend::Auto.resolve(10_000), SearchBackend::Indexed);
+        // Explicit backends are fixed points of resolution.
+        assert_eq!(SearchBackend::Linear.resolve(10_000), SearchBackend::Linear);
+        assert_eq!(SearchBackend::Indexed.resolve(1), SearchBackend::Indexed);
     }
 
     #[test]

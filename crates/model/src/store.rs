@@ -117,20 +117,23 @@ impl ResourceManager {
         self.backend
     }
 
-    /// Select the search backend. Selecting
-    /// [`SearchBackend::Indexed`] (re-)builds the ordered indexes from
-    /// the current node table and lists — this is also the restore path
-    /// after a checkpoint resume, since the index is never serialized.
-    /// Selecting [`SearchBackend::Linear`] drops them. Idempotent and
-    /// safe at any point in a run; switching backends never changes
+    /// Select the search backend. [`SearchBackend::Auto`] is resolved
+    /// to a concrete backend from this store's node count
+    /// ([`SearchBackend::resolve`]), so the stored backend — and
+    /// [`search_backend`](Self::search_backend) — is always `Linear` or
+    /// `Indexed`. Selecting the indexed backend (re-)builds the ordered
+    /// indexes from the current node table and lists — this is also the
+    /// restore path after a checkpoint resume, since the index is never
+    /// serialized. Selecting the linear backend drops them. Idempotent
+    /// and safe at any point in a run; switching backends never changes
     /// step counters, search results, or serialized state.
     pub fn set_search_backend(&mut self, backend: SearchBackend) {
+        let backend = backend.resolve(self.nodes.len());
         self.backend = backend;
-        match backend {
-            SearchBackend::Linear => self.index.clear(),
-            SearchBackend::Indexed => {
-                self.index = SearchIndex::rebuild(&self.nodes, &self.configs, &self.lists);
-            }
+        if backend == SearchBackend::Indexed {
+            self.index = SearchIndex::rebuild(&self.nodes, &self.configs, &self.lists);
+        } else {
+            self.index.clear();
         }
     }
 
@@ -139,9 +142,12 @@ impl ResourceManager {
     /// [`rebuilt_index_snapshot`](Self::rebuilt_index_snapshot).
     #[must_use]
     pub fn search_index_snapshot(&self) -> Option<IndexSnapshot> {
-        match self.backend {
-            SearchBackend::Indexed => Some(self.index.snapshot()),
-            SearchBackend::Linear => None,
+        // `self.backend` is always concrete (`set_search_backend`
+        // resolves `Auto` before storing), so this is a two-way branch.
+        if self.backend == SearchBackend::Indexed {
+            Some(self.index.snapshot())
+        } else {
+            None
         }
     }
 
@@ -1171,6 +1177,29 @@ mod tests {
         assert_eq!(
             rm.search_index_snapshot(),
             Some(rm.rebuilt_index_snapshot())
+        );
+    }
+
+    #[test]
+    fn auto_backend_is_resolved_before_it_is_stored() {
+        // Below the threshold auto selects linear (no index to keep in
+        // sync); the stored backend is always concrete, never `Auto`.
+        let mut rm = make(&[(0, 400), (1, 600)], &[2000, 1500]);
+        rm.set_search_backend(SearchBackend::Auto);
+        assert_eq!(rm.search_backend(), SearchBackend::Linear);
+        assert_eq!(rm.search_index_snapshot(), None);
+        // A store at/above AUTO_INDEXED_MIN_NODES resolves to indexed
+        // and builds a consistent index on selection.
+        let areas: Vec<u64> = (0..crate::AUTO_INDEXED_MIN_NODES as u64)
+            .map(|i| 1000 + i)
+            .collect();
+        let mut big = make(&[(0, 400)], &areas);
+        big.set_search_backend(SearchBackend::Auto);
+        assert_eq!(big.search_backend(), SearchBackend::Indexed);
+        big.check_invariants().unwrap();
+        assert_eq!(
+            big.search_index_snapshot(),
+            Some(big.rebuilt_index_snapshot())
         );
     }
 

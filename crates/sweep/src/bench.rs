@@ -25,6 +25,7 @@
 //! rigorous numbers when the registry is reachable. Results serialize
 //! to the `BENCH_search.json` schema committed at the repo root.
 
+use crate::figures::ExperimentGrid;
 use crate::runner::{run_point, SweepPoint};
 use dreamsim_engine::{ReconfigMode, SearchBackend, SimParams};
 use dreamsim_model::{Config, ConfigId, Demand, Node, NodeId, ResourceManager, StepCounter};
@@ -288,6 +289,208 @@ pub fn run_search_bench(
     }
 }
 
+// ----------------------------------------------------------------------
+// Grid benchmark (`dreamsim bench-grid` / BENCH_grid.json)
+// ----------------------------------------------------------------------
+
+/// FNV-1a over a byte string; the checksum the grid bench folds cell
+/// dumps into (stable, dependency-free, endian-independent).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serial timings of one node count's sub-grid under each backend.
+#[derive(Clone, Debug)]
+pub struct GridSerialPoint {
+    /// Node count of the sub-grid.
+    pub nodes: usize,
+    /// Best-of-[`REPS`] serial wall time, linear backend, ns.
+    pub linear_ns: u128,
+    /// Best-of-[`REPS`] serial wall time, indexed backend, ns.
+    pub indexed_ns: u128,
+    /// Best-of-[`REPS`] serial wall time, auto backend, ns.
+    pub auto_ns: u128,
+    /// `auto_ns` relative to the *faster* explicit backend (1.0 =
+    /// exactly as fast; the acceptance bound is ≤ 1.05).
+    pub auto_vs_best: f64,
+}
+
+/// Wall time of the whole grid at one worker count (auto backend).
+#[derive(Clone, Debug)]
+pub struct GridJobsPoint {
+    /// Worker count (`--jobs`).
+    pub jobs: usize,
+    /// Best-of-[`REPS`] wall time, ns.
+    pub wall_ns: u128,
+    /// Speedup relative to the `jobs = 1` entry.
+    pub speedup_vs_j1: f64,
+}
+
+/// Full grid-benchmark output, serializable to `BENCH_grid.json`.
+#[derive(Clone, Debug)]
+pub struct GridBenchReport {
+    /// Base seed of the grid cells.
+    pub seed: u64,
+    /// Hardware threads the host reported (`available_parallelism`);
+    /// parallel speedups are bounded by this, so the JSON records it.
+    pub hardware_threads: usize,
+    /// Node ladder of the grid.
+    pub node_ladder: Vec<usize>,
+    /// Task ladder of the grid.
+    pub task_ladder: Vec<usize>,
+    /// Per-node-count serial backend comparison.
+    pub serial: Vec<GridSerialPoint>,
+    /// Whole-grid wall time across the jobs ladder.
+    pub parallel: Vec<GridJobsPoint>,
+    /// FNV-1a checksum of the whole grid's cell dump.
+    pub checksum: u64,
+    /// Whether every timed run — all backends, all worker counts —
+    /// produced identical cell dumps (always true; recorded so the
+    /// JSON is self-certifying).
+    pub checksums_identical: bool,
+}
+
+impl GridBenchReport {
+    /// Serialize to the committed `BENCH_grid.json` schema (hand-rolled
+    /// for the same reasons as [`SearchBenchReport::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let list = |v: &[usize]| {
+            v.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"grid-parallel\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"hardware_threads\": {},", self.hardware_threads);
+        let _ = writeln!(out, "  \"node_ladder\": [{}],", list(&self.node_ladder));
+        let _ = writeln!(out, "  \"task_ladder\": [{}],", list(&self.task_ladder));
+        let _ = writeln!(out, "  \"serial\": [");
+        for (i, p) in self.serial.iter().enumerate() {
+            let comma = if i + 1 < self.serial.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"nodes\": {}, \"linear_ns\": {}, \"indexed_ns\": {}, \
+                 \"auto_ns\": {}, \"auto_vs_best\": {:.3}}}{comma}",
+                p.nodes, p.linear_ns, p.indexed_ns, p.auto_ns, p.auto_vs_best
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"parallel\": [");
+        for (i, p) in self.parallel.iter().enumerate() {
+            let comma = if i + 1 < self.parallel.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"jobs\": {}, \"wall_ns\": {}, \"speedup_vs_j1\": {:.2}}}{comma}",
+                p.jobs, p.wall_ns, p.speedup_vs_j1
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"checksum\": \"{:016x}\",", self.checksum);
+        let _ = writeln!(
+            out,
+            "  \"checksums_identical\": {}",
+            self.checksums_identical
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Run the grid benchmark: serial backend comparison per node count,
+/// then the whole grid across `jobs_ladder` worker counts under the
+/// auto backend. Every timed run's cell dump is checksummed and
+/// cross-checked.
+///
+/// # Panics
+/// Panics if any two runs' cell dumps disagree — a grid benchmark that
+/// compared different answers would be meaningless.
+#[must_use]
+pub fn run_grid_bench(
+    node_ladder: &[usize],
+    task_ladder: &[usize],
+    seed: u64,
+    jobs_ladder: &[usize],
+) -> GridBenchReport {
+    let mut identical = true;
+    let mut serial = Vec::with_capacity(node_ladder.len());
+    for &nodes in node_ladder {
+        let backends = [
+            SearchBackend::Linear,
+            SearchBackend::Indexed,
+            SearchBackend::Auto,
+        ];
+        let mut times = [0u128; 3];
+        let mut dumps: Vec<String> = Vec::with_capacity(3);
+        for (slot, &backend) in backends.iter().enumerate() {
+            let (grid, ns) = time_best_of(|| {
+                ExperimentGrid::run_with_backend(&[nodes], task_ladder, seed, 1, backend)
+            });
+            times[slot] = ns;
+            dumps.push(grid.cells_csv());
+        }
+        assert!(
+            dumps.iter().all(|d| d == &dumps[0]),
+            "backends disagreed on the {nodes}-node sub-grid"
+        );
+        identical &= dumps.iter().all(|d| d == &dumps[0]);
+        let best = times[0].min(times[1]);
+        serial.push(GridSerialPoint {
+            nodes,
+            linear_ns: times[0],
+            indexed_ns: times[1],
+            auto_ns: times[2],
+            auto_vs_best: times[2] as f64 / best as f64,
+        });
+    }
+    let mut parallel = Vec::with_capacity(jobs_ladder.len());
+    let mut base_dump: Option<String> = None;
+    let mut j1_ns = 0u128;
+    for &jobs in jobs_ladder {
+        let (grid, ns) =
+            time_best_of(|| ExperimentGrid::run(node_ladder, task_ladder, seed, jobs.max(1)));
+        let dump = grid.cells_csv();
+        match &base_dump {
+            None => {
+                base_dump = Some(dump);
+                j1_ns = ns;
+            }
+            Some(b) => {
+                assert_eq!(b, &dump, "grid diverged at -j{jobs}");
+                identical &= b == &dump;
+            }
+        }
+        parallel.push(GridJobsPoint {
+            jobs: jobs.max(1),
+            wall_ns: ns,
+            speedup_vs_j1: j1_ns as f64 / ns as f64,
+        });
+    }
+    // INVARIANT: callers pass a nonempty jobs ladder (the CLI defaults
+    // one), so the whole-grid dump exists.
+    let checksum = fnv1a(base_dump.expect("jobs ladder must be nonempty").as_bytes());
+    GridBenchReport {
+        seed,
+        hardware_threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        node_ladder: node_ladder.to_vec(),
+        task_ladder: task_ladder.to_vec(),
+        serial,
+        parallel,
+        checksum,
+        checksums_identical: identical,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +526,34 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(report.peak_micro_speedup() > 0.0);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn grid_bench_serializes_expected_schema() {
+        let report = run_grid_bench(&[20], &[100], 7, &[1, 2]);
+        assert_eq!(report.serial.len(), 1);
+        assert_eq!(report.parallel.len(), 2);
+        assert!(report.checksums_identical);
+        assert!(report.serial[0].auto_vs_best > 0.0);
+        assert!((report.parallel[0].speedup_vs_j1 - 1.0).abs() < 1e-9);
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"grid-parallel\"",
+            "\"hardware_threads\"",
+            "\"serial\"",
+            "\"parallel\"",
+            "\"checksum\"",
+            "\"checksums_identical\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 }

@@ -195,16 +195,13 @@ impl ExperimentGrid {
     /// Run the grid: `node_counts × {full, partial} × task_counts`,
     /// on `threads` threads. Every cell runs the Table II defaults with
     /// a seed derived from `seed` so cells are independent but
-    /// reproducible.
+    /// reproducible. Each cell picks its search backend automatically
+    /// ([`SearchBackend::Auto`]): linear below the break-even node
+    /// count, indexed above it — byte-equivalent either way, so the
+    /// grid's metrics never depend on the choice.
     #[must_use]
     pub fn run(node_counts: &[usize], task_counts: &[usize], seed: u64, threads: usize) -> Self {
-        Self::run_with_backend(
-            node_counts,
-            task_counts,
-            seed,
-            threads,
-            SearchBackend::default(),
-        )
+        Self::run_with_backend(node_counts, task_counts, seed, threads, SearchBackend::Auto)
     }
 
     /// [`run`](Self::run) with an explicit search backend. Backends are
@@ -220,8 +217,9 @@ impl ExperimentGrid {
         threads: usize,
         search: SearchBackend,
     ) -> Self {
-        let mut points = Vec::new();
-        let mut keys = Vec::new();
+        let cells = node_counts.len() * 2 * task_counts.len();
+        let mut points = Vec::with_capacity(cells);
+        let mut keys = Vec::with_capacity(cells);
         for &nodes in node_counts {
             for mode in [ReconfigMode::Full, ReconfigMode::Partial] {
                 for &tasks in task_counts {
@@ -288,6 +286,45 @@ impl ExperimentGrid {
             .into_iter()
             .filter(|f| node_counts.contains(&f.node_count()))
             .collect()
+    }
+
+    /// Deterministic per-cell dump (one line per cell, key order) of
+    /// the headline Table I metrics. Unlike
+    /// [`figures_csv_bundle`](Self::figures_csv_bundle) this covers
+    /// *every* cell, including node counts no paper figure fixes — the
+    /// grid benchmark checksums it to certify that backends and thread
+    /// counts all produced the same grid.
+    #[must_use]
+    pub fn cells_csv(&self) -> String {
+        let mut out = String::from(
+            "nodes,mode,tasks,avg_wait,avg_wasted_area,avg_reconfigs,steps,workload\n",
+        );
+        for (&(n, mode, t), m) in &self.results {
+            let _ = writeln!(
+                out,
+                "{n},{mode},{t},{},{},{},{},{}",
+                m.avg_waiting_time_per_task,
+                m.avg_wasted_area_per_task,
+                m.avg_reconfig_count_per_node,
+                m.avg_scheduling_steps_per_task,
+                m.total_scheduler_workload,
+            );
+        }
+        out
+    }
+
+    /// Deterministic concatenation of every available figure's CSV
+    /// (paper order, each prefixed by a `# figure <id>` line). One
+    /// string summarizing the whole grid — what the thread-invariance
+    /// tests and the CI `grid-parallel` job checksum.
+    #[must_use]
+    pub fn figures_csv_bundle(&self, node_counts: &[usize]) -> String {
+        let mut out = String::new();
+        for f in self.available_figures(node_counts) {
+            let _ = writeln!(out, "# figure {}", f.id());
+            out.push_str(&self.figure(f).to_csv());
+        }
+        out
     }
 }
 

@@ -13,8 +13,12 @@
 //!   read different metrics off the same (nodes × mode × tasks) runs.
 //! * [`ablations`] — the DESIGN.md A1–A4 ablation harnesses (allocation
 //!   strategy, data structures, suspension queue, driver equivalence).
-//! * [`bench`] — the offline search-backend benchmark harness behind
-//!   `dreamsim bench-search` and the `BENCH_search.json` baseline.
+//! * [`parallel`] — the deterministic hand-rolled worker pool behind
+//!   `--jobs`: index-ordered merge, per-worker scratch arenas, LPT
+//!   claim order (DESIGN.md §13).
+//! * [`bench`] — the offline benchmark harnesses behind
+//!   `dreamsim bench-search` / `dreamsim bench-grid` and the committed
+//!   `BENCH_search.json` / `BENCH_grid.json` baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +26,12 @@
 pub mod ablations;
 pub mod bench;
 pub mod figures;
+pub mod parallel;
 pub mod runner;
 
-pub use bench::{run_search_bench, SearchBenchReport};
+pub use bench::{run_grid_bench, run_search_bench, GridBenchReport, SearchBenchReport};
 pub use figures::{ExperimentGrid, Figure, FigureSeries};
-pub use runner::{replicate, run_batch, run_point, PolicyConfig, Replicated, SweepPoint};
+pub use parallel::{cost_descending_order, effective_jobs, run_indexed, run_ordered};
+pub use runner::{
+    replicate, run_batch, run_point, run_point_with_scratch, PolicyConfig, Replicated, SweepPoint,
+};

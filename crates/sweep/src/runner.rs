@@ -5,11 +5,10 @@
 //! batches can execute on any number of threads in any order and still
 //! produce identical reports — pinned by the determinism tests.
 
-use dreamsim_engine::{Report, SearchBackend, SimParams, Simulation};
+use crate::parallel::{cost_descending_order, effective_jobs, run_ordered};
+use dreamsim_engine::{Report, RunOptions, SearchBackend, SimParams, SimScratch, Simulation};
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
 use dreamsim_workload::SyntheticSource;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Which scheduling policy a run uses (a value-level description, so
 /// sweeps can be declared as data).
@@ -51,13 +50,19 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     /// A paper-faithful point with the given label and parameters.
+    ///
+    /// The search backend defaults to [`SearchBackend::Auto`], which
+    /// resolves to linear or indexed per point from its node count
+    /// (DESIGN.md §11) — byte-equivalent either way, so only speed
+    /// changes. Benchmarks that compare backends pass them explicitly
+    /// via [`with_search`](Self::with_search).
     #[must_use]
     pub fn new(label: impl Into<String>, params: SimParams) -> Self {
         Self {
             label: label.into(),
             params,
             policy: PolicyConfig::paper(),
-            search: SearchBackend::default(),
+            search: SearchBackend::Auto,
         }
     }
 
@@ -83,53 +88,54 @@ impl SweepPoint {
 /// programmer input, not user input.
 #[must_use]
 pub fn run_point(point: &SweepPoint) -> Report {
-    let source = SyntheticSource::from_params(&point.params);
-    let sim = Simulation::new(point.params.clone(), source, point.policy.build())
-        // INVARIANT: sweep declarations are programmer input (documented
-        // panic above), validated once per point.
-        .expect("sweep point parameters must validate")
-        .with_search_backend(point.search);
-    sim.run().report
+    run_point_with_scratch(point, &mut SimScratch::new())
 }
 
-/// Run a batch across `threads` OS threads (clamped to the batch size;
-/// 0 selects the available parallelism). Results are returned in input
-/// order regardless of scheduling.
+/// [`run_point`], recycling a [`SimScratch`] arena so back-to-back
+/// points on the same worker reuse the event heap, wait-sample, and
+/// task-table allocations. The report is identical to [`run_point`]'s
+/// (capacity is unobservable; pinned by engine and sweep tests).
+///
+/// # Panics
+/// Same contract as [`run_point`].
 #[must_use]
-pub fn run_batch(points: &[SweepPoint], threads: usize) -> Vec<Report> {
+pub fn run_point_with_scratch(point: &SweepPoint, scratch: &mut SimScratch) -> Report {
+    let source = SyntheticSource::from_params(&point.params);
+    let sim =
+        Simulation::new_with_scratch(point.params.clone(), source, point.policy.build(), scratch)
+            // INVARIANT: sweep declarations are programmer input (documented
+            // panic above), validated once per point.
+            .expect("sweep point parameters must validate")
+            .with_search_backend(point.search);
+    let result = sim
+        .run_with_scratch(&RunOptions::default(), scratch)
+        // INVARIANT: RunError only arises from checkpoint I/O or a
+        // failed audit; default options enable neither.
+        .expect("a run without checkpoints or audits cannot fail");
+    scratch.reclaim_tasks(result.tasks);
+    result.report
+}
+
+/// Run a batch across `jobs` OS threads (clamped to the batch size;
+/// 0 selects the available parallelism) on the deterministic pool
+/// ([`crate::parallel`]). Results are returned in input order and are
+/// byte-identical for every thread count; workers claim the costliest
+/// points first (LPT) to shrink the straggler tail, which affects
+/// wall-clock only.
+#[must_use]
+pub fn run_batch(points: &[SweepPoint], jobs: usize) -> Vec<Report> {
     if points.is_empty() {
         return Vec::new();
     }
-    let threads = effective_threads(threads, points.len());
-    if threads <= 1 {
-        return points.iter().map(run_point).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Report>>> = Mutex::new(vec![None; points.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let report = run_point(&points[i]);
-                // INVARIANT: the mutex is poisoned only if a worker
-                // panicked, and a panicked sweep has no result to save.
-                results.lock().expect("sweep worker panicked")[i] = Some(report);
-            });
-        }
-    });
-    results
-        .into_inner()
-        // INVARIANT: scope joined every worker; poisoning implies a
-        // worker panic, which already aborted the sweep.
-        .expect("sweep worker panicked")
-        .into_iter()
-        // INVARIANT: the atomic counter hands out each index exactly
-        // once and the scope joins only after all are processed.
-        .map(|r| r.expect("every index was processed"))
-        .collect()
+    let jobs = effective_jobs(jobs, points.len());
+    let costs: Vec<u64> = points
+        .iter()
+        .map(|p| (p.params.total_tasks as u64).saturating_mul(p.params.total_nodes as u64))
+        .collect();
+    let order = cost_descending_order(&costs);
+    run_ordered(&order, jobs, SimScratch::new, |scratch, i| {
+        run_point_with_scratch(&points[i], scratch)
+    })
 }
 
 /// Summary of one metric over seed replications.
@@ -191,14 +197,6 @@ pub fn replicate(
         .collect();
     let reports = run_batch(&points, threads);
     Replicated::from_samples(reports.iter().map(|r| metric(&r.metrics)).collect())
-}
-
-fn effective_threads(requested: usize, work: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let t = if requested == 0 { hw } else { requested };
-    t.min(work).max(1)
 }
 
 #[cfg(test)]
