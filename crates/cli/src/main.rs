@@ -9,6 +9,9 @@
 //!   with a per-figure agreement check against the paper's reported
 //!   direction.
 //! * `ablations` — run the A1–A4 ablation harnesses.
+//! * `chaos` — run a chaos campaign (correlated failure-domain outages,
+//!   overload bursts) under continuous audit, with a kill-and-resume
+//!   drill per scenario.
 //! * `trace` — generate a synthetic trace file for later replay.
 //! * `lint` — the determinism static-analysis pass (see the
 //!   `dreamsim-lint` crate); nonzero exit on unsuppressed findings.
@@ -19,8 +22,9 @@ mod args;
 
 use args::{ArgError, Args};
 use dreamsim_engine::{
-    read_checkpoint, ArrivalDistribution, ReconfigMode, Report, RunOptions, RunResult,
-    SearchBackend, SimParams, Simulation,
+    read_checkpoint, AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind,
+    DomainParams, ReconfigMode, Report, RunOptions, RunResult, ScriptedOutage, SearchBackend,
+    SimParams, Simulation,
 };
 use dreamsim_rng::Rng;
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
@@ -41,6 +45,11 @@ USAGE:
                [--mttf TICKS] [--reconfig-fail-prob P] [--task-fail-prob P]
                [--max-retries N] [--suspension-deadline TICKS]
                [--no-resubmit]
+               [--domains N] [--domain-mttf TICKS] [--domain-mttr TICKS]
+               [--domain-kind fail|partition] [--outages D:AT:DUR,...]
+               [--suspension-cap N]
+               [--admission block|shed-oldest|degrade-closest]
+               [--burst START,END,INTERVAL]
                [--placement scalar|contiguous] [--replay TRACE]
                [--swf FILE [--ticks-per-second N] [--max-jobs N]]
                [--checkpoint-every TICKS] [--checkpoint-dir DIR]
@@ -57,6 +66,8 @@ USAGE:
                         [--rounds N] [--seed S] [--out FILE]
   dreamsim bench-grid [--nodes N1,N2,...] [--tasks N1,N2,...]
                       [--jobs J1,J2,...] [--seed S] [--out FILE]
+  dreamsim chaos [--script FILE] [--no-drill] [--audit-every TICKS]
+                 [--work-dir DIR] [--report csv|json] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
   dreamsim lint [--root DIR] [--format text|json] [--out FILE]
                 [--list-rules] [FILES...]
@@ -74,6 +85,25 @@ exponential backoff, then degraded to the closest larger configuration);
 --task-fail-prob kills running tasks mid-execution; --suspension-deadline
 discards tasks suspended longer than TICKS. Fault-killed tasks are
 resubmitted unless --no-resubmit is given.
+
+Chaos layer (all off by default): --domains N splits the nodes into N
+correlated failure domains (racks/zones); --domain-mttf arms stochastic
+whole-domain outages, --outages D:AT:DUR,... scripts them, and
+--domain-kind picks whether an outage kills the domain's running tasks
+(fail) or parks them back into the suspension queue (partition).
+--suspension-cap bounds the suspension queue; --admission picks what
+happens on overflow: block sheds the newcomer, shed-oldest evicts the
+queue head, degrade-closest tries to place the overflow on an idle
+instance of the next-larger configuration before blocking. --burst
+tightens arrival interarrivals to at most INTERVAL inside
+[START, END). Partition outages plus a bounded queue need
+--suspension-deadline (or a resuming policy) so parked tasks cannot
+stall the run forever. The `chaos` subcommand runs whole campaigns of
+such scenarios from a script (see the dreamsim-sweep chaos module docs
+for the format; omit --script for the built-in campaign), audits
+continuously (--audit-every, default 500), runs a kill-and-resume drill
+per scenario (checkpoints into --work-dir, default chaos-work), and
+reports availability metrics as CSV or JSON.
 
 Checkpoint/restore: --checkpoint-every writes a versioned snapshot of the
 complete simulator state (atomically, into --checkpoint-dir, default .)
@@ -119,6 +149,7 @@ fn main() -> ExitCode {
         Some("ablations") => cmd_ablations(&args),
         Some("bench-search") => cmd_bench_search(&args),
         Some("bench-grid") => cmd_bench_grid(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("trace") => cmd_trace(&args),
         Some("lint") => cmd_lint(&args),
         Some("help") | None => {
@@ -219,8 +250,70 @@ fn params_from_args(args: &Args) -> Result<SimParams, ArgError> {
     if args.has("no-resubmit") {
         p.faults.resubmit = false;
     }
+    if args.has("domains") {
+        let mut d = DomainParams {
+            count: args.get_num("domains", 0usize)?,
+            ..DomainParams::default()
+        };
+        if args.has("domain-mttf") {
+            d.mttf = Some(args.get_num("domain-mttf", 0u64)?);
+        }
+        d.mttr = args.get_num("domain-mttr", d.mttr)?;
+        let kind = args.get("domain-kind", "fail");
+        d.kind = DomainOutageKind::parse(kind).ok_or_else(|| {
+            ArgError(format!(
+                "--domain-kind must be fail or partition, got {kind:?}"
+            ))
+        })?;
+        if args.has("outages") {
+            d.scripted = parse_outages(args.get("outages", ""))?;
+        }
+        p.domains = Some(d);
+    } else if args.has("domain-mttf") || args.has("domain-mttr") || args.has("outages") {
+        return Err(ArgError(
+            "--domain-mttf/--domain-mttr/--outages require --domains N".into(),
+        ));
+    }
+    if args.has("suspension-cap") {
+        p.suspension_cap = Some(args.get_num("suspension-cap", 0usize)?);
+    }
+    let admission = args.get("admission", "block");
+    p.admission = AdmissionPolicy::parse(admission).ok_or_else(|| {
+        ArgError(format!(
+            "--admission must be block, shed-oldest, or degrade-closest, got {admission:?}"
+        ))
+    })?;
+    if args.has("burst") {
+        let v = args.get_list("burst", &[])?;
+        if v.len() != 3 {
+            return Err(ArgError("--burst expects START,END,INTERVAL".into()));
+        }
+        p.burst = Some(BurstWindow {
+            start: v[0] as u64,
+            end: v[1] as u64,
+            interval: v[2] as u64,
+        });
+    }
     p.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(p)
+}
+
+/// Parse `--outages D:AT:DUR,...` into scripted domain outages.
+fn parse_outages(spec: &str) -> Result<Vec<ScriptedOutage>, ArgError> {
+    spec.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.trim().split(':').collect();
+            let err = || ArgError(format!("--outages entry {entry:?} must be D:AT:DUR"));
+            if parts.len() != 3 {
+                return Err(err());
+            }
+            Ok(ScriptedOutage {
+                domain: parts[0].parse().map_err(|_| err())?,
+                at: parts[1].parse().map_err(|_| err())?,
+                duration: parts[2].parse().map_err(|_| err())?,
+            })
+        })
+        .collect()
 }
 
 fn write_or_print(out: Option<&str>, content: &str) -> Result<(), ArgError> {
@@ -297,6 +390,19 @@ fn metrics_table(report: &Report) -> String {
         table.push_str(&format!(
             "resubmissions / tasks lost to faults    : {} / {}\n",
             m.resubmissions, m.tasks_lost
+        ));
+    }
+    if m.domain_outages != 0 || m.domain_restores != 0 {
+        let downtime: u64 = m.domain_downtime.iter().sum();
+        table.push_str(&format!(
+            "domain outages / restores / downtime    : {} / {} / {} (mttr {:.1})\n",
+            m.domain_outages, m.domain_restores, downtime, m.mean_time_to_recover
+        ));
+    }
+    if m.tasks_shed != 0 || m.tasks_degraded != 0 {
+        table.push_str(&format!(
+            "tasks shed / degraded by admission      : {} / {}\n",
+            m.tasks_shed, m.tasks_degraded
         ));
     }
     table
@@ -698,6 +804,78 @@ fn cmd_bench_grid(args: &Args) -> Result<(), ArgError> {
         report.hardware_threads, report.checksum, report.checksums_identical
     );
     Ok(())
+}
+
+/// `dreamsim chaos` — run a chaos campaign: every scenario executes
+/// under continuous audit, followed (unless --no-drill) by a
+/// kill-and-resume drill whose resumed report must be byte-identical to
+/// the baseline.
+fn cmd_chaos(args: &Args) -> Result<(), ArgError> {
+    use dreamsim_sweep::chaos;
+    let text = if args.has("script") {
+        let path = args.get("script", "");
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?
+    } else {
+        chaos::BUILTIN_CAMPAIGN.to_string()
+    };
+    let scenarios = chaos::parse_campaign(&text).map_err(|e| ArgError(e.to_string()))?;
+    let mut opts = chaos::CampaignOptions::default();
+    if args.has("no-drill") {
+        opts.drill = false;
+    }
+    if args.has("audit-every") {
+        let every = args.get_num("audit-every", 0u64)?;
+        if every == 0 {
+            return Err(ArgError("--audit-every must be > 0".into()));
+        }
+        opts.audit_every = Some(every);
+    }
+    let work_dir = std::path::PathBuf::from(args.get("work-dir", "chaos-work"));
+    eprintln!(
+        "chaos campaign: {} scenario(s), audit every {} ticks, drills {}",
+        scenarios.len(),
+        opts.audit_every
+            .map_or_else(|| "off".into(), |t| t.to_string()),
+        if opts.drill { "on" } else { "off" }
+    );
+    let report =
+        chaos::run_campaign(&scenarios, &opts, &work_dir).map_err(|e| ArgError(e.to_string()))?;
+    for c in &report.cases {
+        let drill = match c.drill {
+            Some(d) => format!(
+                "drill resumed t={} {}",
+                d.checkpoint_at,
+                if d.report_identical {
+                    "byte-identical"
+                } else {
+                    "DIVERGED"
+                }
+            ),
+            None => "drill skipped".to_string(),
+        };
+        println!(
+            "{}: completed {} / discarded {} (shed {}, degraded {}, lost {}) | \
+             outages {} downtime {} mttr {:.1} | makespan {} | {}",
+            c.name,
+            c.completed,
+            c.discarded,
+            c.shed,
+            c.degraded,
+            c.lost,
+            c.domain_outages,
+            c.domain_downtime.iter().sum::<u64>(),
+            c.mean_time_to_recover,
+            c.makespan,
+            drill
+        );
+    }
+    let format = args.get("report", "csv");
+    let rendered = match format {
+        "csv" => report.to_csv(),
+        "json" => report.to_json(),
+        other => return Err(ArgError(format!("unknown --report format {other:?}"))),
+    };
+    write_or_print(args.flags.get("out").map(String::as_str), &rendered)
 }
 
 /// `dreamsim lint` — the determinism static-analysis pass, sharing its

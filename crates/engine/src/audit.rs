@@ -119,9 +119,11 @@ impl std::error::Error for AuditError {}
 /// 3. task ⇔ slot bijection — slots hold exactly the `Running` tasks,
 ///    each exactly once;
 /// 4. event targets — every pending event is due no earlier than `clock`
-///    and targets in-range ids; *current* (non-stale) completion/failure
-///    events point at the slot actually running the task, and current
-///    suspension timeouts point at a queued task;
+///    and targets in-range ids (domain events against `num_domains`, the
+///    count of configured failure domains — 0 when domains are off, so
+///    any pending domain event is then invalid); *current* (non-stale)
+///    completion/failure events point at the slot actually running the
+///    task, and current suspension timeouts point at a queued task;
 /// 5. suspension queue — queued ids are in range and `Suspended`, no
 ///    duplicates, and the queue holds exactly the suspended tasks.
 pub fn check(
@@ -130,11 +132,12 @@ pub fn check(
     events: &EventQueue,
     suspension: &SuspensionQueue,
     clock: Ticks,
+    num_domains: usize,
 ) -> Result<(), AuditError> {
     check_store(resources)?;
     check_slot_areas(resources)?;
     check_task_slot_bijection(resources, tasks)?;
-    check_event_targets(resources, tasks, suspension, events, clock)?;
+    check_event_targets(resources, tasks, suspension, events, clock, num_domains)?;
     check_suspension(tasks, suspension)?;
     Ok(())
 }
@@ -223,6 +226,7 @@ fn check_event_targets(
     suspension: &SuspensionQueue,
     events: &EventQueue,
     clock: Ticks,
+    num_domains: usize,
 ) -> Result<(), AuditError> {
     let queued: BTreeSet<TaskId> = suspension.iter().collect();
     let task_in_range = |t: TaskId| t.index() < tasks.len();
@@ -280,6 +284,17 @@ fn check_event_targets(
                     return Err(AuditError::EventTarget {
                         time,
                         detail: format!("current {ev:?} but {entry} does not hold {task}"),
+                    });
+                }
+            }
+            Event::DomainOutage { domain, .. } | Event::DomainRestore { domain } => {
+                // BOUND: u32 domain index; usize is at least 32 bits on every supported target.
+                if domain as usize >= num_domains {
+                    return Err(AuditError::EventTarget {
+                        time,
+                        detail: format!(
+                            "{ev:?} targets out-of-range domain (have {num_domains} domains)"
+                        ),
                     });
                 }
             }

@@ -181,7 +181,7 @@ impl Checkpoint {
 /// CRC-32 (IEEE 802.3, reflected, as used by zip/PNG), bitwise — no
 /// table, the payloads are small and this keeps the implementation
 /// dependency-free and obviously correct.
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= u32::from(b);

@@ -65,6 +65,22 @@ pub enum Event {
         /// re-suspension in the meantime makes this event stale.
         enqueued_at: Ticks,
     },
+    /// A correlated failure domain goes down (chaos extension): every
+    /// member node fails atomically.
+    DomainOutage {
+        /// The failing domain.
+        domain: u32,
+        /// Fixed outage length for scripted outages; `None` for
+        /// stochastic outages, whose restore delay is drawn from the
+        /// domain MTTR stream when the outage fires.
+        duration: Option<Ticks>,
+    },
+    /// A downed failure domain is restored: exactly the nodes the
+    /// outage took down come back blank.
+    DomainRestore {
+        /// The restored domain.
+        domain: u32,
+    },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -332,6 +348,11 @@ mod tests {
                 task: TaskId(4),
                 enqueued_at: 2,
             },
+            Event::DomainOutage {
+                domain: 1,
+                duration: Some(40),
+            },
+            Event::DomainRestore { domain: 0 },
             Event::NodeRepair { node: NodeId(1) },
             Event::TaskArrival { task: TaskId(5) },
         ];

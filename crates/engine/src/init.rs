@@ -89,7 +89,9 @@ fn random_ptype(rng: &mut Rng) -> (ProcessorType, Vec<Param>) {
             )
         }
         1 => {
+            // BOUND: uniform_below(7) < 7; both draws fit u16.
             let rows = 2 + rng.uniform_below(7) as u16;
+            // BOUND: uniform_below(7) < 7, fits u16.
             let cols = 2 + rng.uniform_below(7) as u16;
             (
                 ProcessorType::SystolicArray { rows, cols },
@@ -133,6 +135,7 @@ fn random_ptype(rng: &mut Rng) -> (ProcessorType, Vec<Param>) {
             )
         }
         _ => {
+            // BOUND: uniform_below(16) < 16; 8 + 8*15 fits u16.
             let taps = 8 + 8 * rng.uniform_below(16) as u16;
             (
                 ProcessorType::SignalProcessor { taps },

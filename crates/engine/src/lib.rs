@@ -43,7 +43,8 @@ pub use event::{Event, EventQueue};
 pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};
 pub use params::{
-    ArrivalDistribution, FaultParams, ParamsError, PlacementModel, ReconfigMode, SimParams,
+    AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind, DomainParams, FaultParams,
+    ParamsError, PlacementModel, ReconfigMode, ScriptedOutage, SimParams,
 };
 pub use report::Report;
 pub use sim::{

@@ -35,6 +35,13 @@ pub trait Observer {
     /// A fault-killed task was resubmitted to the scheduler
     /// (fault-injection extension); `attempt` counts resubmissions.
     fn on_resubmit(&mut self, now: Ticks, task: &Task, attempt: u32) {}
+    /// A correlated failure-domain outage started (chaos-layer
+    /// extension). Member nodes report their own
+    /// [`on_node_failure`](Self::on_node_failure) calls first.
+    fn on_domain_outage(&mut self, now: Ticks, domain: u32) {}
+    /// A failure-domain outage ended; member-node
+    /// [`on_node_repair`](Self::on_node_repair) calls follow.
+    fn on_domain_restore(&mut self, now: Ticks, domain: u32) {}
     /// Periodic resource snapshot (taken at every arrival).
     fn on_snapshot(&mut self, now: Ticks, resources: &ResourceManager, suspended: usize) {}
 }
@@ -86,6 +93,10 @@ pub struct RecordingMonitor {
     pub task_failures: u64,
     /// Resubmissions seen.
     pub resubmissions: u64,
+    /// Domain outages seen (chaos-layer extension).
+    pub domain_outages: u64,
+    /// Domain restores seen.
+    pub domain_restores: u64,
 }
 
 impl RecordingMonitor {
@@ -138,6 +149,14 @@ impl Observer for RecordingMonitor {
 
     fn on_resubmit(&mut self, _now: Ticks, _task: &Task, _attempt: u32) {
         self.resubmissions += 1;
+    }
+
+    fn on_domain_outage(&mut self, _now: Ticks, _domain: u32) {
+        self.domain_outages += 1;
+    }
+
+    fn on_domain_restore(&mut self, _now: Ticks, _domain: u32) {
+        self.domain_restores += 1;
     }
 
     fn on_snapshot(&mut self, now: Ticks, resources: &ResourceManager, suspended: usize) {
@@ -232,9 +251,13 @@ mod tests {
         mon.on_reconfig_failed(7, &t, 2);
         mon.on_task_failed(8, &t);
         mon.on_resubmit(9, &t, 1);
+        mon.on_domain_outage(10, 0);
+        mon.on_domain_restore(12, 0);
         assert_eq!(mon.repairs, 1);
         assert_eq!(mon.reconfig_failures, 2);
         assert_eq!(mon.task_failures, 1);
         assert_eq!(mon.resubmissions, 1);
+        assert_eq!(mon.domain_outages, 1);
+        assert_eq!(mon.domain_restores, 1);
     }
 }

@@ -119,6 +119,155 @@ impl Range {
     }
 }
 
+/// What a domain-level outage does to the member nodes (the two
+/// correlated-failure shapes the chaos layer injects).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainOutageKind {
+    /// Hard rack/zone failure: every member node goes down atomically
+    /// and the tasks running there are killed (resubmitted within the
+    /// retry budget, like per-node failures).
+    #[default]
+    Fail,
+    /// Network partition: member nodes become unreachable for the
+    /// outage window; tasks running there restart from the suspension
+    /// queue once capacity returns instead of being resubmitted as
+    /// fresh arrivals.
+    Partition,
+}
+
+impl DomainOutageKind {
+    /// Short label for reports and the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DomainOutageKind::Fail => "fail",
+            DomainOutageKind::Partition => "partition",
+        }
+    }
+
+    /// Parse a CLI/scenario label.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fail" => Some(DomainOutageKind::Fail),
+            "partition" => Some(DomainOutageKind::Partition),
+            _ => None,
+        }
+    }
+}
+
+/// One scripted (deterministic) domain outage: domain `domain` goes
+/// down at tick `at` and is restored `duration` ticks later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedOutage {
+    /// Which failure domain (index into the domain list).
+    pub domain: u32,
+    /// Outage start, in ticks.
+    pub at: u64,
+    /// Outage length, in ticks (must be nonzero).
+    pub duration: u64,
+}
+
+/// Correlated failure-domain parameters (racks/zones). Nodes are
+/// assigned to `count` domains in contiguous blocks; a domain outage
+/// takes every member node down atomically. `None` in
+/// [`SimParams::domains`] (the default) disables the whole subsystem:
+/// no domain RNG stream is consumed and runs stay bit-identical to the
+/// domain-free simulator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainParams {
+    /// Number of failure domains (nodes are split into contiguous
+    /// blocks of `ceil(total_nodes / count)`).
+    pub count: usize,
+    /// Mean time to (correlated) failure of each domain, in ticks
+    /// (exponentially distributed, per domain, on a dedicated RNG
+    /// stream). `None` disables stochastic outages; scripted outages
+    /// still fire.
+    #[serde(default)]
+    pub mttf: Option<u64>,
+    /// Mean time to restore a downed domain, in ticks (exponentially
+    /// distributed; scripted outages carry their own fixed duration).
+    pub mttr: u64,
+    /// What an outage does to member nodes.
+    #[serde(default)]
+    pub kind: DomainOutageKind,
+    /// Deterministic, pre-scheduled outages (chaos scenario scripts).
+    #[serde(default)]
+    pub scripted: Vec<ScriptedOutage>,
+}
+
+impl Default for DomainParams {
+    /// One domain, stochastic outages off, 1000-tick mean restore.
+    fn default() -> Self {
+        Self {
+            count: 1,
+            mttf: None,
+            mttr: 1_000,
+            kind: DomainOutageKind::Fail,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+/// Admission policy for a bounded suspension queue: what happens when
+/// parking one more task would exceed [`SimParams::suspension_cap`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the newcomer: the task that would overflow the queue is
+    /// discarded ([`DiscardReason::AdmissionBlocked`]).
+    ///
+    /// [`DiscardReason::AdmissionBlocked`]: crate::DiscardReason::AdmissionBlocked
+    #[default]
+    Block,
+    /// Shed the oldest queued task to make room for the newcomer
+    /// ([`DiscardReason::AdmissionShed`]).
+    ///
+    /// [`DiscardReason::AdmissionShed`]: crate::DiscardReason::AdmissionShed
+    ShedOldest,
+    /// Degrade the newcomer: place it immediately on the idle instance
+    /// of the closest larger configuration, paying wasted area instead
+    /// of queueing; falls back to `Block` when no such instance exists.
+    DegradeClosest,
+}
+
+impl AdmissionPolicy {
+    /// Short label for reports and the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+            AdmissionPolicy::DegradeClosest => "degrade-closest",
+        }
+    }
+
+    /// Parse a CLI/scenario label.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(AdmissionPolicy::Block),
+            "shed-oldest" => Some(AdmissionPolicy::ShedOldest),
+            "degrade-closest" | "degrade-to-closest-match" => Some(AdmissionPolicy::DegradeClosest),
+            _ => None,
+        }
+    }
+}
+
+/// An overload burst: inside `[start, end)` the synthetic source caps
+/// the inter-arrival draw at `interval` instead of
+/// [`SimParams::next_task_max_interval`], compressing arrivals to
+/// stress the suspension queue. `None` (default) leaves the arrival
+/// process byte-identical to the burst-free simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstWindow {
+    /// First tick of the burst (inclusive).
+    pub start: u64,
+    /// End of the burst (exclusive).
+    pub end: u64,
+    /// Inter-arrival upper bound during the burst (must be nonzero).
+    pub interval: u64,
+}
+
 /// Parameter validation error.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ParamsError {
@@ -149,6 +298,23 @@ pub enum ParamsError {
     /// per-node fault model (`faults.node_mttf`) are enabled; they are
     /// mutually exclusive.
     ConflictingFailureModels,
+    /// More failure domains than nodes: at least one domain would be
+    /// empty.
+    DomainsExceedNodes {
+        /// Configured domain count.
+        domains: usize,
+        /// Configured node count.
+        nodes: usize,
+    },
+    /// A scripted outage names a domain outside the configured range.
+    ScriptedOutageOutOfRange {
+        /// Index into `domains.scripted`.
+        index: usize,
+        /// Domain id the entry names.
+        domain: u32,
+        /// Configured domain count.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for ParamsError {
@@ -172,6 +338,24 @@ impl std::fmt::Display for ParamsError {
                     f,
                     "node_mtbf (legacy global failures) and faults.node_mttf \
                      (per-node fault model) cannot both be enabled"
+                )
+            }
+            ParamsError::DomainsExceedNodes { domains, nodes } => {
+                write!(
+                    f,
+                    "domains.count {domains} exceeds total_nodes {nodes}: \
+                     at least one failure domain would be empty"
+                )
+            }
+            ParamsError::ScriptedOutageOutOfRange {
+                index,
+                domain,
+                count,
+            } => {
+                write!(
+                    f,
+                    "domains.scripted[{index}] names domain {domain}, but only \
+                     {count} domain(s) are configured"
                 )
             }
         }
@@ -334,6 +518,22 @@ pub struct SimParams {
     /// exclusive with `node_mtbf`).
     #[serde(default)]
     pub faults: FaultParams,
+    /// Correlated failure domains (racks/zones). `None` (default)
+    /// disables the chaos layer entirely.
+    #[serde(default)]
+    pub domains: Option<DomainParams>,
+    /// Bound on the suspension-queue length; exceeding it triggers the
+    /// [`admission`](Self::admission) policy. `None` (default) leaves
+    /// the queue unbounded, as in the paper.
+    #[serde(default)]
+    pub suspension_cap: Option<usize>,
+    /// What to do when a suspension would exceed `suspension_cap`.
+    #[serde(default)]
+    pub admission: AdmissionPolicy,
+    /// Overload burst window for the synthetic arrival process. `None`
+    /// (default) keeps the paper's steady arrival rate.
+    #[serde(default)]
+    pub burst: Option<BurstWindow>,
     /// Master seed for all randomness in the run.
     pub seed: u64,
 }
@@ -361,6 +561,10 @@ impl Default for SimParams {
             node_mtbf: None,
             node_mttr: 1_000,
             faults: FaultParams::default(),
+            domains: None,
+            suspension_cap: None,
+            admission: AdmissionPolicy::Block,
+            burst: None,
             seed: 0x5EED,
         }
     }
@@ -437,6 +641,48 @@ impl SimParams {
         self.faults.validate()?;
         if self.node_mtbf.is_some() && self.faults.node_mttf.is_some() {
             return Err(ParamsError::ConflictingFailureModels);
+        }
+        if let Some(d) = &self.domains {
+            if d.count == 0 {
+                return Err(ParamsError::ZeroCount("domains.count"));
+            }
+            if d.count > self.total_nodes {
+                return Err(ParamsError::DomainsExceedNodes {
+                    domains: d.count,
+                    nodes: self.total_nodes,
+                });
+            }
+            if d.mttf == Some(0) {
+                return Err(ParamsError::ZeroCount("domains.mttf"));
+            }
+            if d.mttr == 0 {
+                return Err(ParamsError::ZeroCount("domains.mttr"));
+            }
+            for (i, s) in d.scripted.iter().enumerate() {
+                // BOUND: u32 domain index; usize is at least 32 bits on every supported target.
+                if s.domain as usize >= d.count {
+                    return Err(ParamsError::ScriptedOutageOutOfRange {
+                        index: i,
+                        domain: s.domain,
+                        count: d.count,
+                    });
+                }
+                if s.duration == 0 {
+                    return Err(ParamsError::ZeroCount("domains.scripted.duration"));
+                }
+            }
+        }
+        if let Some(b) = &self.burst {
+            if b.interval == 0 {
+                return Err(ParamsError::ZeroCount("burst.interval"));
+            }
+            if b.start >= b.end {
+                return Err(ParamsError::InvalidRange {
+                    name: "burst",
+                    lo: b.start,
+                    hi: b.end,
+                });
+            }
         }
         Ok(())
     }
@@ -632,6 +878,151 @@ mod tests {
         );
         p.node_mtbf = None;
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_defaults_are_disabled() {
+        let p = SimParams::default();
+        assert!(p.domains.is_none());
+        assert!(p.suspension_cap.is_none());
+        assert_eq!(p.admission, AdmissionPolicy::Block);
+        assert!(p.burst.is_none());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_domain_parameters() {
+        let with_domains = |f: fn(&mut DomainParams)| {
+            let mut p = SimParams::default();
+            let mut d = DomainParams {
+                count: 4,
+                ..DomainParams::default()
+            };
+            f(&mut d);
+            p.domains = Some(d);
+            p.validate()
+        };
+        assert_eq!(
+            with_domains(|d| d.count = 0).unwrap_err(),
+            ParamsError::ZeroCount("domains.count")
+        );
+        assert_eq!(
+            with_domains(|d| d.count = 500).unwrap_err(),
+            ParamsError::DomainsExceedNodes {
+                domains: 500,
+                nodes: 200
+            }
+        );
+        assert_eq!(
+            with_domains(|d| d.mttf = Some(0)).unwrap_err(),
+            ParamsError::ZeroCount("domains.mttf")
+        );
+        assert_eq!(
+            with_domains(|d| d.mttr = 0).unwrap_err(),
+            ParamsError::ZeroCount("domains.mttr")
+        );
+        assert_eq!(
+            with_domains(|d| d.scripted.push(ScriptedOutage {
+                domain: 4,
+                at: 100,
+                duration: 10
+            }))
+            .unwrap_err(),
+            ParamsError::ScriptedOutageOutOfRange {
+                index: 0,
+                domain: 4,
+                count: 4
+            }
+        );
+        assert_eq!(
+            with_domains(|d| d.scripted.push(ScriptedOutage {
+                domain: 0,
+                at: 100,
+                duration: 0
+            }))
+            .unwrap_err(),
+            ParamsError::ZeroCount("domains.scripted.duration")
+        );
+        with_domains(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_burst_window() {
+        let mut p = SimParams::default();
+        p.burst = Some(BurstWindow {
+            start: 100,
+            end: 500,
+            interval: 0,
+        });
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::ZeroCount("burst.interval")
+        );
+        p.burst = Some(BurstWindow {
+            start: 500,
+            end: 500,
+            interval: 2,
+        });
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ParamsError::InvalidRange {
+                name: "burst",
+                lo: 500,
+                hi: 500
+            }
+        );
+        p.burst = Some(BurstWindow {
+            start: 100,
+            end: 500,
+            interval: 2,
+        });
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn admission_and_kind_labels_round_trip() {
+        for a in [
+            AdmissionPolicy::Block,
+            AdmissionPolicy::ShedOldest,
+            AdmissionPolicy::DegradeClosest,
+        ] {
+            assert_eq!(AdmissionPolicy::parse(a.label()), Some(a));
+        }
+        assert_eq!(
+            AdmissionPolicy::parse("degrade-to-closest-match"),
+            Some(AdmissionPolicy::DegradeClosest)
+        );
+        assert_eq!(AdmissionPolicy::parse("nope"), None);
+        for k in [DomainOutageKind::Fail, DomainOutageKind::Partition] {
+            assert_eq!(DomainOutageKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(DomainOutageKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn chaos_params_serde_round_trip() {
+        let mut p = SimParams::default();
+        p.domains = Some(DomainParams {
+            count: 4,
+            mttf: Some(5_000),
+            mttr: 500,
+            kind: DomainOutageKind::Partition,
+            scripted: vec![ScriptedOutage {
+                domain: 1,
+                at: 2_000,
+                duration: 300,
+            }],
+        });
+        p.suspension_cap = Some(16);
+        p.admission = AdmissionPolicy::ShedOldest;
+        p.burst = Some(BurstWindow {
+            start: 1_000,
+            end: 3_000,
+            interval: 2,
+        });
+        let js = serde_json::to_string(&p).unwrap();
+        let back: SimParams = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]

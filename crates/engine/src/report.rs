@@ -236,6 +236,29 @@ impl Report {
             elem(&mut out, 6, "node-downtime", m.node_downtime);
             out.push_str("    </faults>\n");
         }
+        // Chaos-layer block, gated exactly like <faults>: emitted only
+        // when some chaos counter is nonzero, so domain-free runs stay
+        // byte-identical to releases that predate the chaos layer.
+        let any_chaos = m.domain_outages != 0
+            || m.domain_restores != 0
+            || m.tasks_shed != 0
+            || m.tasks_degraded != 0
+            || m.domain_downtime.iter().any(|&d| d != 0);
+        if any_chaos {
+            out.push_str("    <chaos>\n");
+            elem(&mut out, 6, "domain-outages", m.domain_outages);
+            elem(&mut out, 6, "domain-restores", m.domain_restores);
+            elem(&mut out, 6, "tasks-shed", m.tasks_shed);
+            elem(&mut out, 6, "tasks-degraded", m.tasks_degraded);
+            elem(&mut out, 6, "mean-time-to-recover", m.mean_time_to_recover);
+            for (d, dt) in m.domain_downtime.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "      <domain-downtime domain=\"{d}\">{dt}</domain-downtime>"
+                );
+            }
+            out.push_str("    </chaos>\n");
+        }
         out.push_str("  </metrics>\n");
         out.push_str("</dreamsim-report>\n");
         out
@@ -337,6 +360,27 @@ mod tests {
         assert!(xml.contains("<tasks-lost>2</tasks-lost>"));
         assert!(xml.contains("<node-downtime>450</node-downtime>"));
         assert_eq!(xml.matches("</faults>").count(), 1);
+    }
+
+    #[test]
+    fn xml_chaos_block_only_present_when_counters_nonzero() {
+        let clean = report();
+        assert!(!clean.to_xml().contains("<chaos>"));
+        let mut chaotic = report();
+        chaotic.metrics.domain_outages = 2;
+        chaotic.metrics.domain_restores = 2;
+        chaotic.metrics.tasks_shed = 5;
+        chaotic.metrics.tasks_degraded = 1;
+        chaotic.metrics.domain_downtime = vec![0, 340];
+        chaotic.metrics.mean_time_to_recover = 170.0;
+        let xml = chaotic.to_xml();
+        assert!(xml.contains("<chaos>"));
+        assert!(xml.contains("<domain-outages>2</domain-outages>"));
+        assert!(xml.contains("<tasks-shed>5</tasks-shed>"));
+        assert!(xml.contains("<tasks-degraded>1</tasks-degraded>"));
+        assert!(xml.contains("<domain-downtime domain=\"0\">0</domain-downtime>"));
+        assert!(xml.contains("<domain-downtime domain=\"1\">340</domain-downtime>"));
+        assert_eq!(xml.matches("</chaos>").count(), 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::event::{Event, EventQueue};
 use crate::fault::FaultModel;
 use crate::init;
 use crate::monitor::Observer;
-use crate::params::{ParamsError, ReconfigMode, SimParams};
+use crate::params::{AdmissionPolicy, DomainOutageKind, ParamsError, ReconfigMode, SimParams};
 use crate::report::Report;
 use crate::stats::{Metrics, PhaseKind, Stats};
 use dreamsim_model::{
@@ -137,6 +137,14 @@ pub enum DiscardReason {
     /// Waited in the suspension queue longer than the configured
     /// deadline (fault-injection extension).
     SuspensionTimeout,
+    /// Rejected by the `block` admission policy: the bounded suspension
+    /// queue was full when the task tried to enter it (chaos-layer
+    /// extension).
+    AdmissionBlocked,
+    /// Evicted from the bounded suspension queue by the `shed-oldest`
+    /// admission policy to make room for a newer task (chaos-layer
+    /// extension).
+    AdmissionShed,
 }
 
 impl DiscardReason {
@@ -149,6 +157,19 @@ impl DiscardReason {
             DiscardReason::NodeFailed
                 | DiscardReason::ReconfigFailed
                 | DiscardReason::ExecutionFailed
+                | DiscardReason::SuspensionTimeout
+        )
+    }
+
+    /// Whether the discard was a load-shedding action — an
+    /// admission-policy rejection or a blown suspension deadline (feeds
+    /// the *tasks shed* counter).
+    #[must_use]
+    pub fn is_shed(self) -> bool {
+        matches!(
+            self,
+            DiscardReason::AdmissionBlocked
+                | DiscardReason::AdmissionShed
                 | DiscardReason::SuspensionTimeout
         )
     }
@@ -590,6 +611,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             policy,
             observers: Vec::new(),
             clock: cp.clock,
+            // BOUND: created is at most total_tasks, which is itself a usize.
             created: cp.created as usize,
             last_arrival: cp.last_arrival,
             stalled: cp.stalled,
@@ -634,6 +656,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             &self.events,
             &self.suspension,
             self.clock,
+            self.fault.num_domains(),
         )
     }
 
@@ -736,10 +759,12 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         }
         self.steps.charge(
             dreamsim_model::steps::StepKind::Scheduling,
+            // BOUND: elapsed <= makespan and the poll constant is small; product far below 2^64.
             elapsed * POLL_SCHED_STEPS,
         );
         self.steps.charge(
             dreamsim_model::steps::StepKind::Housekeeping,
+            // BOUND: elapsed x small constant x node count stays far below 2^64.
             elapsed * POLL_HOUSEKEEPING_PER_NODE * self.params.total_nodes as u64,
         );
     }
@@ -779,6 +804,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 break;
             }
             self.charge_idle_polls(1);
+            // BOUND: one tick per loop iteration; runs end far below 2^64.
             self.clock += 1;
         }
         Ok(self.finish(None))
@@ -835,6 +861,31 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                     delay,
                     Event::NodeFailure {
                         node: NodeId::from_index(i),
+                    },
+                );
+            }
+        }
+        // Chaos layer: pre-schedule every scripted outage, then arm the
+        // stochastic per-domain outage processes. Domain-free runs take
+        // neither branch and draw nothing from the domain stream.
+        for &s in self.fault.scripted_outages() {
+            self.events.push(
+                s.at,
+                Event::DomainOutage {
+                    domain: s.domain,
+                    duration: Some(s.duration),
+                },
+            );
+        }
+        if self.fault.domain_mttf_active() {
+            for d in 0..self.fault.num_domains() {
+                let delay = self.fault.draw_domain_ttf();
+                self.events.push(
+                    delay,
+                    Event::DomainOutage {
+                        // BOUND: domain count is validated <= total_nodes, far below 2^32.
+                        domain: d as u32,
+                        duration: None,
                     },
                 );
             }
@@ -901,6 +952,10 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             Event::SuspensionTimeout { task, enqueued_at } => {
                 self.handle_suspension_timeout(task, enqueued_at);
             }
+            Event::DomainOutage { domain, duration } => {
+                self.handle_domain_outage(domain, duration);
+            }
+            Event::DomainRestore { domain } => self.handle_domain_restore(domain),
         }
     }
 
@@ -1004,12 +1059,27 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 obs.on_node_failure(self.clock, node);
             }
             let repair_at = if self.fault.mttf_active() {
+                // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                 self.clock + self.fault.draw_ttr()
             } else {
                 let mttr = self.params.node_mttr.max(1);
+                // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                 self.clock + self.draw_failure_delay(mttr)
             };
             self.events.push(repair_at, Event::NodeRepair { node });
+        } else if self.fault.mttf_active() {
+            // The node is already down — a domain outage beat this
+            // node's own failure process to it. Re-arm the per-node
+            // chain (normally done by the repair event) so the process
+            // survives the outage; unreachable without domains, where
+            // each node has exactly one pending failure-or-repair event.
+            let unfinished = self.stats.completed + self.stats.discarded < self.created as u64;
+            if self.created < self.params.total_tasks || unfinished {
+                let delay = self.fault.draw_ttf();
+                self.events
+                    // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
+                    .push(self.clock + delay, Event::NodeFailure { node });
+            }
         }
         // Chain the next failure only while simulation work remains:
         // arrivals still pending or tasks not yet terminal. (Gating on
@@ -1021,6 +1091,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 let delay = self.draw_failure_delay(mtbf);
                 let victim = NodeId::from_index(self.rng.index(self.params.total_nodes));
                 self.events
+                    // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                     .push(self.clock + delay, Event::NodeFailure { node: victim });
             }
         }
@@ -1039,12 +1110,136 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             if self.created < self.params.total_tasks || unfinished {
                 let delay = self.fault.draw_ttf();
                 self.events
+                    // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                     .push(self.clock + delay, Event::NodeFailure { node });
             }
         }
         let (mut ctx, policy) = self.ctx_and_policy();
         let resumes = policy.on_node_repaired(&mut ctx, node);
         self.enact_resumes(resumes);
+    }
+
+    /// A correlated domain outage fired: every member node still up goes
+    /// down atomically. Under [`DomainOutageKind::Fail`] the tasks
+    /// running on those nodes are killed (and follow the fault model's
+    /// resubmission rules); under [`DomainOutageKind::Partition`] the
+    /// domain is merely unreachable — its tasks are re-suspended and
+    /// restart from scratch when capacity frees up elsewhere.
+    fn handle_domain_outage(&mut self, domain: u32, duration: Option<Ticks>) {
+        // An outage on an already-down domain collapses into the open
+        // one; only the stochastic chain needs re-arming so the process
+        // survives the overlap.
+        if self.fault.domain_is_down(domain) {
+            if duration.is_none() {
+                self.rearm_domain_chain(domain);
+            }
+            return;
+        }
+        let members = self.fault.domain_members(domain);
+        let kind = self.fault.domain_kind();
+        let mut victims = Vec::new();
+        let mut evicted = Vec::new();
+        for i in members {
+            let node = NodeId::from_index(i);
+            // Nodes already down for their own reasons keep their own
+            // repair schedule and are not claimed by this outage.
+            if self.resources.node(node).down {
+                continue;
+            }
+            let killed = self.resources.fail_node(node, &mut self.steps);
+            self.fault.mark_down(node, self.clock);
+            // BOUND: node indices are < total_nodes, far below 2^32.
+            victims.push(i as u32);
+            evicted.extend(killed);
+            for obs in &mut self.observers {
+                obs.on_node_failure(self.clock, node);
+            }
+        }
+        self.fault.mark_domain_down(domain, self.clock, victims);
+        for obs in &mut self.observers {
+            obs.on_domain_outage(self.clock, domain);
+        }
+        match kind {
+            DomainOutageKind::Fail => {
+                for t in evicted {
+                    self.stats.failure_killed += 1;
+                    self.resubmit_or_discard(t, DiscardReason::NodeFailed);
+                }
+            }
+            DomainOutageKind::Partition if !self.params.suspension_enabled => {
+                // Without a suspension queue (ablation A3) partitioned
+                // tasks have nowhere to wait; they follow the failure
+                // path instead.
+                for t in evicted {
+                    self.stats.failure_killed += 1;
+                    self.resubmit_or_discard(t, DiscardReason::NodeFailed);
+                }
+            }
+            DomainOutageKind::Partition => {
+                for t in evicted {
+                    {
+                        let task = self.tasks.get_mut(t);
+                        task.state = TaskState::Created;
+                        task.start_time = None;
+                        task.assigned_config = None;
+                    }
+                    self.suspension.push(t, &mut self.steps);
+                    self.enact_suspension(t);
+                }
+            }
+        }
+        let restore_at = match duration {
+            // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
+            Some(d) => self.clock + d,
+            // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
+            None => self.clock + self.fault.draw_domain_ttr(),
+        };
+        self.events
+            .push(restore_at, Event::DomainRestore { domain });
+    }
+
+    /// A domain outage ended: repair exactly the nodes the outage took
+    /// down (they come back blank), give the policy a crack at the
+    /// suspension queue per node, and re-arm the stochastic outage
+    /// process.
+    fn handle_domain_restore(&mut self, domain: u32) {
+        let victims = self.fault.mark_domain_up(domain, self.clock);
+        for obs in &mut self.observers {
+            obs.on_domain_restore(self.clock, domain);
+        }
+        for i in victims {
+            // BOUND: u32 node index; usize is at least 32 bits on every supported target.
+            let node = NodeId::from_index(i as usize);
+            self.resources.repair_node(node);
+            self.fault.mark_up(node, self.clock);
+            for obs in &mut self.observers {
+                obs.on_node_repair(self.clock, node);
+            }
+            let (mut ctx, policy) = self.ctx_and_policy();
+            let resumes = policy.on_node_repaired(&mut ctx, node);
+            self.enact_resumes(resumes);
+        }
+        self.rearm_domain_chain(domain);
+    }
+
+    /// Schedule the next stochastic outage for `domain` while simulation
+    /// work remains (same gating as the node-failure chains).
+    fn rearm_domain_chain(&mut self, domain: u32) {
+        if !self.fault.domain_mttf_active() {
+            return;
+        }
+        let unfinished = self.stats.completed + self.stats.discarded < self.created as u64;
+        if self.created < self.params.total_tasks || unfinished {
+            let delay = self.fault.draw_domain_ttf();
+            self.events.push(
+                // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
+                self.clock + delay,
+                Event::DomainOutage {
+                    domain,
+                    duration: None,
+                },
+            );
+        }
     }
 
     /// A bitstream-load retry came due: run the task through scheduling
@@ -1165,6 +1360,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         }
         if let Some(deadline) = self.fault.suspension_deadline() {
             self.events.push(
+                // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                 self.clock + deadline,
                 Event::SuspensionTimeout {
                     task,
@@ -1172,6 +1368,85 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 },
             );
         }
+        if let Some(cap) = self.params.suspension_cap {
+            if self.suspension.len() > cap {
+                self.enforce_admission(task);
+            }
+        }
+    }
+
+    /// The bounded suspension queue overflowed — the newcomer's push
+    /// took it past `suspension_cap`. Apply the configured admission
+    /// policy to bring it back within bounds.
+    fn enforce_admission(&mut self, newcomer: TaskId) {
+        match self.params.admission {
+            AdmissionPolicy::Block => self.shed(newcomer, DiscardReason::AdmissionBlocked),
+            AdmissionPolicy::ShedOldest => {
+                let oldest = self
+                    .suspension
+                    .remove_first_match(&mut self.steps, |_| true)
+                    // INVARIANT: enforce_admission runs only when the
+                    // queue length exceeds the cap, so it is non-empty.
+                    .expect("overflowing suspension queue is non-empty");
+                self.enact_discard(oldest, DiscardReason::AdmissionShed);
+            }
+            AdmissionPolicy::DegradeClosest => {
+                if !self.try_degrade(newcomer) {
+                    // No larger configuration has an idle instance right
+                    // now; fall back to blocking the newcomer.
+                    self.shed(newcomer, DiscardReason::AdmissionBlocked);
+                }
+            }
+        }
+    }
+
+    /// Remove `task` from the suspension queue and discard it; its
+    /// pending suspension-timeout event (if any) goes stale with the
+    /// state change.
+    fn shed(&mut self, task: TaskId, reason: DiscardReason) {
+        let removed = self.suspension.remove_task(task, &mut self.steps);
+        debug_assert!(removed, "shed task missing from the suspension queue");
+        self.enact_discard(task, reason);
+    }
+
+    /// Last-resort placement for an overflowing newcomer under
+    /// `degrade-to-closest-match`: walk strictly larger configurations
+    /// in closest-match order and run the task, degraded, on the first
+    /// idle instance found. Returns whether a placement happened.
+    fn try_degrade(&mut self, task: TaskId) -> bool {
+        let mut area = {
+            let t = self.tasks.get(task);
+            match t.resolved_config {
+                Some(c) => self.resources.config(c).req_area,
+                None => t.needed_area,
+            }
+        };
+        while let Some(config) = self.resources.find_closest_config(area, &mut self.steps) {
+            if let Some(entry) = self.resources.find_best_idle(config, &mut self.steps) {
+                let removed = self.suspension.remove_task(task, &mut self.steps);
+                debug_assert!(removed, "degrading task missing from the queue");
+                self.resources
+                    .assign_task(entry, task, &mut self.steps)
+                    // INVARIANT: find_best_idle returned a live idle
+                    // slot; nothing ran in between.
+                    .expect("idle slot accepts the degraded task");
+                self.tasks.get_mut(task).resolved_config = Some(config);
+                self.stats.tasks_degraded += 1;
+                self.enact_placement(
+                    Placement {
+                        task,
+                        entry,
+                        config,
+                        config_time: 0,
+                        phase: PhaseKind::Allocation,
+                    },
+                    true,
+                );
+                return true;
+            }
+            area = self.resources.config(config).req_area;
+        }
+        false
     }
 
     fn enact_resumes(&mut self, resumes: Vec<Resume>) {
@@ -1205,6 +1480,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 t.sus_retry += 1;
             }
             let wait = (self.clock - t.create_time) + tcomm + p.config_time;
+            // BOUND: waiting/completion times are sums of validated Table II ranges; far below 2^64.
             let completion = self.clock + p.config_time + tcomm + t.required_time;
             (wait, completion)
         };
@@ -1213,6 +1489,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 .fault
                 .draw_fail_point(self.tasks.get(p.task).required_time);
             self.events.push(
+                // BOUND: clock plus a bounded delay; simulated time stays far below 2^64.
                 self.clock + p.config_time + tcomm + run_for,
                 Event::TaskFailed {
                     task: p.task,
@@ -1270,6 +1547,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         if attempt <= self.fault.max_retries() {
             self.stats.reconfig_retries += 1;
             self.events.push(
+                // BOUND: backoff is capped by max_retries doublings of a validated base delay.
                 self.clock + self.fault.backoff(attempt),
                 Event::ReconfigFailed { task: p.task },
             );
@@ -1292,6 +1570,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
                 t.fault_retries = 0;
                 self.stats.reconfig_retries += 1;
                 self.events.push(
+                    // BOUND: backoff is capped by max_retries doublings of a validated base delay.
                     self.clock + self.fault.backoff(attempt),
                     Event::ReconfigFailed { task: p.task },
                 );
@@ -1305,6 +1584,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         self.stats.record_discard();
         if reason.is_fault() {
             self.stats.tasks_lost += 1;
+        }
+        if reason.is_shed() {
+            self.stats.tasks_shed += 1;
         }
         for obs in &mut self.observers {
             obs.on_discard(self.clock, self.tasks.get(task), reason);
@@ -1339,7 +1621,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         } else {
             configured.iter().map(|n| n.fragmentation()).sum::<f64>() / configured.len() as f64
         };
-        let metrics = self.stats.finalize(
+        let mut metrics = self.stats.finalize(
             &self.params,
             self.steps,
             self.clock,
@@ -1351,6 +1633,12 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             mean_fragmentation_end,
             self.fault.total_downtime(self.clock),
         );
+        // Chaos-layer availability metrics live in the fault model (so
+        // checkpoints carry open outages); fill them in post-finalize.
+        metrics.domain_outages = self.fault.domain_outages();
+        metrics.domain_restores = self.fault.domain_restores();
+        metrics.domain_downtime = self.fault.domain_downtime(self.clock);
+        metrics.mean_time_to_recover = self.fault.mean_time_to_recover();
         let report = Report::new(self.params.clone(), metrics.clone());
         if let Some(scratch) = scratch {
             self.events.clear();
@@ -1717,6 +2005,262 @@ mod tests {
         assert_eq!(a.tasks, b.tasks);
     }
 
+    // ------------------------------------------------------------------
+    // Chaos layer: failure domains and admission policies.
+    // ------------------------------------------------------------------
+
+    use crate::params::{DomainParams, ScriptedOutage};
+
+    fn scripted_domain_params(kind: DomainOutageKind) -> SimParams {
+        let mut p = small_params();
+        p.total_tasks = 30;
+        p.domains = Some(DomainParams {
+            count: 2,
+            mttf: None,
+            mttr: 50,
+            kind,
+            scripted: vec![ScriptedOutage {
+                domain: 0,
+                at: 60,
+                duration: 100,
+            }],
+        });
+        p
+    }
+
+    #[test]
+    fn scripted_outage_fails_members_and_restores_them() {
+        let res = Simulation::new(
+            scripted_domain_params(DomainOutageKind::Fail),
+            FixedSource,
+            GreedyPolicy,
+        )
+        .unwrap()
+        .run();
+        let m = &res.metrics;
+        assert_eq!(m.domain_outages, 1);
+        assert_eq!(m.domain_restores, 1);
+        assert_eq!(m.domain_downtime, vec![100, 0]);
+        assert_eq!(m.mean_time_to_recover, 100.0);
+        assert!(m.node_downtime > 0, "member downtime must accrue");
+        assert_eq!(m.total_tasks_completed + m.total_discarded_tasks, 30);
+        for t in &res.tasks {
+            assert!(t.is_terminal(), "{:?} not terminal", t.id);
+        }
+        assert!(res.report.to_xml().contains("<chaos>"));
+    }
+
+    #[test]
+    fn partition_outage_resuspends_instead_of_killing() {
+        let fail = Simulation::new(
+            scripted_domain_params(DomainOutageKind::Fail),
+            FixedSource,
+            GreedyPolicy,
+        )
+        .unwrap()
+        .run();
+        let part = Simulation::new(
+            scripted_domain_params(DomainOutageKind::Partition),
+            FixedSource,
+            GreedyPolicy,
+        )
+        .unwrap()
+        .run();
+        assert!(
+            fail.metrics.failure_killed > 0,
+            "fail-kind outage should kill running tasks"
+        );
+        assert_eq!(part.metrics.failure_killed, 0);
+        assert!(
+            part.metrics.total_suspensions > 0,
+            "partitioned tasks wait in the suspension queue"
+        );
+        assert_eq!(
+            part.metrics.total_tasks_completed + part.metrics.total_discarded_tasks,
+            30
+        );
+    }
+
+    #[test]
+    fn stochastic_domain_outages_fire_and_terminate() {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.domains = Some(DomainParams {
+            count: 2,
+            mttf: Some(150),
+            mttr: 40,
+            kind: DomainOutageKind::Fail,
+            scripted: Vec::new(),
+        });
+        let res = Simulation::new(p, FixedSource, GreedyPolicy).unwrap().run();
+        let m = &res.metrics;
+        assert!(m.domain_outages > 0, "stochastic outages should fire");
+        assert!(m.domain_restores > 0);
+        assert!(m.mean_time_to_recover > 0.0);
+        assert_eq!(m.total_tasks_completed + m.total_discarded_tasks, 40);
+        for t in &res.tasks {
+            assert!(t.is_terminal(), "{:?} not terminal", t.id);
+        }
+    }
+
+    #[test]
+    fn domain_outages_coexist_with_per_node_failure_processes() {
+        let mut p = small_params();
+        p.total_tasks = 40;
+        p.faults.node_mttf = Some(250);
+        p.faults.node_mttr = 60;
+        p.domains = Some(DomainParams {
+            count: 2,
+            mttf: Some(300),
+            mttr: 50,
+            kind: DomainOutageKind::Fail,
+            scripted: Vec::new(),
+        });
+        let a = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        assert!(a.metrics.node_failures > 0, "per-node process still runs");
+        assert!(a.metrics.domain_outages > 0, "domain process still runs");
+        assert_eq!(
+            a.metrics.total_tasks_completed + a.metrics.total_discarded_tasks,
+            40
+        );
+        // Both drivers agree under combined chaos.
+        let b = Simulation::new(p, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run_tick_stepped();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.tasks, b.tasks);
+    }
+
+    #[test]
+    fn chaos_block_absent_without_domains() {
+        let res = Simulation::new(small_params(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let m = &res.metrics;
+        assert_eq!(m.domain_outages, 0);
+        assert!(m.domain_downtime.is_empty());
+        assert_eq!(m.tasks_shed, 0);
+        assert_eq!(m.tasks_degraded, 0);
+        assert!(!res.report.to_xml().contains("<chaos>"));
+    }
+
+    /// Observer that logs every discard with its reason, shared through
+    /// an `Rc` so the test can read it back after the run consumes the
+    /// simulation.
+    struct DiscardLog(std::rc::Rc<std::cell::RefCell<Vec<(TaskId, DiscardReason)>>>);
+
+    impl crate::monitor::Observer for DiscardLog {
+        fn on_discard(&mut self, _now: Ticks, task: &Task, reason: DiscardReason) {
+            self.0.borrow_mut().push((task.id, reason));
+        }
+    }
+
+    fn run_admission(policy: AdmissionPolicy) -> (RunResult, Vec<(TaskId, DiscardReason)>) {
+        let mut p = small_params();
+        p.total_tasks = 10;
+        p.suspension_cap = Some(3);
+        p.admission = policy;
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let res = Simulation::new(p, FixedSource, AlwaysSuspendPolicy)
+            .unwrap()
+            .with_observer(Box::new(DiscardLog(log.clone())))
+            .run();
+        let entries = log.borrow().clone();
+        (res, entries)
+    }
+
+    #[test]
+    fn block_admission_rejects_newcomers_over_the_cap() {
+        let (res, log) = run_admission(AdmissionPolicy::Block);
+        let m = &res.metrics;
+        assert_eq!(m.tasks_shed, 7);
+        assert_eq!(m.total_discarded_tasks, 10);
+        assert_eq!(m.tasks_lost, 0, "admission sheds are not fault losses");
+        // The queue keeps the three oldest tasks; every later arrival is
+        // blocked on entry.
+        let blocked: Vec<TaskId> = log
+            .iter()
+            .filter(|(_, r)| *r == DiscardReason::AdmissionBlocked)
+            .map(|&(t, _)| t)
+            .collect();
+        let drained: Vec<TaskId> = log
+            .iter()
+            .filter(|(_, r)| *r == DiscardReason::SuspensionDrain)
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(blocked, (3..10).map(TaskId::from_index).collect::<Vec<_>>());
+        assert_eq!(drained, (0..3).map(TaskId::from_index).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shed_oldest_admission_evicts_the_queue_head() {
+        let (res, log) = run_admission(AdmissionPolicy::ShedOldest);
+        let m = &res.metrics;
+        assert_eq!(m.tasks_shed, 7);
+        assert_eq!(m.total_discarded_tasks, 10);
+        // The queue keeps the three *newest* tasks: the oldest is evicted
+        // on every overflowing arrival.
+        let shed: Vec<TaskId> = log
+            .iter()
+            .filter(|(_, r)| *r == DiscardReason::AdmissionShed)
+            .map(|&(t, _)| t)
+            .collect();
+        let drained: Vec<TaskId> = log
+            .iter()
+            .filter(|(_, r)| *r == DiscardReason::SuspensionDrain)
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(shed, (0..7).map(TaskId::from_index).collect::<Vec<_>>());
+        assert_eq!(drained, (7..10).map(TaskId::from_index).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degrade_admission_places_overflow_on_a_larger_config() {
+        let mut p = small_params();
+        p.total_tasks = 2;
+        p.suspension_cap = Some(1);
+        p.admission = AdmissionPolicy::DegradeClosest;
+        let mut sim = Simulation::new(p, FixedSource, AlwaysSuspendPolicy).unwrap();
+        // Pre-configure an idle instance of the closest configuration
+        // strictly larger than config 0 (the one every task prefers), so
+        // the overflow has somewhere to degrade to.
+        let area0 = sim.resources.config(ConfigId(0)).req_area;
+        let big = sim
+            .resources
+            .find_closest_config(area0, &mut sim.steps)
+            .expect("a strictly larger configuration exists");
+        let demand = dreamsim_model::store::Demand::of(sim.resources.config(big));
+        let node = sim
+            .resources
+            .find_best_blank(demand, &mut sim.steps)
+            .expect("a blank node can host it");
+        sim.resources
+            .configure_slot(node, big, &mut sim.steps)
+            .unwrap();
+        let res = sim.run();
+        let m = &res.metrics;
+        assert_eq!(m.tasks_degraded, 1);
+        assert_eq!(m.tasks_shed, 0);
+        assert_eq!(m.total_tasks_completed, 1);
+        // The first task stays parked and drains at the end.
+        assert_eq!(m.total_discarded_tasks, 1);
+        let degraded = &res.tasks[1];
+        assert_eq!(degraded.state, TaskState::Completed);
+        assert_eq!(degraded.assigned_config, Some(big));
+    }
+
+    #[test]
+    fn degrade_admission_falls_back_to_block_without_capacity() {
+        // No idle instances exist anywhere (the policy never places), so
+        // every degrade attempt fails and the newcomer is blocked.
+        let (res, log) = run_admission(AdmissionPolicy::DegradeClosest);
+        assert_eq!(res.metrics.tasks_degraded, 0);
+        assert_eq!(res.metrics.tasks_shed, 7);
+        assert!(log.iter().all(|&(_, r)| r != DiscardReason::AdmissionShed));
+    }
+
     #[test]
     fn observer_sees_consistent_event_counts() {
         use crate::monitor::RecordingMonitor;
@@ -1912,6 +2456,53 @@ mod tests {
         let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
             .unwrap()
             .run_tick_stepped();
+        assert_eq!(base.metrics, resumed.metrics);
+        assert_eq!(base.tasks, resumed.tasks);
+        assert_eq!(base.report.to_xml(), resumed.report.to_xml());
+    }
+
+    #[test]
+    fn chaos_checkpoint_resume_is_bit_identical() {
+        // Full chaos stack live across the checkpoint: a scripted
+        // partition outage that is still open at the checkpoint time, a
+        // stochastic domain chain, a bounded suspension queue with
+        // shed-oldest admission, plus the per-node fault processes.
+        let mut p = fault_params();
+        p.suspension_cap = Some(2);
+        p.admission = AdmissionPolicy::ShedOldest;
+        // GreedyPolicy never resumes partitioned tasks, so without a
+        // deadline they would park forever and the stochastic domain
+        // chain (gated on work remaining) would re-arm indefinitely.
+        p.faults.suspension_deadline = Some(300);
+        p.domains = Some(DomainParams {
+            count: 2,
+            mttf: Some(500),
+            mttr: 80,
+            kind: DomainOutageKind::Partition,
+            scripted: vec![ScriptedOutage {
+                domain: 1,
+                at: 100,
+                duration: 400,
+            }],
+        });
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        assert!(base.metrics.domain_outages > 0);
+        let mut sim = Simulation::new(p, FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 200);
+        assert!(
+            sim.fault.domain_is_down(1),
+            "checkpoint must capture an open outage"
+        );
+        assert!(!sim.events.is_empty(), "checkpoint must be taken mid-run");
+        let dir = temp_dir("bitident-chaos");
+        let path = dir.join("mid.dsc");
+        write_checkpoint(&path, &sim.checkpoint()).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        let resumed = Simulation::resume(cp, FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
         assert_eq!(base.metrics, resumed.metrics);
         assert_eq!(base.tasks, resumed.tasks);
         assert_eq!(base.report.to_xml(), resumed.report.to_xml());
@@ -2177,6 +2768,112 @@ mod tests {
             read_checkpoint(&bad),
             Err(CheckpointError::Crc { .. }) | Err(CheckpointError::Format(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_loader_survives_fuzzed_input() {
+        // Mechanical fuzz of the on-disk format: truncate the file at
+        // many lengths, flip single bits across the whole byte range,
+        // and feed a batch of hand-crafted malformed headers. Every
+        // variant must come back as a typed `CheckpointError` — never a
+        // panic, never a silent `Ok`.
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, 150);
+        let dir = temp_dir("fuzz");
+        let good = dir.join("good.dsc");
+        write_checkpoint(&good, &sim.checkpoint()).unwrap();
+        let raw = std::fs::read(&good).unwrap();
+        assert!(read_checkpoint(&good).is_ok(), "baseline must load");
+
+        let case = dir.join("case.dsc");
+        // Truncations: every prefix of the header region, then evenly
+        // spaced cuts through the payload (a full sweep would be O(n²)
+        // in file size for no extra coverage).
+        let stride = (raw.len() / 97).max(1);
+        let lengths = (0..raw.len().min(64)).chain((64..raw.len()).step_by(stride));
+        for len in lengths {
+            std::fs::write(&case, &raw[..len]).unwrap();
+            assert!(
+                read_checkpoint(&case).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+        // Single-bit flips sweeping header and payload. A flip may land
+        // as invalid UTF-8 (Io), a mangled header (Format/Version), or
+        // a payload mismatch (Crc) — the CRC32 catches every single-bit
+        // payload error, so none of these may load.
+        for pos in (0..raw.len()).step_by(stride) {
+            for bit in 0..8 {
+                let mut bytes = raw.clone();
+                bytes[pos] ^= 1 << bit;
+                std::fs::write(&case, &bytes).unwrap();
+                assert!(
+                    read_checkpoint(&case).is_err(),
+                    "bit flip at byte {pos} bit {bit} must be rejected"
+                );
+            }
+        }
+        // Hand-crafted malformed files.
+        let malformed: &[&[u8]] = &[
+            b"",
+            b"\n",
+            b"DREAMSIM-CHECKPOINT",
+            b"DREAMSIM-CHECKPOINT\n{}",
+            b"DREAMSIM-CHECKPOINT 1\n{}",
+            b"DREAMSIM-CHECKPOINT one 00000000\n{}",
+            b"DREAMSIM-CHECKPOINT 99999999999999999999 00000000\n{}",
+            b"DREAMSIM-CHECKPOINT 1 zzzzzzzz\n{}",
+            b"\x00\xff\x00\xff\n\x00\xff",
+        ];
+        for (i, bytes) in malformed.iter().enumerate() {
+            std::fs::write(&case, bytes).unwrap();
+            assert!(
+                read_checkpoint(&case).is_err(),
+                "malformed case {i} must be rejected"
+            );
+        }
+        // A well-formed header whose CRC genuinely matches a payload of
+        // the wrong shape: must fail at JSON decoding, not load.
+        let payload = br#"{"not":"a checkpoint"}"#;
+        let forged = format!(
+            "DREAMSIM-CHECKPOINT 1 {:08x}\n{}",
+            crate::checkpoint::crc32(payload),
+            std::str::from_utf8(payload).unwrap()
+        );
+        std::fs::write(&case, forged).unwrap();
+        assert!(matches!(
+            read_checkpoint(&case),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn audit_catches_duplicated_task_across_slots() {
+        // Break the task⇔slot bijection from the slot side: one running
+        // task id claimed by a second slot on another node.
+        let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
+        let (running, spare) = drive_find(&mut sim, |s| {
+            let running = s
+                .resources
+                .nodes()
+                .iter()
+                .find_map(|n| n.slots().find_map(|(_, sl)| sl.task))?;
+            let spare = s.resources.nodes().iter().find_map(|n| {
+                n.slots()
+                    .find(|(_, sl)| sl.task.is_none())
+                    .map(|(i, _)| (n.id, i))
+            })?;
+            Some((running, spare))
+        });
+        sim.resources
+            .debug_node_mut(spare.0)
+            .slot_mut(spare.1)
+            .unwrap()
+            .task = Some(running);
+        match sim.audit() {
+            Err(AuditError::Store { .. } | AuditError::TaskSlot { .. }) => {}
+            other => panic!("expected a bijection violation, got {other:?}"),
+        }
     }
 
     #[test]

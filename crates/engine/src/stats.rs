@@ -111,6 +111,15 @@ pub struct Stats {
     /// failures, failed beyond the retry budget, or timed out in the
     /// suspension queue (fault-injection extension).
     pub tasks_lost: u64,
+    /// Tasks shed by load-shedding: admission-policy rejections plus
+    /// suspension-deadline timeouts (chaos-layer extension).
+    #[serde(default)]
+    pub tasks_shed: u64,
+    /// Tasks placed degraded — on a strictly larger configuration — by
+    /// the `degrade-to-closest-match` admission policy (chaos-layer
+    /// extension).
+    #[serde(default)]
+    pub tasks_degraded: u64,
     /// Every placed task's waiting time, for distribution statistics
     /// (P50/P95/P99 in [`Metrics`]); one `u64` per placed task.
     // REBUILD: not silently defaulted — `Checkpoint` carries its own
@@ -144,6 +153,7 @@ impl Stats {
         }
         self.total_wait += wait;
         self.total_config_time += config_time;
+        // BOUND: per-task wasted area <= node area (Table II <= 4000); sum far below 2^64.
         self.total_wasted_area += wasted_after;
         self.wait_samples.push(wait);
     }
@@ -199,6 +209,7 @@ impl Stats {
             if waits.is_empty() {
                 0
             } else {
+                // BOUND: p in [0,1], so the index is at most waits.len() - 1.
                 let idx = ((waits.len() - 1) as f64 * p).round() as usize;
                 waits[idx]
             }
@@ -247,8 +258,14 @@ impl Stats {
             task_failures: self.task_failures,
             resubmissions: self.resubmissions,
             tasks_lost: self.tasks_lost,
+            tasks_shed: self.tasks_shed,
+            tasks_degraded: self.tasks_degraded,
             node_downtime,
             mean_fragmentation_end,
+            domain_outages: 0,
+            domain_restores: 0,
+            domain_downtime: Vec::new(),
+            mean_time_to_recover: 0.0,
         }
     }
 }
@@ -330,6 +347,14 @@ pub struct Metrics {
     /// Tasks discarded because of injected faults (0 in paper runs).
     #[serde(default)]
     pub tasks_lost: u64,
+    /// Tasks shed by load-shedding — admission-policy rejections plus
+    /// suspension-deadline timeouts (0 in paper runs).
+    #[serde(default)]
+    pub tasks_shed: u64,
+    /// Tasks placed degraded on a strictly larger configuration by the
+    /// `degrade-to-closest-match` admission policy (0 in paper runs).
+    #[serde(default)]
+    pub tasks_degraded: u64,
     /// Total ticks nodes spent failed, summed over nodes (0 in paper
     /// runs).
     #[serde(default)]
@@ -338,6 +363,21 @@ pub struct Metrics {
     /// the run (always 0 under the paper's scalar area model; nonzero
     /// only with `PlacementModel::Contiguous`).
     pub mean_fragmentation_end: f64,
+    /// Correlated domain outages that started (0 without `--domains`).
+    #[serde(default)]
+    pub domain_outages: u64,
+    /// Domain outages that completed — the domain was restored — before
+    /// the run ended (0 without `--domains`).
+    #[serde(default)]
+    pub domain_restores: u64,
+    /// Downtime per failure domain in ticks; open outages accrue to the
+    /// end of the run. Empty without `--domains`.
+    #[serde(default)]
+    pub domain_downtime: Vec<Ticks>,
+    /// Mean time-to-recover over completed domain outages (0 when none
+    /// completed).
+    #[serde(default)]
+    pub mean_time_to_recover: f64,
 }
 
 #[cfg(test)]

@@ -12,13 +12,18 @@
 //! | r4 | `.unwrap()`/`.expect()` without an adjacent `// INVARIANT:` justification |
 //! | r5 | `sort_unstable*` without a `// TIEBREAK:` note documenting why ties cannot reorder |
 //! | r6 | `#[serde(skip)]` fields without a `// REBUILD:` rebuild-on-resume story |
+//! | r7 | unannotated narrowing `as` casts and unchecked `+`/`*` on tick/area counters |
 //! | p0 | malformed suppression pragma (unparseable, unknown rule id, or missing reason) |
 //! | p1 | unused suppression pragma (suppresses nothing — stale after a fix) |
 //!
 //! Rules are scoped by path: r1 only fires in the crates whose state
 //! feeds the event loop (`model`, `engine`, `sched`, `sweep`); r2 is
 //! waived for the `cli` crate and for bench harness code (`crates/bench`
-//! and `bench.rs` modules), which measure wall-clock time by design.
+//! and `bench.rs` modules), which measure wall-clock time by design;
+//! r7 covers only the `model` and `engine` hot paths, where a wrapped
+//! tick or truncated area silently corrupts the simulation instead of
+//! crashing it. An r7 site is justified with a `// BOUND:` comment
+//! naming the bound that rules overflow/truncation out.
 //! Test code (`#[cfg(test)]`, `mod tests`) is never scanned — the
 //! guarantees cover shipping simulator paths only.
 
@@ -37,7 +42,7 @@ pub struct RuleInfo {
 }
 
 /// The full rule catalogue (including the pragma meta-rules).
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: "r1",
         name: "nondet-iteration",
@@ -76,6 +81,13 @@ pub const RULES: [RuleInfo; 8] = [
                   story (rebuilt, re-captured, or safely empty)",
     },
     RuleInfo {
+        id: "r7",
+        name: "unchecked-counter-arith",
+        summary: "narrowing `as` cast or unchecked +/* on a tick/area counter in model/engine \
+                  without a // BOUND: note: overflow wraps and truncation drops bits silently \
+                  in release; use saturating/checked/try_from or document the bound",
+    },
+    RuleInfo {
         id: "p0",
         name: "malformed-pragma",
         summary: "suppression pragma that cannot be honoured: unparseable, unknown rule id, or \
@@ -97,6 +109,19 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 /// Crates whose state feeds the deterministic event loop (r1 scope).
 const R1_CRATES: [&str; 4] = ["model", "engine", "sched", "sweep"];
 
+/// Crates whose hot paths carry the tick/area counters (r7 scope).
+const R7_CRATES: [&str; 2] = ["model", "engine"];
+
+/// Cast targets r7 treats as narrowing from the simulator's `u64`
+/// ticks / `u32` areas (`usize`/`isize` are platform-width, so a cast
+/// into them truncates on 32-bit targets).
+const R7_NARROWING: [&str; 9] = [
+    "u8", "u16", "u32", "i8", "i16", "i32", "f32", "usize", "isize",
+];
+
+/// Identifier fragments that mark a tick/area counter for r7.
+const R7_COUNTER_WORDS: [&str; 6] = ["tick", "clock", "area", "downtime", "elapsed", "makespan"];
+
 /// Whether `rule` applies to the file at `path` (paths use `/`
 /// separators; fixture tests pass synthetic labels to pick a scope).
 #[must_use]
@@ -112,6 +137,11 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         "r2" => !segments
             .iter()
             .any(|s| *s == "cli" || *s == "bench" || *s == "bench.rs"),
+        "r7" => match segments.iter().position(|s| *s == "crates") {
+            Some(i) => segments.get(i + 1).is_some_and(|c| R7_CRATES.contains(c)),
+            // Same fallback as r1: ad-hoc scans get the full rule set.
+            None => true,
+        },
         _ => true,
     }
 }
@@ -157,6 +187,24 @@ pub fn scan(lexed: &Lexed, map: &LineMap, path: &str) -> Vec<RawFinding> {
                         t.text
                     ),
                 });
+            }
+            TokKind::Op
+                if matches!(t.text.as_str(), "+" | "*" | "+=" | "*=")
+                    && applies("r7")
+                    && !map.justified(t.line, "BOUND:") =>
+            {
+                if let Some(name) = counter_operand(toks, k) {
+                    out.push(RawFinding {
+                        rule: "r7",
+                        line: t.line,
+                        message: format!(
+                            "unchecked `{}` on counter `{name}`: tick/area arithmetic wraps \
+                             silently on overflow in release; use saturating/checked ops or add \
+                             a `// BOUND:` note naming the bound",
+                            t.text
+                        ),
+                    });
+                }
             }
             TokKind::Op if t.text == "#" => {
                 scan_attr(toks, k, map, &applies, &mut out);
@@ -251,6 +299,21 @@ fn scan_ident(
                 ),
             });
         }
+        "as" if applies("r7") && !map.justified(t.line, "BOUND:") => {
+            if let Some(ty) = toks.get(k + 1) {
+                if ty.kind == TokKind::Ident && R7_NARROWING.contains(&ty.text.as_str()) {
+                    out.push(RawFinding {
+                        rule: "r7",
+                        line: t.line,
+                        message: format!(
+                            "narrowing cast `as {}` without a `// BOUND:` note: out-of-range \
+                             values truncate silently; use try_from/From or document the bound",
+                            ty.text
+                        ),
+                    });
+                }
+            }
+        }
         s if s.starts_with("sort_unstable")
             && prev_is_dot
             && applies("r5")
@@ -306,6 +369,46 @@ fn scan_attr(
                 .into(),
         });
     }
+}
+
+/// The tick/area-counter identifier adjacent to the arithmetic op at
+/// `k`, if any (r7). The left operand must end an expression — which
+/// also rules out `*` as a dereference and `+` in generic bounds
+/// (`dyn Trait + Send` has no counter-named neighbour anyway). The
+/// right-hand side walks a field chain (`self.stats.total_area`) to its
+/// final segment, since that is the name that says "counter".
+fn counter_operand(toks: &[Tok], k: usize) -> Option<String> {
+    let prev = k.checked_sub(1).and_then(|p| toks.get(p))?;
+    let ends_expr = matches!(prev.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+        || prev.text == ")"
+        || prev.text == "]";
+    if !ends_expr {
+        return None;
+    }
+    if prev.kind == TokKind::Ident && is_counter_name(&prev.text) {
+        return Some(prev.text.clone());
+    }
+    let mut j = k + 1;
+    let mut last: Option<&Tok> = None;
+    while let Some(t) = toks.get(j) {
+        if t.kind != TokKind::Ident {
+            break;
+        }
+        last = Some(t);
+        if matches!(toks.get(j + 1), Some(d) if d.text == ".") {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    last.filter(|t| is_counter_name(&t.text))
+        .map(|t| t.text.clone())
+}
+
+/// Whether an identifier names a tick/area counter (r7 lexicon).
+fn is_counter_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    R7_COUNTER_WORDS.iter().any(|w| lower.contains(w))
 }
 
 /// Whether either operand next to the comparison at `k` is a float

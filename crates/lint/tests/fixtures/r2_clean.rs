@@ -6,7 +6,7 @@ pub struct Clock {
 
 impl Clock {
     pub fn advance(&mut self) -> u64 {
-        self.tick += 1;
+        self.tick += 1; // BOUND: one increment per event; runs end far below 2^64
         self.tick
     }
 }

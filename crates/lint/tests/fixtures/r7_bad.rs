@@ -1,0 +1,25 @@
+//! r7 fixture: narrowing casts and unchecked counter arithmetic with no
+//! documented bound.
+pub fn truncate(ticks: u64) -> u32 {
+    ticks as u32
+}
+
+pub fn index(area: u64) -> usize {
+    area as usize
+}
+
+pub fn advance(clock: u64, delta: u64) -> u64 {
+    clock + delta
+}
+
+pub fn scale(total_area: u64, n: u64) -> u64 {
+    total_area * n
+}
+
+pub fn accumulate(stats: &mut Stats, d: u64) {
+    stats.downtime += d;
+}
+
+pub struct Stats {
+    pub downtime: u64,
+}

@@ -1,0 +1,32 @@
+//! r7 fixture (clean): every narrowing cast and counter addition either
+//! documents its bound, uses checked arithmetic, or is out of the
+//! rule's reach (widening casts, non-counter operands, dereferences).
+pub fn truncate(ticks: u64) -> u32 {
+    // BOUND: validated <= u32::MAX at parameter construction.
+    ticks as u32
+}
+
+pub fn index(area: u64) -> usize {
+    area as usize // BOUND: area <= 4000 per Table II validation
+}
+
+pub fn widen(area: u32) -> u64 {
+    u64::from(area)
+}
+
+pub fn advance(clock: u64, delta: u64) -> u64 {
+    clock.saturating_add(delta)
+}
+
+pub fn bounded_advance(clock: u64, delta: u64) -> u64 {
+    // BOUND: delta <= task_time.hi and the run ends before 2^63 ticks.
+    clock + delta
+}
+
+pub fn not_a_counter(items: u64, n: u64) -> u64 {
+    items + n
+}
+
+pub fn deref_not_multiply(slot_area: &u64) -> u64 {
+    *slot_area
+}

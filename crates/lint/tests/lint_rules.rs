@@ -24,7 +24,7 @@ fn rules_hit(report: &LintReport) -> Vec<&str> {
 
 #[test]
 fn bad_fixtures_trip_their_rule() {
-    for rule in ["r1", "r2", "r3", "r4", "r5", "r6"] {
+    for rule in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
         let report = lint_fixture(&format!("{rule}_bad"), IN_SCOPE);
         assert!(
             rules_hit(&report).contains(&rule),
@@ -41,7 +41,7 @@ fn bad_fixtures_trip_their_rule() {
 
 #[test]
 fn clean_fixtures_are_clean() {
-    for rule in ["r1", "r2", "r3", "r4", "r5", "r6"] {
+    for rule in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
         let report = lint_fixture(&format!("{rule}_clean"), IN_SCOPE);
         assert!(
             report.is_clean(),
@@ -115,6 +115,56 @@ fn r2_is_waived_for_cli_and_bench() {
 fn adhoc_paths_outside_crates_get_the_full_rule_set() {
     let report = lint_fixture("r1_bad", "scratch/table.rs");
     assert!(rules_hit(&report).contains(&"r1"));
+}
+
+#[test]
+fn r7_is_scoped_to_model_and_engine() {
+    for label in [
+        "crates/sched/src/x.rs",
+        "crates/sweep/src/x.rs",
+        "crates/cli/src/x.rs",
+    ] {
+        let report = lint_fixture("r7_bad", label);
+        assert!(
+            !rules_hit(&report).contains(&"r7"),
+            "r7 must not fire in {label}, got {:?}",
+            report.findings
+        );
+    }
+    for scope in ["model", "engine"] {
+        let report = lint_fixture("r7_bad", &format!("crates/{scope}/src/x.rs"));
+        assert!(
+            rules_hit(&report).contains(&"r7"),
+            "r7 must fire in {scope}"
+        );
+    }
+}
+
+#[test]
+fn r7_bad_findings_cover_both_hazard_shapes() {
+    let report = lint_fixture("r7_bad", "crates/engine/src/x.rs");
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "r7")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("narrowing cast")),
+        "cast shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("unchecked `+`")),
+        "addition shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("unchecked `*`")),
+        "multiplication shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("unchecked `+=`")),
+        "compound-assign shape missing: {messages:?}"
+    );
 }
 
 #[test]

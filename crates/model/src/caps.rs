@@ -102,6 +102,7 @@ impl Capabilities {
     /// Number of capabilities present.
     #[must_use]
     pub fn len(self) -> usize {
+        // BOUND: count_ones() of a word is at most 128.
         self.0.count_ones() as usize
     }
 

@@ -111,6 +111,7 @@ impl Config {
             req_area,
             ptype: ProcessorType::Generic,
             params: Vec::new(),
+            // BOUND: req_area <= 2000 (Table II); the product stays far below 2^64.
             bitstream_bytes: req_area * 1024,
             config_time,
             required_caps: Capabilities::none(),

@@ -29,6 +29,7 @@ macro_rules! id_type {
             #[inline]
             #[must_use]
             pub fn index(self) -> usize {
+                // BOUND: u32 id; usize is at least 32 bits on every supported target.
                 self.0 as usize
             }
 

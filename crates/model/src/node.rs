@@ -243,6 +243,7 @@ impl Node {
     #[inline]
     #[must_use]
     pub fn configured_count(&self) -> usize {
+        // BOUND: live is a small per-node slot count.
         self.live as usize
     }
 
@@ -250,6 +251,7 @@ impl Node {
     #[inline]
     #[must_use]
     pub fn running_count(&self) -> usize {
+        // BOUND: running is a small per-node slot count.
         self.running as usize
     }
 
@@ -275,11 +277,13 @@ impl Node {
     /// Borrow a live slot.
     #[must_use]
     pub fn slot(&self, idx: u32) -> Option<&Slot> {
+        // BOUND: u32 index; usize is at least 32 bits on every supported target.
         self.slots.get(idx as usize).and_then(|s| s.as_ref())
     }
 
     /// Mutably borrow a live slot.
     pub fn slot_mut(&mut self, idx: u32) -> Option<&mut Slot> {
+        // BOUND: u32 index; usize is at least 32 bits on every supported target.
         self.slots.get_mut(idx as usize).and_then(|s| s.as_mut())
     }
 
@@ -289,6 +293,7 @@ impl Node {
         self.slots
             .iter()
             .enumerate()
+            // BOUND: slot positions are < slots.len(), itself bounded by u32 slot ids.
             .filter_map(|(i, s)| s.as_ref().map(|s| (i as u32, s)))
     }
 
@@ -306,6 +311,7 @@ impl Node {
         // by it; nothing is committed until every check passes.
         let idx = match self.free.last() {
             Some(&idx) => idx,
+            // BOUND: slot count is bounded by node area / minimum config area, far below 2^32.
             None => self.slots.len() as u32,
         };
         if let Some(strip) = &mut self.strip {
@@ -326,6 +332,7 @@ impl Node {
             link: None,
         };
         if self.free.pop().is_some() {
+            // BOUND: u32 index; usize is at least 32 bits on every supported target.
             self.slots[idx as usize] = Some(slot);
         } else {
             self.slots.push(Some(slot));
@@ -339,6 +346,7 @@ impl Node {
     pub fn evict_slot(&mut self, idx: u32) -> Result<ConfigId, NodeError> {
         let entry = self
             .slots
+            // BOUND: u32 index; usize is at least 32 bits on every supported target.
             .get_mut(idx as usize)
             .ok_or(NodeError::NoSuchSlot(idx))?;
         match entry {
@@ -346,6 +354,7 @@ impl Node {
             Some(slot) if slot.task.is_some() => Err(NodeError::SlotBusyOrVacant(idx)),
             Some(slot) => {
                 let config = slot.config;
+                // BOUND: slot areas sum to at most total_area by the Eq. 4 invariant.
                 self.available_area += slot.area;
                 *entry = None;
                 self.free.push(idx);
@@ -385,6 +394,7 @@ impl Node {
     pub fn add_task(&mut self, idx: u32, task: TaskId) -> Result<(), NodeError> {
         let slot = self
             .slots
+            // BOUND: u32 index; usize is at least 32 bits on every supported target.
             .get_mut(idx as usize)
             .and_then(|s| s.as_mut())
             .ok_or(NodeError::NoSuchSlot(idx))?;
@@ -401,6 +411,7 @@ impl Node {
     pub fn remove_task(&mut self, idx: u32) -> Result<TaskId, NodeError> {
         let slot = self
             .slots
+            // BOUND: u32 index; usize is at least 32 bits on every supported target.
             .get_mut(idx as usize)
             .and_then(|s| s.as_mut())
             .ok_or(NodeError::NoSuchSlot(idx))?;
@@ -418,12 +429,16 @@ impl Node {
             Some(s) => {
                 s.is_consistent()
                     && s.total_free() == self.available_area
+                    // BOUND: live is a small per-node slot count.
                     && s.placed_count() == self.live as usize
             }
             None => true,
         };
+        // BOUND: used + available re-checks Eq. 4; both are at most total_area.
         used + self.available_area == self.total_area
+            // BOUND: live is a small per-node slot count.
             && self.slots().count() == self.live as usize
+            // BOUND: running is a small per-node slot count.
             && self.slots().filter(|(_, s)| s.task.is_some()).count() == self.running as usize
             && strip_ok
     }

@@ -447,6 +447,7 @@ impl ResourceManager {
             for (idx, slot) in n.slots() {
                 steps.tick(StepKind::Scheduling);
                 if slot.task.is_none() {
+                    // BOUND: accumulates slot areas of one node, at most its total_area.
                     accum += slot.area;
                     entries.push(idx);
                     if accum >= demand.area && n.can_host_after_evicting(demand.area, &entries) {

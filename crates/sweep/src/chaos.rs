@@ -1,0 +1,699 @@
+//! Chaos campaign harness (`dreamsim chaos`, DESIGN.md §14).
+//!
+//! A *campaign* is a list of declarative scenarios — correlated
+//! failure-domain outages, overload bursts, bounded-queue admission
+//! policies — each of which runs as an ordinary audited simulation.
+//! The harness adds a *kill-and-resume drill* per scenario: the run is
+//! repeated with periodic checkpoints, the live simulator is thrown
+//! away, the earliest on-disk snapshot is resumed, and the resumed
+//! run's final XML report must be byte-identical to the uninterrupted
+//! baseline. A drill that does not reconverge is a hard error, not a
+//! report footnote.
+//!
+//! ## Scenario script format
+//!
+//! Line-oriented; `#` starts a comment, blank lines separate nothing.
+//! Every scenario opens with `scenario <name>`; the directives that
+//! follow apply to it until the next `scenario` line:
+//!
+//! ```text
+//! scenario rack-outage
+//! nodes 40                   # cluster size          (default 40)
+//! tasks 400                  # workload size         (default 400)
+//! seed 11                    # master seed           (default 42)
+//! domains 4                  # enable failure domains
+//! domain-mttf 3000           # stochastic outages (omit for scripted-only)
+//! domain-mttr 400            # mean repair time      (default 500)
+//! domain-kind fail           # fail | partition
+//! outage 0 500 800           # scripted: domain, start, duration
+//! node-mttf 2000             # per-node failure processes
+//! node-mttr 150
+//! burst 0 4000 2             # overload window: start, end, interval
+//! suspension-cap 32          # bounded suspension queue
+//! admission shed-oldest      # block | shed-oldest | degrade-closest
+//! suspension-deadline 2000   # shed parked tasks after this long
+//! ```
+
+use crate::runner::PolicyConfig;
+use dreamsim_engine::{
+    read_checkpoint, AdmissionPolicy, BurstWindow, CheckpointError, DomainOutageKind, DomainParams,
+    ReconfigMode, RunOptions, RunResult, ScriptedOutage, SimParams, Simulation,
+};
+use dreamsim_model::Ticks;
+use dreamsim_workload::SyntheticSource;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a campaign could not be parsed or executed.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// A scenario script line did not parse.
+    Parse {
+        /// 1-based line number in the script.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A simulation inside the campaign failed (invalid parameters, a
+    /// failed audit, or checkpoint I/O during the drill).
+    Run(String),
+    /// The drill checkpoint could not be read back.
+    Checkpoint(CheckpointError),
+    /// Filesystem failure in the campaign work directory.
+    Io(std::io::Error),
+    /// The kill-and-resume drill diverged from the baseline run — the
+    /// one error this harness exists to catch.
+    DrillMismatch {
+        /// Scenario whose drill diverged.
+        scenario: String,
+        /// Simulation time of the resumed checkpoint.
+        checkpoint_at: Ticks,
+    },
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::Parse { line, detail } => {
+                write!(f, "scenario script line {line}: {detail}")
+            }
+            ChaosError::Run(msg) => write!(f, "campaign run failed: {msg}"),
+            ChaosError::Checkpoint(e) => write!(f, "drill checkpoint unreadable: {e}"),
+            ChaosError::Io(e) => write!(f, "campaign work dir I/O error: {e}"),
+            ChaosError::DrillMismatch {
+                scenario,
+                checkpoint_at,
+            } => write!(
+                f,
+                "kill-and-resume drill diverged in scenario {scenario:?}: resume from \
+                 t={checkpoint_at} did not reproduce the baseline report"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaosError::Checkpoint(e) => Some(e),
+            ChaosError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ChaosError {
+    fn from(e: std::io::Error) -> Self {
+        ChaosError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ChaosError {
+    fn from(e: CheckpointError) -> Self {
+        ChaosError::Checkpoint(e)
+    }
+}
+
+/// One declarative chaos scenario (see the module docs for the script
+/// syntax it parses from).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosScenario {
+    /// Scenario name, carried into reports and drill directories.
+    pub name: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Workload size.
+    pub tasks: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Failure-domain configuration, if the scenario uses domains.
+    pub domains: Option<DomainParams>,
+    /// Per-node MTTF (independent of domains).
+    pub node_mttf: Option<u64>,
+    /// Per-node MTTR.
+    pub node_mttr: Option<u64>,
+    /// Overload burst window.
+    pub burst: Option<BurstWindow>,
+    /// Bounded suspension queue capacity.
+    pub suspension_cap: Option<usize>,
+    /// Admission policy enforced at that capacity.
+    pub admission: AdmissionPolicy,
+    /// Deadline after which parked tasks are shed.
+    pub suspension_deadline: Option<u64>,
+}
+
+impl ChaosScenario {
+    fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            nodes: 40,
+            tasks: 400,
+            seed: 42,
+            domains: None,
+            node_mttf: None,
+            node_mttr: None,
+            burst: None,
+            suspension_cap: None,
+            admission: AdmissionPolicy::Block,
+            suspension_deadline: None,
+        }
+    }
+
+    /// Assemble full simulation parameters (paper defaults plus this
+    /// scenario's chaos overrides).
+    #[must_use]
+    pub fn params(&self) -> SimParams {
+        let mut p = SimParams::paper(self.nodes, self.tasks, ReconfigMode::Partial);
+        p.seed = self.seed;
+        p.domains = self.domains.clone();
+        p.suspension_cap = self.suspension_cap;
+        p.admission = self.admission;
+        p.burst = self.burst;
+        p.faults.node_mttf = self.node_mttf;
+        if let Some(r) = self.node_mttr {
+            p.faults.node_mttr = r;
+        }
+        p.faults.suspension_deadline = self.suspension_deadline;
+        p
+    }
+}
+
+fn parse_err(line: usize, detail: impl Into<String>) -> ChaosError {
+    ChaosError::Parse {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn num<T: std::str::FromStr>(line: usize, key: &str, word: &str) -> Result<T, ChaosError> {
+    word.parse()
+        .map_err(|_| parse_err(line, format!("`{key}` expects a number, got {word:?}")))
+}
+
+fn arity<'a>(
+    line: usize,
+    key: &str,
+    args: &'a [&'a str],
+    n: usize,
+) -> Result<&'a [&'a str], ChaosError> {
+    if args.len() == n {
+        Ok(args)
+    } else {
+        Err(parse_err(
+            line,
+            format!("`{key}` expects {n} argument(s), got {}", args.len()),
+        ))
+    }
+}
+
+/// Parse a campaign script into scenarios. Errors carry the offending
+/// 1-based line number.
+pub fn parse_campaign(text: &str) -> Result<Vec<ChaosScenario>, ChaosError> {
+    let mut out: Vec<ChaosScenario> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let mut words = stripped.split_ascii_whitespace();
+        // INVARIANT: stripped is non-empty, so a first word exists.
+        let key = words.next().expect("non-empty line has a first word");
+        let args: Vec<&str> = words.collect();
+        if key == "scenario" {
+            let a = arity(line, key, &args, 1)?;
+            if out.iter().any(|s| s.name == a[0]) {
+                return Err(parse_err(
+                    line,
+                    format!("duplicate scenario name {:?}", a[0]),
+                ));
+            }
+            out.push(ChaosScenario::named(a[0]));
+            continue;
+        }
+        let sc = out
+            .last_mut()
+            .ok_or_else(|| parse_err(line, format!("`{key}` before any `scenario` line")))?;
+        match key {
+            "nodes" => sc.nodes = num(line, key, arity(line, key, &args, 1)?[0])?,
+            "tasks" => sc.tasks = num(line, key, arity(line, key, &args, 1)?[0])?,
+            "seed" => sc.seed = num(line, key, arity(line, key, &args, 1)?[0])?,
+            "domains" => {
+                let count = num(line, key, arity(line, key, &args, 1)?[0])?;
+                sc.domains = Some(DomainParams {
+                    count,
+                    ..DomainParams::default()
+                });
+            }
+            "domain-mttf" | "domain-mttr" | "domain-kind" | "outage" => {
+                let d = sc.domains.as_mut().ok_or_else(|| {
+                    parse_err(line, format!("`{key}` requires a preceding `domains` line"))
+                })?;
+                match key {
+                    "domain-mttf" => d.mttf = Some(num(line, key, arity(line, key, &args, 1)?[0])?),
+                    "domain-mttr" => d.mttr = num(line, key, arity(line, key, &args, 1)?[0])?,
+                    "domain-kind" => {
+                        d.kind = match arity(line, key, &args, 1)?[0] {
+                            "fail" => DomainOutageKind::Fail,
+                            "partition" => DomainOutageKind::Partition,
+                            other => {
+                                return Err(parse_err(
+                                    line,
+                                    format!("`domain-kind` is fail|partition, got {other:?}"),
+                                ))
+                            }
+                        }
+                    }
+                    _ => {
+                        let a = arity(line, key, &args, 3)?;
+                        let outage = ScriptedOutage {
+                            domain: num(line, key, a[0])?,
+                            at: num(line, key, a[1])?,
+                            duration: num(line, key, a[2])?,
+                        };
+                        if outage.domain as usize >= d.count {
+                            return Err(parse_err(
+                                line,
+                                format!(
+                                    "outage targets domain {} but only {} domain(s) exist",
+                                    outage.domain, d.count
+                                ),
+                            ));
+                        }
+                        d.scripted.push(outage);
+                    }
+                }
+            }
+            "node-mttf" => sc.node_mttf = Some(num(line, key, arity(line, key, &args, 1)?[0])?),
+            "node-mttr" => sc.node_mttr = Some(num(line, key, arity(line, key, &args, 1)?[0])?),
+            "burst" => {
+                let a = arity(line, key, &args, 3)?;
+                sc.burst = Some(BurstWindow {
+                    start: num(line, key, a[0])?,
+                    end: num(line, key, a[1])?,
+                    interval: num(line, key, a[2])?,
+                });
+            }
+            "suspension-cap" => {
+                sc.suspension_cap = Some(num(line, key, arity(line, key, &args, 1)?[0])?);
+            }
+            "admission" => {
+                let a = arity(line, key, &args, 1)?;
+                sc.admission = AdmissionPolicy::parse(a[0]).ok_or_else(|| {
+                    parse_err(
+                        line,
+                        format!(
+                            "`admission` is block|shed-oldest|degrade-closest, got {:?}",
+                            a[0]
+                        ),
+                    )
+                })?;
+            }
+            "suspension-deadline" => {
+                sc.suspension_deadline = Some(num(line, key, arity(line, key, &args, 1)?[0])?);
+            }
+            other => return Err(parse_err(line, format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// The built-in campaign behind `dreamsim chaos` with no script: one
+/// scenario per chaos mechanism, sized to finish in seconds.
+pub const BUILTIN_CAMPAIGN: &str = "\
+# Built-in chaos campaign: one scenario per chaos mechanism.
+scenario rack-outage          # scripted correlated failures
+nodes 40
+tasks 400
+seed 11
+domains 4
+domain-mttr 400
+domain-kind fail
+outage 0 500 800
+outage 2 1500 600
+
+scenario partition-storm      # stochastic partitions with recovery
+nodes 40
+tasks 400
+seed 12
+domains 4
+domain-mttf 3000
+domain-mttr 300
+domain-kind partition
+suspension-deadline 1500
+
+scenario overload-shed        # arrival burst against a bounded queue
+nodes 24
+tasks 600
+seed 13
+burst 0 4000 2
+suspension-cap 32
+admission shed-oldest
+suspension-deadline 2000
+";
+
+/// Campaign execution knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignOptions {
+    /// Audit the full invariant set every this many ticks (continuous
+    /// auditing is the point of a chaos campaign, so this defaults on).
+    pub audit_every: Option<Ticks>,
+    /// Run the kill-and-resume drill per scenario.
+    pub drill: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            audit_every: Some(500),
+            drill: true,
+        }
+    }
+}
+
+/// Outcome of one kill-and-resume drill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct DrillResult {
+    /// Simulation time of the resumed snapshot.
+    pub checkpoint_at: Ticks,
+    /// Whether the resumed report matched the baseline byte-for-byte
+    /// (always true in a returned report; a mismatch is an error).
+    pub report_identical: bool,
+}
+
+/// Per-scenario campaign results: the availability/degradation metric
+/// family plus the drill outcome.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CampaignCase {
+    /// Scenario name.
+    pub name: String,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Tasks discarded for any reason.
+    pub discarded: u64,
+    /// Tasks shed by admission control or deadline.
+    pub shed: u64,
+    /// Tasks degraded to a larger configuration.
+    pub degraded: u64,
+    /// Tasks lost to faults.
+    pub lost: u64,
+    /// Correlated domain outages.
+    pub domain_outages: u64,
+    /// Domain restores.
+    pub domain_restores: u64,
+    /// Per-domain downtime in ticks.
+    pub domain_downtime: Vec<Ticks>,
+    /// Mean time-to-recover over closed outages.
+    pub mean_time_to_recover: f64,
+    /// Total simulated time.
+    pub makespan: Ticks,
+    /// Drill outcome (absent when drills are disabled).
+    pub drill: Option<DrillResult>,
+}
+
+/// Full campaign output.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CampaignReport {
+    /// One entry per scenario, in script order.
+    pub cases: Vec<CampaignCase>,
+}
+
+impl CampaignReport {
+    /// CSV rendering (header + one row per scenario).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,completed,discarded,shed,degraded,lost,domain_outages,\
+             domain_restores,total_domain_downtime,mean_time_to_recover,makespan,\
+             drill_checkpoint_at,drill_report_identical\n",
+        );
+        for c in &self.cases {
+            let downtime: Ticks = c.domain_downtime.iter().sum();
+            let (at, ok) = match c.drill {
+                Some(d) => (d.checkpoint_at.to_string(), d.report_identical.to_string()),
+                None => (String::new(), String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                c.name,
+                c.completed,
+                c.discarded,
+                c.shed,
+                c.degraded,
+                c.lost,
+                c.domain_outages,
+                c.domain_restores,
+                downtime,
+                c.mean_time_to_recover,
+                c.makespan,
+                at,
+                ok,
+            );
+        }
+        out
+    }
+
+    /// Pretty JSON rendering.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        // INVARIANT: plain data with no maps or non-string keys;
+        // serialization cannot fail.
+        serde_json::to_string_pretty(self).expect("campaign report serializes")
+    }
+}
+
+fn run_one(params: &SimParams, opts: &RunOptions) -> Result<RunResult, ChaosError> {
+    let source = SyntheticSource::from_params(params);
+    Simulation::new(params.clone(), source, PolicyConfig::paper().build())
+        .map_err(|e| ChaosError::Run(e.to_string()))?
+        .run_with(opts)
+        .map_err(|e| ChaosError::Run(e.to_string()))
+}
+
+/// Run one scenario: audited baseline, then (optionally) the
+/// kill-and-resume drill. `work_dir` holds the drill's checkpoints, in
+/// a subdirectory named after the scenario.
+pub fn run_scenario(
+    sc: &ChaosScenario,
+    opts: &CampaignOptions,
+    work_dir: &Path,
+) -> Result<CampaignCase, ChaosError> {
+    let params = sc.params();
+    params
+        .validate()
+        .map_err(|e| ChaosError::Run(format!("scenario {:?}: {e}", sc.name)))?;
+    let run_opts = RunOptions {
+        audit_every: opts.audit_every,
+        ..RunOptions::default()
+    };
+    let base = run_one(&params, &run_opts)?;
+    let m = base.report.metrics.clone();
+    let drill = if opts.drill {
+        Some(drill_scenario(sc, &params, &run_opts, &base, work_dir)?)
+    } else {
+        None
+    };
+    Ok(CampaignCase {
+        name: sc.name.clone(),
+        completed: m.total_tasks_completed,
+        discarded: m.total_discarded_tasks,
+        shed: m.tasks_shed,
+        degraded: m.tasks_degraded,
+        lost: m.tasks_lost,
+        domain_outages: m.domain_outages,
+        domain_restores: m.domain_restores,
+        domain_downtime: m.domain_downtime.clone(),
+        mean_time_to_recover: m.mean_time_to_recover,
+        makespan: m.total_simulation_time,
+        drill,
+    })
+}
+
+/// The kill-and-resume drill: repeat the run with periodic checkpoints
+/// (standing in for the process that gets killed), discard its live
+/// result, resume the *earliest* on-disk snapshot, and demand the
+/// resumed final report match the baseline byte-for-byte.
+fn drill_scenario(
+    sc: &ChaosScenario,
+    params: &SimParams,
+    run_opts: &RunOptions,
+    base: &RunResult,
+    work_dir: &Path,
+) -> Result<DrillResult, ChaosError> {
+    let dir = work_dir.join(&sc.name);
+    std::fs::create_dir_all(&dir)?;
+    let every = (base.report.metrics.total_simulation_time / 2).max(1);
+    let kill_opts = RunOptions {
+        checkpoint_every: Some(every),
+        checkpoint_dir: Some(dir.clone()),
+        ..run_opts.clone()
+    };
+    // The "killed" process: same run, but leaving snapshots behind. Its
+    // in-memory result is discarded — only the files survive the kill.
+    let _killed = run_one(params, &kill_opts)?;
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dsc"))
+        .collect();
+    snapshots.sort();
+    let first = snapshots.first().ok_or_else(|| {
+        ChaosError::Run(format!(
+            "drill for scenario {:?} produced no checkpoint",
+            sc.name
+        ))
+    })?;
+    let cp = read_checkpoint(first)?;
+    let checkpoint_at = cp.clock();
+    let source = SyntheticSource::from_params(cp.params());
+    let resumed = Simulation::resume(cp, source, PolicyConfig::paper().build())?
+        .run_with(run_opts)
+        .map_err(|e| ChaosError::Run(e.to_string()))?;
+    if resumed.report.to_xml() != base.report.to_xml() {
+        return Err(ChaosError::DrillMismatch {
+            scenario: sc.name.clone(),
+            checkpoint_at,
+        });
+    }
+    Ok(DrillResult {
+        checkpoint_at,
+        report_identical: true,
+    })
+}
+
+/// Run a whole campaign, scenario by scenario.
+pub fn run_campaign(
+    scenarios: &[ChaosScenario],
+    opts: &CampaignOptions,
+    work_dir: &Path,
+) -> Result<CampaignReport, ChaosError> {
+    let mut cases = Vec::with_capacity(scenarios.len());
+    for sc in scenarios {
+        cases.push(run_scenario(sc, opts, work_dir)?);
+    }
+    Ok(CampaignReport { cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dreamsim-chaos-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn builtin_campaign_parses() {
+        let scs = parse_campaign(BUILTIN_CAMPAIGN).unwrap();
+        assert_eq!(scs.len(), 3);
+        assert_eq!(scs[0].name, "rack-outage");
+        let d = scs[0].domains.as_ref().unwrap();
+        assert_eq!(d.count, 4);
+        assert_eq!(d.scripted.len(), 2);
+        assert_eq!(d.kind, DomainOutageKind::Fail);
+        assert_eq!(scs[1].domains.as_ref().unwrap().mttf, Some(3000));
+        assert_eq!(
+            scs[1].domains.as_ref().unwrap().kind,
+            DomainOutageKind::Partition
+        );
+        assert_eq!(scs[2].suspension_cap, Some(32));
+        assert_eq!(scs[2].admission, AdmissionPolicy::ShedOldest);
+        assert!(scs[2].burst.is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("nodes 10", 1, "before any `scenario`"),
+            ("scenario a\nbogus 1", 2, "unknown directive"),
+            ("scenario a\nnodes ten", 2, "expects a number"),
+            ("scenario a\nnodes 1 2", 2, "expects 1 argument"),
+            (
+                "scenario a\noutage 0 1 2",
+                2,
+                "requires a preceding `domains`",
+            ),
+            ("scenario a\ndomains 2\noutage 5 1 2", 3, "only 2 domain(s)"),
+            ("scenario a\ndomain-kind melt", 2, "before any"),
+            ("scenario a\nadmission lru", 2, "admission"),
+            ("scenario a\nscenario a", 2, "duplicate scenario"),
+        ];
+        for (text, line, needle) in cases {
+            match parse_campaign(text) {
+                Err(ChaosError::Parse { line: l, detail }) => {
+                    assert_eq!(l, line, "line number for {text:?}");
+                    assert!(
+                        detail.contains(needle) || text.contains("domain-kind"),
+                        "{text:?} -> {detail:?}"
+                    );
+                }
+                other => panic!("{text:?} should fail to parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let scs = parse_campaign("# header\n\nscenario x # trailing\n  nodes 8  # note\n").unwrap();
+        assert_eq!(scs.len(), 1);
+        assert_eq!(scs[0].nodes, 8);
+    }
+
+    #[test]
+    fn scenario_defaults_are_chaos_free() {
+        let scs = parse_campaign("scenario plain\n").unwrap();
+        let p = scs[0].params();
+        assert!(p.domains.is_none());
+        assert!(p.burst.is_none());
+        assert!(p.suspension_cap.is_none());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn campaign_runs_with_drill_and_reports() {
+        // One small scripted-outage scenario, full drill.
+        let scs = parse_campaign(
+            "scenario mini\nnodes 16\ntasks 120\nseed 5\ndomains 2\n\
+             domain-mttr 200\noutage 0 300 400\n",
+        )
+        .unwrap();
+        let dir = temp_dir("drill");
+        let report = run_campaign(&scs, &CampaignOptions::default(), &dir).unwrap();
+        assert_eq!(report.cases.len(), 1);
+        let c = &report.cases[0];
+        assert_eq!(c.name, "mini");
+        assert_eq!(c.domain_outages, 1);
+        assert_eq!(c.domain_restores, 1);
+        assert_eq!(c.domain_downtime, vec![400, 0]);
+        assert_eq!(c.completed + c.discarded, 120);
+        let d = c.drill.expect("drill ran");
+        assert!(d.report_identical);
+        assert!(d.checkpoint_at > 0 && d.checkpoint_at < c.makespan);
+        // Renderings cover the case.
+        let csv = report.to_csv();
+        assert!(csv.starts_with("scenario,"));
+        assert!(csv.contains("mini,"), "{csv}");
+        let json = report.to_json();
+        assert!(json.contains("\"mini\""), "{json}");
+        assert!(json.contains("\"checkpoint_at\""), "{json}");
+    }
+
+    #[test]
+    fn campaign_without_drill_skips_checkpoints() {
+        let scs = parse_campaign("scenario dry\nnodes 12\ntasks 80\n").unwrap();
+        let dir = temp_dir("nodrill");
+        let opts = CampaignOptions {
+            drill: false,
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&scs, &opts, &dir).unwrap();
+        assert!(report.cases[0].drill.is_none());
+        assert!(
+            !dir.join("dry").exists(),
+            "no drill directory without a drill"
+        );
+    }
+}

@@ -13,6 +13,9 @@
 //!   read different metrics off the same (nodes × mode × tasks) runs.
 //! * [`ablations`] — the DESIGN.md A1–A4 ablation harnesses (allocation
 //!   strategy, data structures, suspension queue, driver equivalence).
+//! * [`chaos`] — the chaos campaign harness behind `dreamsim chaos`
+//!   (DESIGN.md §14): declarative failure-domain/overload scenarios run
+//!   under continuous audit, each with a kill-and-resume drill.
 //! * [`parallel`] — the deterministic hand-rolled worker pool behind
 //!   `--jobs`: index-ordered merge, per-worker scratch arenas, LPT
 //!   claim order (DESIGN.md §13).
@@ -25,11 +28,16 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod chaos;
 pub mod figures;
 pub mod parallel;
 pub mod runner;
 
 pub use bench::{run_grid_bench, run_search_bench, GridBenchReport, SearchBenchReport};
+pub use chaos::{
+    parse_campaign, run_campaign, CampaignCase, CampaignOptions, CampaignReport, ChaosError,
+    ChaosScenario, DrillResult, BUILTIN_CAMPAIGN,
+};
 pub use figures::{ExperimentGrid, Figure, FigureSeries};
 pub use parallel::{cost_descending_order, effective_jobs, run_indexed, run_ordered};
 pub use runner::{

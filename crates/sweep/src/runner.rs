@@ -28,7 +28,7 @@ impl PolicyConfig {
         Self::default()
     }
 
-    fn build(self) -> CaseStudyScheduler {
+    pub(crate) fn build(self) -> CaseStudyScheduler {
         CaseStudyScheduler::with_strategy(self.strategy).with_naive_search(self.naive_search)
     }
 }

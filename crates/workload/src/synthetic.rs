@@ -7,7 +7,7 @@
 //! the configuration-area range, forcing the scheduler down the
 //! closest-match path.
 
-use dreamsim_engine::params::{ArrivalDistribution, SimParams};
+use dreamsim_engine::params::{ArrivalDistribution, BurstWindow, SimParams};
 use dreamsim_engine::sim::{SourceYield, TaskSource, TaskSpec};
 use dreamsim_model::{ConfigId, PreferredConfig, Ticks};
 use dreamsim_rng::Rng;
@@ -29,6 +29,10 @@ pub struct SyntheticSource {
     num_configs: usize,
     /// Fraction of tasks with a phantom preference.
     phantom_fraction: f64,
+    /// Overload burst window (chaos layer): inside `[start, end)` the
+    /// inter-arrival bound drops to `interval`. `None` leaves the draw
+    /// sequence untouched.
+    burst: Option<BurstWindow>,
 }
 
 impl SyntheticSource {
@@ -45,13 +49,21 @@ impl SyntheticSource {
             area_hi: params.config_area.hi,
             num_configs: params.total_configs,
             phantom_fraction: params.closest_match_fraction,
+            burst: params.burst,
         }
     }
 
-    fn draw_interarrival(&self, rng: &mut Rng) -> Ticks {
-        let mean = (1.0 + self.max_interval as f64) / 2.0;
+    fn draw_interarrival(&self, now: Ticks, rng: &mut Rng) -> Ticks {
+        // Inside a configured burst window the upper bound tightens to
+        // the burst interval; the draw count is unchanged either way, so
+        // burst-free runs consume the identical RNG sequence.
+        let max_interval = match self.burst {
+            Some(b) if (b.start..b.end).contains(&now) => b.interval,
+            _ => self.max_interval,
+        };
+        let mean = (1.0 + max_interval as f64) / 2.0;
         match self.arrival {
-            ArrivalDistribution::Uniform => rng.uniform_inclusive(1, self.max_interval),
+            ArrivalDistribution::Uniform => rng.uniform_inclusive(1, max_interval),
             // Mean-matched alternatives; clamped to ≥ 1 tick.
             ArrivalDistribution::Poisson => rng.poisson(mean).max(1),
             ArrivalDistribution::Exponential => {
@@ -62,8 +74,8 @@ impl SyntheticSource {
 }
 
 impl TaskSource for SyntheticSource {
-    fn next_task(&mut self, _now: Ticks, rng: &mut Rng) -> SourceYield {
-        let interarrival = self.draw_interarrival(rng);
+    fn next_task(&mut self, now: Ticks, rng: &mut Rng) -> SourceYield {
+        let interarrival = self.draw_interarrival(now, rng);
         let required_time = rng.uniform_inclusive(self.time_lo, self.time_hi);
         let phantom = rng.bernoulli(self.phantom_fraction);
         let (preferred, needed_area) = if phantom || self.num_configs == 0 {
@@ -190,5 +202,48 @@ mod tests {
         let a = specs(100, |_| {});
         let b = specs(100, |_| {});
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_window_tightens_interarrivals_inside_the_window() {
+        use dreamsim_engine::params::BurstWindow;
+        let mut p = SimParams::paper(100, 1000, ReconfigMode::Partial);
+        p.burst = Some(BurstWindow {
+            start: 100,
+            end: 200,
+            interval: 3,
+        });
+        let mut src = SyntheticSource::from_params(&p);
+        let mut rng = Rng::seed_from(9);
+        for now in [100u64, 150, 199] {
+            for _ in 0..500 {
+                match src.next_task(now, &mut rng) {
+                    SourceYield::Task(t) => assert!((1..=3).contains(&t.interarrival)),
+                    other => panic!("synthetic source yielded {other:?}"),
+                }
+            }
+        }
+        // The window end is exclusive: at `end` the normal bound applies.
+        let wide = (0..2000).any(|_| match src.next_task(200, &mut rng) {
+            SourceYield::Task(t) => t.interarrival > 3,
+            other => panic!("synthetic source yielded {other:?}"),
+        });
+        assert!(wide, "outside the window the full range must return");
+    }
+
+    #[test]
+    fn burst_outside_the_window_leaves_the_draw_sequence_untouched() {
+        use dreamsim_engine::params::BurstWindow;
+        // All specs are drawn at now=0, outside this window, so the RNG
+        // sequence must be bit-identical to a burst-free source.
+        let plain = specs(2_000, |_| {});
+        let burst = specs(2_000, |p| {
+            p.burst = Some(BurstWindow {
+                start: 100,
+                end: 200,
+                interval: 2,
+            });
+        });
+        assert_eq!(plain, burst);
     }
 }
