@@ -12,6 +12,9 @@
 //! * `chaos` — run a chaos campaign (correlated failure-domain outages,
 //!   overload bursts) under continuous audit, with a kill-and-resume
 //!   drill per scenario.
+//! * `serve` — the self-healing open-system service mode: streaming
+//!   arrivals with a diurnal load curve, a rolling checkpoint ring,
+//!   watchdog-driven auto-recovery, and sliding-window live metrics.
 //! * `trace` — generate a synthetic trace file for later replay.
 //! * `lint` — the determinism static-analysis pass (see the
 //!   `dreamsim-lint` crate); nonzero exit on unsuppressed findings.
@@ -68,6 +71,17 @@ USAGE:
                       [--jobs J1,J2,...] [--seed S] [--out FILE]
   dreamsim chaos [--script FILE] [--no-drill] [--audit-every TICKS]
                  [--work-dir DIR] [--report csv|json] [--out FILE]
+  dreamsim serve [--nodes N] [--seed S] [--mode full|partial]
+                 [--policy best-fit|first-fit|worst-fit|random|least-loaded]
+                 [--arrival uniform|poisson|exponential]
+                 [--horizon TICKS] [--day-length TICKS]
+                 [--amplitude PERMILLE] [--window TICKS]
+                 [--window-retain N] [--burst START,END,INTERVAL]
+                 [--ring-dir DIR] [--ring-every TICKS] [--ring-retain N]
+                 [--audit-every TICKS] [--stall-window TICKS]
+                 [--max-restarts N] [--no-watchdog] [--kill-at TICK]
+                 [--recovery-report FILE] [--search auto|linear|indexed]
+                 [--report table|xml|json|csv] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
   dreamsim lint [--root DIR] [--format text|json] [--out FILE]
                 [--list-rules] [FILES...]
@@ -104,6 +118,27 @@ for the format; omit --script for the built-in campaign), audits
 continuously (--audit-every, default 500), runs a kill-and-resume drill
 per scenario (checkpoints into --work-dir, default chaos-work), and
 reports availability metrics as CSV or JSON.
+
+Service mode: `serve` runs an open-system window of --horizon ticks of
+streaming arrivals (Poisson by default) whose rate follows a diurnal
+triangle wave: --day-length sets the period, --amplitude the modulation
+depth in permille of the mean rate (0-900; 0 is flat), composable with
+--burst. Live metrics roll in sliding windows of --window ticks (the
+newest --window-retain buckets are kept; peaks land in the report's
+<service> block). The service snapshots into a rolling checkpoint ring
+(--ring-dir, default serve-ring) every --ring-every ticks, pruning to
+the newest --ring-retain entries — atomically, and never the last valid
+snapshot. On startup the ring is scanned newest-first and the service
+auto-recovers from the newest snapshot that loads and passes its audit,
+falling back past corrupted ones; --recovery-report FILE writes the
+typed recovery record as JSON. A deterministic watchdog (simulated
+clocks only) restarts the service from the ring on stalled-clock,
+zero-progress, or suspension-livelock conditions, at most
+--max-restarts times (--stall-window tunes detection; --no-watchdog
+disables it). --kill-at T stops the process mid-window with exit code
+137 and no final snapshot — exactly a SIGKILL — so rerunning the same
+command afterwards demonstrates recovery: the recovered report is
+byte-identical to an uninterrupted run's.
 
 Checkpoint/restore: --checkpoint-every writes a versioned snapshot of the
 complete simulator state (atomically, into --checkpoint-dir, default .)
@@ -150,6 +185,7 @@ fn main() -> ExitCode {
         Some("bench-search") => cmd_bench_search(&args),
         Some("bench-grid") => cmd_bench_grid(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("serve") => cmd_serve(&args),
         Some("trace") => cmd_trace(&args),
         Some("lint") => cmd_lint(&args),
         Some("help") | None => {
@@ -405,6 +441,12 @@ fn metrics_table(report: &Report) -> String {
             m.tasks_shed, m.tasks_degraded
         ));
     }
+    if m.windows_closed != 0 || m.window_peak_arrivals != 0 || m.window_peak_completions != 0 {
+        table.push_str(&format!(
+            "windows closed / peak arrivals / compl. : {} / {} / {}\n",
+            m.windows_closed, m.window_peak_arrivals, m.window_peak_completions
+        ));
+    }
     table
 }
 
@@ -525,6 +567,13 @@ fn resume_run(
                 .with_search_backend(search)
                 .run_with(run_opts)
         }
+        "open" => {
+            return Err(ArgError(format!(
+                "checkpoint {path} was taken by the service driver: resume it with \
+                 `dreamsim serve --ring-dir DIR` and the original service flags instead \
+                 of `run --resume-from`"
+            )))
+        }
         other => {
             return Err(ArgError(format!(
                 "checkpoint source kind {other:?} cannot be rebuilt by the CLI"
@@ -562,6 +611,125 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
                 .map_err(|e| ArgError(e.to_string()))?
         }
     };
+    let rendered = render_report(&result.report, args.get("report", "table"))?;
+    write_or_print(args.flags.get("out").map(String::as_str), &rendered)
+}
+
+/// `dreamsim serve` — the self-healing open-system service mode:
+/// recover from the checkpoint ring (or start fresh), stream the
+/// service window with ring snapshots and watchdog supervision, and
+/// drain to a final report at the horizon.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    use dreamsim_engine::{serve, ServiceOptions, ServiceParams, WatchdogParams};
+    use dreamsim_workload::OpenSource;
+    let mut params = params_from_args(args)?;
+    if !args.has("arrival") {
+        // Open-system default: Poisson arrivals (the batch default stays
+        // uniform for byte-compatibility of `run`).
+        params.arrival = ArrivalDistribution::Poisson;
+    }
+    let horizon = args.get_num("horizon", 50_000u64)?;
+    params.service = Some(ServiceParams {
+        horizon,
+        day_length: args.get_num("day-length", 0u64)?,
+        amplitude_permille: args.get_num("amplitude", 0u32)?,
+        window: args.get_num("window", 1_000u64)?,
+        window_retain: args.get_num("window-retain", 8u64)?,
+    });
+    // Inter-arrivals are at least one tick, so horizon + 1 tasks is a
+    // true upper bound on arrivals inside the window: the stream never
+    // runs dry before the horizon.
+    params.total_tasks = horizon as usize + 1;
+    params.validate().map_err(|e| ArgError(e.to_string()))?;
+
+    let ring_dir = std::path::PathBuf::from(args.get("ring-dir", "serve-ring"));
+    if ring_dir.exists() && !ring_dir.is_dir() {
+        return Err(ArgError(format!(
+            "--ring-dir {}: exists but is not a directory",
+            ring_dir.display()
+        )));
+    }
+    let mut opts = ServiceOptions::new(ring_dir);
+    opts.ring_every = args.get_num("ring-every", opts.ring_every)?;
+    if opts.ring_every == 0 {
+        return Err(ArgError("--ring-every must be > 0".into()));
+    }
+    opts.ring_retain = args.get_num("ring-retain", opts.ring_retain)?;
+    if opts.ring_retain == 0 {
+        return Err(ArgError("--ring-retain must be > 0".into()));
+    }
+    if args.has("audit-every") {
+        let every = args.get_num("audit-every", 0u64)?;
+        if every == 0 {
+            return Err(ArgError("--audit-every must be > 0".into()));
+        }
+        opts.audit_every = Some(every);
+    }
+    if args.has("no-watchdog") {
+        opts.watchdog = None;
+    } else {
+        let defaults = WatchdogParams::default();
+        opts.watchdog = Some(WatchdogParams {
+            stall_window: args.get_num("stall-window", defaults.stall_window)?,
+            max_restarts: args.get_num("max-restarts", defaults.max_restarts)?,
+            ..defaults
+        });
+    }
+    if args.has("kill-at") {
+        opts.stop_at = Some(args.get_num("kill-at", 0u64)?);
+    }
+    opts.search = Some(parse_search(args)?);
+
+    let strategy = parse_strategy(args.get("policy", "best-fit"))?;
+    let outcome = serve(
+        &params,
+        OpenSource::from_params,
+        || CaseStudyScheduler::with_strategy(strategy),
+        &opts,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+
+    // Recovery/watchdog summary on stderr; stdout carries the report.
+    let rec = &outcome.recovery;
+    if rec.fresh_start {
+        eprintln!(
+            "serve: fresh start ({} snapshot(s) scanned, {} rejected)",
+            rec.scanned,
+            rec.rejected.len()
+        );
+    } else if let (Some(file), Some(clock)) = (&rec.recovered_from, rec.recovered_clock) {
+        eprintln!(
+            "serve: recovered from {file} at clock {clock} ({} rejected)",
+            rec.rejected.len()
+        );
+    }
+    for r in &rec.rejected {
+        eprintln!("serve: rejected snapshot {}: {}", r.file, r.error);
+    }
+    for t in &outcome.trips {
+        eprintln!(
+            "serve: watchdog trip ({} restart(s)): {t}",
+            outcome.restarts
+        );
+    }
+    if args.has("recovery-report") {
+        let path = args.get("recovery-report", "");
+        std::fs::write(path, rec.to_json())
+            .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        eprintln!("serve: wrote recovery report to {path}");
+    }
+    if outcome.killed {
+        eprintln!(
+            "serve: killed at clock {} (deterministic kill switch); \
+             the ring holds the recoverable state",
+            outcome.final_clock
+        );
+        // The crash drill expects a SIGKILL-shaped exit.
+        std::process::exit(137);
+    }
+    let result = outcome
+        .result
+        .ok_or_else(|| ArgError("service ended without a final report".into()))?;
     let rendered = render_report(&result.report, args.get("report", "table"))?;
     write_or_print(args.flags.get("out").map(String::as_str), &rendered)
 }

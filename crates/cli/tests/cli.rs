@@ -333,6 +333,139 @@ fn bench_grid_writes_json_report() {
 }
 
 #[test]
+fn resume_from_missing_path_is_a_typed_error_not_a_panic() {
+    let missing = "/no/such/dir/checkpoint-000000001000.dsc";
+    let out = dreamsim()
+        .args(["run", "--resume-from", missing])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(missing), "error names the path: {err}");
+    assert!(!err.contains("panicked"), "typed error, not a panic: {err}");
+}
+
+#[test]
+fn serve_ring_dir_that_is_a_file_is_a_typed_error() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-serve-baddir-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, b"occupied").unwrap();
+    let out = dreamsim()
+        .args([
+            "serve",
+            "--horizon",
+            "500",
+            "--ring-dir",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(file.to_str().unwrap()),
+        "error names the offending path: {err}"
+    );
+    assert!(!err.contains("panicked"), "typed error, not a panic: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_kill_recover_reproduces_uninterrupted_report() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-serve-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let base_ring = dir.join("ring-base");
+    let crash_ring = dir.join("ring-crash");
+    let base_xml = dir.join("base.xml");
+    let recovered_xml = dir.join("recovered.xml");
+    let common = |ring: &std::path::Path, extra: &[&str]| {
+        let mut v = vec![
+            "serve".to_string(),
+            "--nodes".into(),
+            "12".into(),
+            "--seed".into(),
+            "9".into(),
+            "--horizon".into(),
+            "4000".into(),
+            "--day-length".into(),
+            "1000".into(),
+            "--amplitude".into(),
+            "300".into(),
+            "--window".into(),
+            "500".into(),
+            "--ring-every".into(),
+            "800".into(),
+            "--ring-dir".into(),
+            ring.to_str().unwrap().into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    // Uninterrupted baseline.
+    let out = dreamsim()
+        .args(common(
+            &base_ring,
+            &["--report", "xml", "--out", base_xml.to_str().unwrap()],
+        ))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "baseline serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Crash mid-window: exit code 137, no final report.
+    let out = dreamsim()
+        .args(common(&crash_ring, &["--kill-at", "2000"]))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(137), "kill switch exits 137");
+    // Auto-recover by rerunning the same command without the kill.
+    let out = dreamsim()
+        .args(common(
+            &crash_ring,
+            &[
+                "--report",
+                "xml",
+                "--out",
+                recovered_xml.to_str().unwrap(),
+                "--recovery-report",
+                dir.join("recovery.json").to_str().unwrap(),
+            ],
+        ))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "recovery serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("recovered from checkpoint-"), "{err}");
+    let base = std::fs::read(&base_xml).unwrap();
+    let recovered = std::fs::read(&recovered_xml).unwrap();
+    assert_eq!(base, recovered, "recovered report diverged from baseline");
+    // The service block made it into the XML.
+    assert!(
+        String::from_utf8_lossy(&base).contains("<windows-closed>"),
+        "service window metrics present"
+    );
+    // The recovery report is valid JSON naming the ring.
+    let rec: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("recovery.json")).unwrap())
+            .expect("valid recovery JSON");
+    assert_eq!(rec["fresh_start"], false);
+    assert!(rec["recovered_from"]
+        .as_str()
+        .unwrap()
+        .starts_with("checkpoint-"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ablations_run_end_to_end() {
     let out = run_ok(&[
         "ablations",

@@ -31,6 +31,8 @@ pub mod init;
 pub mod monitor;
 pub mod params;
 pub mod report;
+pub mod ring;
+pub mod service;
 pub mod sim;
 pub mod stats;
 
@@ -44,11 +46,17 @@ pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};
 pub use params::{
     AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind, DomainParams, FaultParams,
-    ParamsError, PlacementModel, ReconfigMode, ScriptedOutage, SimParams,
+    ParamsError, PlacementModel, ReconfigMode, ScriptedOutage, ServiceParams, SimParams,
 };
 pub use report::Report;
+pub use ring::{scan_ring, CheckpointRing, RingEntry};
+pub use service::{
+    recover_from_ring, serve, RecoveryReport, RejectedSnapshot, ServiceError, ServiceLegEnd,
+    ServiceLegOptions, ServiceOptions, ServiceOutcome, Watchdog, WatchdogCondition, WatchdogDiag,
+    WatchdogParams,
+};
 pub use sim::{
     Decision, DiscardReason, PlacePhase, Placement, Resume, RunError, RunOptions, RunResult,
     SchedCtx, SchedulePolicy, SimScratch, Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
 };
-pub use stats::{Metrics, PhaseCounts, PhaseKind, Stats};
+pub use stats::{Metrics, PhaseCounts, PhaseKind, Stats, WindowBucket, WindowStats};

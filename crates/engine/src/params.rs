@@ -268,6 +268,52 @@ pub struct BurstWindow {
     pub interval: u64,
 }
 
+/// Open-system service-mode parameters (`dreamsim serve`). Instead of
+/// the paper's closed batch of `total_tasks` arrivals, the service
+/// driver streams arrivals for `horizon` ticks, optionally modulating
+/// the mean inter-arrival time with an integer diurnal load curve and
+/// rolling sliding-window live metrics. `None` in
+/// [`SimParams::service`] (the default) disables the whole subsystem
+/// and keeps batch runs byte-identical to the service-free simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceParams {
+    /// Length of the service window, in ticks. Arrivals stream freely
+    /// until this horizon; the service leg then drains in-flight work
+    /// bookkeeping and snapshots a final checkpoint.
+    pub horizon: u64,
+    /// Period of the diurnal load curve, in ticks (a triangle wave:
+    /// load peaks mid-period and troughs at the period boundary).
+    /// Ignored when `amplitude_permille` is zero.
+    #[serde(default)]
+    pub day_length: u64,
+    /// Diurnal modulation depth in permille of the base arrival rate
+    /// (0 = flat Poisson; 500 = mean inter-arrival swings ±50 %).
+    /// Capped at 900 so the effective rate never collapses to zero.
+    #[serde(default)]
+    pub amplitude_permille: u32,
+    /// Sliding-window bucket length for live metrics, in ticks.
+    /// Zero disables window accounting entirely.
+    #[serde(default)]
+    pub window: u64,
+    /// How many closed window buckets to retain (older buckets are
+    /// trimmed as the service runs). Must be nonzero when `window` is.
+    #[serde(default)]
+    pub window_retain: u64,
+}
+
+impl Default for ServiceParams {
+    /// A 50 000-tick flat-Poisson window with live metrics off.
+    fn default() -> Self {
+        Self {
+            horizon: 50_000,
+            day_length: 0,
+            amplitude_permille: 0,
+            window: 0,
+            window_retain: 0,
+        }
+    }
+}
+
 /// Parameter validation error.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ParamsError {
@@ -306,6 +352,8 @@ pub enum ParamsError {
         /// Configured node count.
         nodes: usize,
     },
+    /// A service-mode parameter combination is invalid.
+    InvalidService(&'static str),
     /// A scripted outage names a domain outside the configured range.
     ScriptedOutageOutOfRange {
         /// Index into `domains.scripted`.
@@ -347,6 +395,7 @@ impl std::fmt::Display for ParamsError {
                      at least one failure domain would be empty"
                 )
             }
+            ParamsError::InvalidService(msg) => write!(f, "service parameters: {msg}"),
             ParamsError::ScriptedOutageOutOfRange {
                 index,
                 domain,
@@ -534,6 +583,10 @@ pub struct SimParams {
     /// (default) keeps the paper's steady arrival rate.
     #[serde(default)]
     pub burst: Option<BurstWindow>,
+    /// Open-system service-mode parameters (`dreamsim serve`). `None`
+    /// (default) keeps the paper's closed-batch driver.
+    #[serde(default)]
+    pub service: Option<ServiceParams>,
     /// Master seed for all randomness in the run.
     pub seed: u64,
 }
@@ -565,6 +618,7 @@ impl Default for SimParams {
             suspension_cap: None,
             admission: AdmissionPolicy::Block,
             burst: None,
+            service: None,
             seed: 0x5EED,
         }
     }
@@ -682,6 +736,24 @@ impl SimParams {
                     lo: b.start,
                     hi: b.end,
                 });
+            }
+        }
+        if let Some(s) = &self.service {
+            if s.horizon == 0 {
+                return Err(ParamsError::ZeroCount("service.horizon"));
+            }
+            if s.amplitude_permille > 900 {
+                return Err(ParamsError::InvalidService(
+                    "amplitude_permille must be at most 900",
+                ));
+            }
+            if s.amplitude_permille > 0 && s.day_length < 2 {
+                return Err(ParamsError::InvalidService(
+                    "day_length must be at least 2 when amplitude_permille is nonzero",
+                ));
+            }
+            if s.window > 0 && s.window_retain == 0 {
+                return Err(ParamsError::ZeroCount("service.window_retain"));
             }
         }
         Ok(())
@@ -977,6 +1049,59 @@ mod tests {
             interval: 2,
         });
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_service_parameters() {
+        let with_service = |f: fn(&mut ServiceParams)| {
+            let mut p = SimParams::default();
+            let mut s = ServiceParams::default();
+            f(&mut s);
+            p.service = Some(s);
+            p.validate()
+        };
+        assert_eq!(
+            with_service(|s| s.horizon = 0).unwrap_err(),
+            ParamsError::ZeroCount("service.horizon")
+        );
+        assert!(matches!(
+            with_service(|s| s.amplitude_permille = 901).unwrap_err(),
+            ParamsError::InvalidService(_)
+        ));
+        assert!(matches!(
+            with_service(|s| {
+                s.amplitude_permille = 300;
+                s.day_length = 1;
+            })
+            .unwrap_err(),
+            ParamsError::InvalidService(_)
+        ));
+        assert_eq!(
+            with_service(|s| s.window = 500).unwrap_err(),
+            ParamsError::ZeroCount("service.window_retain")
+        );
+        with_service(|s| {
+            s.amplitude_permille = 300;
+            s.day_length = 2_000;
+            s.window = 500;
+            s.window_retain = 8;
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn service_params_serde_round_trip() {
+        let mut p = SimParams::default();
+        p.service = Some(ServiceParams {
+            horizon: 20_000,
+            day_length: 4_000,
+            amplitude_permille: 400,
+            window: 1_000,
+            window_retain: 6,
+        });
+        let js = serde_json::to_string(&p).unwrap();
+        let back: SimParams = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]

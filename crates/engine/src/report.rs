@@ -259,6 +259,23 @@ impl Report {
             }
             out.push_str("    </chaos>\n");
         }
+        // Service-mode block, gated exactly like <faults>/<chaos>:
+        // emitted only when the run rolled sliding windows, so batch-mode
+        // reports stay byte-identical to releases that predate `serve`.
+        let any_service =
+            m.windows_closed != 0 || m.window_peak_arrivals != 0 || m.window_peak_completions != 0;
+        if any_service {
+            out.push_str("    <service>\n");
+            elem(&mut out, 6, "windows-closed", m.windows_closed);
+            elem(&mut out, 6, "window-peak-arrivals", m.window_peak_arrivals);
+            elem(
+                &mut out,
+                6,
+                "window-peak-completions",
+                m.window_peak_completions,
+            );
+            out.push_str("    </service>\n");
+        }
         out.push_str("  </metrics>\n");
         out.push_str("</dreamsim-report>\n");
         out
@@ -381,6 +398,22 @@ mod tests {
         assert!(xml.contains("<domain-downtime domain=\"0\">0</domain-downtime>"));
         assert!(xml.contains("<domain-downtime domain=\"1\">340</domain-downtime>"));
         assert_eq!(xml.matches("</chaos>").count(), 1);
+    }
+
+    #[test]
+    fn xml_service_block_only_present_when_counters_nonzero() {
+        let clean = report();
+        assert!(!clean.to_xml().contains("<service>"));
+        let mut served = report();
+        served.metrics.windows_closed = 12;
+        served.metrics.window_peak_arrivals = 40;
+        served.metrics.window_peak_completions = 33;
+        let xml = served.to_xml();
+        assert!(xml.contains("<service>"));
+        assert!(xml.contains("<windows-closed>12</windows-closed>"));
+        assert!(xml.contains("<window-peak-arrivals>40</window-peak-arrivals>"));
+        assert!(xml.contains("<window-peak-completions>33</window-peak-completions>"));
+        assert_eq!(xml.matches("</service>").count(), 1);
     }
 
     #[test]

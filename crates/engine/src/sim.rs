@@ -34,7 +34,9 @@ use crate::init;
 use crate::monitor::Observer;
 use crate::params::{AdmissionPolicy, DomainOutageKind, ParamsError, ReconfigMode, SimParams};
 use crate::report::Report;
-use crate::stats::{Metrics, PhaseKind, Stats};
+use crate::ring::CheckpointRing;
+use crate::service::{ServiceLegEnd, ServiceLegOptions, Watchdog};
+use crate::stats::{Metrics, PhaseKind, Stats, WindowStats};
 use dreamsim_model::{
     Area, ConfigId, EntryRef, NodeId, PreferredConfig, ResourceManager, StepCounter,
     SuspensionQueue, Task, TaskId, TaskState, Ticks,
@@ -469,6 +471,10 @@ fn next_boundary(clock: Ticks, every: Ticks) -> Ticks {
     (clock / every + 1) * every
 }
 
+/// Up-front reservation cap for service-mode runs, whose `total_tasks`
+/// is a horizon-derived upper bound rather than an expected count.
+const SERVICE_RESERVE_CAP: usize = 1 << 20;
+
 /// The simulation driver.
 pub struct Simulation<S, P> {
     params: SimParams,
@@ -521,15 +527,28 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         events.clear();
         events.ensure_capacity(expected_pending_events(&params));
         let mut stats = Stats::default();
+        if let Some(s) = &params.service {
+            if s.window > 0 {
+                stats.window = Some(WindowStats::new(s.window, s.window_retain));
+            }
+        }
+        // Service-mode task budgets are a horizon-derived upper bound,
+        // not an expected count — cap the up-front reservations so a
+        // long horizon doesn't pre-allocate gigabytes. Capacity is
+        // unobservable (pop order, reports, and checkpoint bytes are
+        // identical either way).
+        let reserve_budget = if params.service.is_some() {
+            params.total_tasks.min(SERVICE_RESERVE_CAP)
+        } else {
+            params.total_tasks
+        };
         stats.wait_samples = std::mem::take(&mut scratch.wait_samples);
         stats.wait_samples.clear();
-        let extra = params
-            .total_tasks
-            .saturating_sub(stats.wait_samples.capacity());
+        let extra = reserve_budget.saturating_sub(stats.wait_samples.capacity());
         stats.wait_samples.reserve(extra);
         let mut task_vec = std::mem::take(&mut scratch.tasks);
         task_vec.clear();
-        let extra = params.total_tasks.saturating_sub(task_vec.capacity());
+        let extra = reserve_budget.saturating_sub(task_vec.capacity());
         task_vec.reserve(extra);
         Ok(Self {
             fault,
@@ -808,6 +827,133 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.clock += 1;
         }
         Ok(self.finish(None))
+    }
+
+    /// Current simulated clock (service orchestration and tests).
+    #[must_use]
+    pub fn clock(&self) -> Ticks {
+        self.clock
+    }
+
+    /// Run one open-system **service leg**: dispatch every event with a
+    /// timestamp strictly before the service horizon
+    /// ([`crate::params::ServiceParams::horizon`]), rolling
+    /// sliding-window metrics, snapshotting into the checkpoint ring at
+    /// interval boundaries, and feeding the watchdog after every event.
+    ///
+    /// On reaching the horizon the leg charges the trailing idle-poll
+    /// interval, rolls the final window buckets, and drains to a final
+    /// ring snapshot (graceful shutdown); events scheduled at or past
+    /// the horizon stay queued — and therefore inside the snapshot — so
+    /// resuming a completed window is a no-op. The deterministic kill
+    /// switch ([`ServiceLegOptions::stop_at`]) instead returns
+    /// [`ServiceLegEnd::Killed`] *without* a final snapshot, exactly
+    /// like a SIGKILL: state past the last ring entry is lost and must
+    /// be recovered by replay.
+    ///
+    /// Boundary semantics match [`run_with`](Self::run_with), so a leg
+    /// resumed from any ring snapshot reproduces the uninterrupted
+    /// leg's state — and every later ring snapshot — byte for byte.
+    pub fn run_service_leg(
+        &mut self,
+        opts: &ServiceLegOptions,
+        watchdog: &mut Option<Watchdog>,
+    ) -> Result<ServiceLegEnd, RunError> {
+        let horizon = self
+            .params
+            .service
+            // INVARIANT: service legs are only reachable through
+            // `service::serve` and service tests, which both require a
+            // service block in the parameters.
+            .expect("run_service_leg requires SimParams::service")
+            .horizon;
+        let ring = opts
+            .ring_dir
+            .as_ref()
+            .map(|dir| CheckpointRing::new(dir.clone(), opts.ring_retain));
+        let mut next_ring = ring
+            .as_ref()
+            .map(|_| next_boundary(self.clock, opts.ring_every));
+        let mut next_audit = opts.audit_every.map(|e| next_boundary(self.clock, e));
+        if !self.primed {
+            self.prime();
+            self.primed = true;
+        }
+        // See run_with: audit the starting (possibly just-restored)
+        // state before acting on it.
+        if opts.audit {
+            self.audit()?;
+        }
+        while let Some((t, ev)) = self.events.pop_due(horizon.saturating_sub(1)) {
+            debug_assert!(t >= self.clock, "time must be monotone");
+            self.charge_idle_polls(t - self.clock);
+            self.clock = t;
+            if let Some(w) = &mut self.stats.window {
+                w.roll(t);
+            }
+            self.dispatch(ev);
+            self.at_service_boundary(opts, ring.as_ref(), &mut next_ring, &mut next_audit)?;
+            if let Some(wd) = watchdog {
+                let progress = self.stats.completed + self.stats.discarded;
+                if let Some(diag) = wd.observe(self.clock, progress, self.suspension.len() as u64) {
+                    return Ok(ServiceLegEnd::Stalled(diag));
+                }
+            }
+            if opts.stop_at.is_some_and(|kill_at| self.clock >= kill_at) {
+                return Ok(ServiceLegEnd::Killed);
+            }
+        }
+        // Horizon reached (or the queue ran dry below it): charge the
+        // trailing idle interval, close the window buckets, and drain
+        // to the final ring snapshot.
+        if self.clock < horizon {
+            self.charge_idle_polls(horizon - self.clock);
+            self.clock = horizon;
+        }
+        if let Some(w) = &mut self.stats.window {
+            w.roll(self.clock);
+        }
+        if let Some(ring) = &ring {
+            // A due snapshot always audits first (see at_boundary).
+            self.audit()?;
+            ring.write(&self.checkpoint())?;
+        }
+        Ok(ServiceLegEnd::Horizon)
+    }
+
+    /// Service-leg counterpart of [`at_boundary`](Self::at_boundary):
+    /// same audit-before-snapshot ordering, but snapshots go through
+    /// the pruning [`CheckpointRing`] instead of a bare directory.
+    fn at_service_boundary(
+        &mut self,
+        opts: &ServiceLegOptions,
+        ring: Option<&CheckpointRing>,
+        next_ring: &mut Option<Ticks>,
+        next_audit: &mut Option<Ticks>,
+    ) -> Result<(), RunError> {
+        let ring_due = next_ring.is_some_and(|t| self.clock >= t);
+        let audit_due = next_audit.is_some_and(|t| self.clock >= t);
+        if opts.audit || ring_due || audit_due {
+            self.audit()?;
+        }
+        if audit_due {
+            *next_audit = Some(next_boundary(self.clock, opts.audit_every.unwrap_or(1)));
+        }
+        if ring_due {
+            // INVARIANT: next_ring is only armed when a ring exists.
+            let ring = ring.expect("ring boundary without a ring");
+            ring.write(&self.checkpoint())?;
+            *next_ring = Some(next_boundary(self.clock, opts.ring_every));
+        }
+        Ok(())
+    }
+
+    /// Finalize a drained service window into the standard
+    /// [`RunResult`] (metrics, report, task table) — the service-mode
+    /// counterpart of the batch drivers' implicit finish.
+    #[must_use]
+    pub fn finish_service(self) -> RunResult {
+        self.finish(None)
     }
 
     /// Post-dispatch hook of the `*_with` drivers: audit and/or write a
@@ -2898,5 +3044,185 @@ mod tests {
             }
             other => panic!("expected state rejection, got {other:?}"),
         }
+    }
+
+    // ---- open-system service mode ------------------------------------
+
+    use crate::params::ServiceParams;
+    use crate::service::{serve, ServiceError, ServiceOptions, WatchdogParams};
+
+    fn service_params(horizon: u64) -> SimParams {
+        let mut p = small_params();
+        p.service = Some(ServiceParams {
+            horizon,
+            day_length: 0,
+            amplitude_permille: 0,
+            window: 50,
+            window_retain: 4,
+        });
+        // The horizon bounds arrivals (inter-arrival times are at least
+        // one tick), so this budget never binds within the window.
+        p.total_tasks = horizon as usize + 1;
+        p
+    }
+
+    fn service_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dreamsim-svc-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn service_leg_drains_at_the_horizon() {
+        let mut sim = Simulation::new(service_params(500), FixedSource, GreedyPolicy).unwrap();
+        let end = sim
+            .run_service_leg(&ServiceLegOptions::default(), &mut None)
+            .unwrap();
+        assert_eq!(end, ServiceLegEnd::Horizon);
+        assert_eq!(sim.clock(), 500);
+        let res = sim.finish_service();
+        assert!(res.metrics.total_tasks_generated > 0);
+        assert_eq!(res.metrics.total_simulation_time, 500);
+        assert_eq!(
+            res.metrics.windows_closed, 10,
+            "500 ticks / 50-tick buckets"
+        );
+        assert!(res.metrics.window_peak_arrivals > 0);
+    }
+
+    #[test]
+    fn serve_fresh_start_reports_empty_recovery() {
+        let dir = service_dir("fresh");
+        let mut opts = ServiceOptions::new(&dir);
+        opts.ring_every = 100;
+        let out = serve(
+            &service_params(400),
+            |_| FixedSource,
+            || GreedyPolicy,
+            &opts,
+        )
+        .unwrap();
+        assert!(out.recovery.fresh_start);
+        assert_eq!(out.recovery.scanned, 0);
+        assert!(!out.killed);
+        assert_eq!(out.final_clock, 400);
+        assert!(out.result.is_some());
+        // The graceful drain snapshots the horizon state.
+        let entries = crate::ring::scan_ring(&dir).unwrap();
+        assert_eq!(entries.last().unwrap().clock, 400);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_service_auto_recovers_byte_identical() {
+        let params = service_params(600);
+        let base_dir = service_dir("kill-base");
+        let mut base_opts = ServiceOptions::new(&base_dir);
+        base_opts.ring_every = 100;
+        base_opts.ring_retain = 3;
+        base_opts.audit_every = Some(100);
+        let base = serve(&params, |_| FixedSource, || GreedyPolicy, &base_opts).unwrap();
+        let base_xml = base.result.unwrap().report.to_xml();
+
+        let kill_dir = service_dir("kill-ring");
+        let mut kill_opts = ServiceOptions::new(&kill_dir);
+        kill_opts.ring_every = 100;
+        kill_opts.ring_retain = 3;
+        kill_opts.stop_at = Some(300);
+        let killed = serve(&params, |_| FixedSource, || GreedyPolicy, &kill_opts).unwrap();
+        assert!(killed.killed);
+        assert!(killed.result.is_none(), "a killed run has no final report");
+        assert!(killed.final_clock >= 300);
+
+        // Auto-recover on the same ring and drain to the horizon.
+        kill_opts.stop_at = None;
+        let recovered = serve(&params, |_| FixedSource, || GreedyPolicy, &kill_opts).unwrap();
+        assert!(recovered.recovery.recovered_from.is_some());
+        assert!(!recovered.recovery.fresh_start);
+        assert_eq!(
+            recovered.result.unwrap().report.to_xml(),
+            base_xml,
+            "kill-and-recover must reproduce the uninterrupted window byte for byte"
+        );
+
+        // Resuming an already-completed window is idempotent.
+        let again = serve(&params, |_| FixedSource, || GreedyPolicy, &kill_opts).unwrap();
+        assert_eq!(again.recovery.recovered_clock, Some(600));
+        assert_eq!(again.result.unwrap().report.to_xml(), base_xml);
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let _ = std::fs::remove_dir_all(&kill_dir);
+    }
+
+    #[test]
+    fn recovery_falls_back_past_a_corrupted_newest_snapshot() {
+        let params = service_params(600);
+        let base_dir = service_dir("corrupt-base");
+        let mut opts = ServiceOptions::new(&base_dir);
+        opts.ring_every = 100;
+        let base = serve(&params, |_| FixedSource, || GreedyPolicy, &opts).unwrap();
+        let base_xml = base.result.unwrap().report.to_xml();
+
+        let ring_dir = service_dir("corrupt-ring");
+        let mut kill_opts = ServiceOptions::new(&ring_dir);
+        kill_opts.ring_every = 100;
+        kill_opts.stop_at = Some(300);
+        serve(&params, |_| FixedSource, || GreedyPolicy, &kill_opts).unwrap();
+
+        // Deliberately corrupt the newest snapshot's payload.
+        let entries = crate::ring::scan_ring(&ring_dir).unwrap();
+        let newest = entries.last().unwrap();
+        let mut bytes = std::fs::read(&newest.path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        std::fs::write(&newest.path, bytes).unwrap();
+        let newest_name = newest
+            .path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
+
+        kill_opts.stop_at = None;
+        let recovered = serve(&params, |_| FixedSource, || GreedyPolicy, &kill_opts).unwrap();
+        assert_eq!(recovered.recovery.rejected.len(), 1);
+        assert_eq!(recovered.recovery.rejected[0].file, newest_name);
+        let from = recovered.recovery.recovered_from.clone().unwrap();
+        assert!(from < newest_name, "fell back to an older snapshot");
+        assert_eq!(
+            recovered.result.unwrap().report.to_xml(),
+            base_xml,
+            "fallback recovery must still reproduce the uninterrupted window"
+        );
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let _ = std::fs::remove_dir_all(&ring_dir);
+    }
+
+    #[test]
+    fn watchdog_exhaustion_is_a_typed_error() {
+        let dir = service_dir("watchdog");
+        let mut opts = ServiceOptions::new(&dir);
+        opts.ring_every = 100;
+        // A stall window this tight trips long before the first
+        // completion (tasks run 100 ticks), on every deterministic
+        // replay — so the bounded restarts must exhaust.
+        opts.watchdog = Some(WatchdogParams {
+            max_events_per_tick: 1_000,
+            stall_window: 5,
+            max_restarts: 1,
+        });
+        match serve(
+            &service_params(600),
+            |_| FixedSource,
+            || GreedyPolicy,
+            &opts,
+        ) {
+            Err(ServiceError::WatchdogExhausted { restarts, diag }) => {
+                assert_eq!(restarts, 1);
+                assert!(diag.stalled_for >= 5, "diag carries evidence: {diag}");
+            }
+            other => panic!("expected watchdog exhaustion, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

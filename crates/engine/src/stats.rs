@@ -72,6 +72,85 @@ impl PhaseCounts {
     }
 }
 
+/// One sliding-window bucket of live service metrics: event counts over
+/// `[start, start + window)` ticks of simulated time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowBucket {
+    /// First tick the bucket covers (inclusive).
+    pub start: Ticks,
+    /// Tasks that arrived inside the bucket.
+    pub arrivals: u64,
+    /// Tasks that completed inside the bucket.
+    pub completions: u64,
+    /// Tasks discarded inside the bucket.
+    pub discards: u64,
+    /// Placements inside the bucket.
+    pub placements: u64,
+    /// Σ waiting time over placements inside the bucket.
+    pub wait_sum: u64,
+}
+
+/// Sliding-window live metrics for the open-system service driver
+/// (`dreamsim serve`): a rolling sequence of fixed-length
+/// [`WindowBucket`]s, with bounded retention of closed buckets and
+/// lifetime peak counters that survive trimming. `None` in
+/// [`Stats::window`] (every batch run) leaves the accumulator — and the
+/// serialized checkpoint shape — untouched.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Bucket length, in ticks (nonzero).
+    pub window: Ticks,
+    /// How many closed buckets to retain; older ones are trimmed.
+    pub retain: u64,
+    /// The bucket currently accumulating.
+    pub current: WindowBucket,
+    /// Closed buckets, oldest first, at most `retain` of them.
+    pub closed: Vec<WindowBucket>,
+    /// Lifetime count of closed buckets (trimming does not decrement).
+    pub closed_total: u64,
+    /// Lifetime peak `arrivals` over closed buckets.
+    pub peak_arrivals: u64,
+    /// Lifetime peak `completions` over closed buckets.
+    pub peak_completions: u64,
+}
+
+impl WindowStats {
+    /// Fresh window accounting starting at tick 0.
+    #[must_use]
+    pub fn new(window: Ticks, retain: u64) -> Self {
+        Self {
+            window: window.max(1),
+            retain: retain.max(1),
+            current: WindowBucket::default(),
+            closed: Vec::new(),
+            closed_total: 0,
+            peak_arrivals: 0,
+            peak_completions: 0,
+        }
+    }
+
+    /// Close every bucket that ends at or before `now` (simulated
+    /// time), trimming retention as buckets close. Idempotent for a
+    /// given `now`; callers roll before recording events at `now`.
+    pub fn roll(&mut self, now: Ticks) {
+        // BOUND: each iteration advances current.start by window >= 1,
+        // so the loop runs at most (now - start) / window times.
+        while self.current.start + self.window <= now {
+            let next_start = self.current.start + self.window;
+            let bucket = std::mem::take(&mut self.current);
+            self.closed_total += 1;
+            self.peak_arrivals = self.peak_arrivals.max(bucket.arrivals);
+            self.peak_completions = self.peak_completions.max(bucket.completions);
+            self.closed.push(bucket);
+            // BOUND: retain >= 1, enforced in new().
+            while self.closed.len() as u64 > self.retain {
+                self.closed.remove(0);
+            }
+            self.current.start = next_start;
+        }
+    }
+}
+
 /// Running accumulator over one simulation.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
@@ -128,12 +207,19 @@ pub struct Stats {
     // byte-identical-resume tests).
     #[serde(skip)]
     pub wait_samples: Vec<Ticks>,
+    /// Sliding-window live metrics (service mode only; `None` in batch
+    /// runs, which keeps batch checkpoints shape-stable).
+    #[serde(default)]
+    pub window: Option<WindowStats>,
 }
 
 impl Stats {
     /// Record a task arrival.
     pub fn record_arrival(&mut self) {
         self.generated += 1;
+        if let Some(w) = &mut self.window {
+            w.current.arrivals += 1;
+        }
     }
 
     /// Record a placement: the phase that produced it, the waiting time
@@ -156,6 +242,10 @@ impl Stats {
         // BOUND: per-task wasted area <= node area (Table II <= 4000); sum far below 2^64.
         self.total_wasted_area += wasted_after;
         self.wait_samples.push(wait);
+        if let Some(w) = &mut self.window {
+            w.current.placements += 1;
+            w.current.wait_sum += wait;
+        }
     }
 
     /// Record a completion with the task's total residence time
@@ -163,11 +253,17 @@ impl Stats {
     pub fn record_completion(&mut self, residence: Ticks) {
         self.completed += 1;
         self.total_running_time += residence;
+        if let Some(w) = &mut self.window {
+            w.current.completions += 1;
+        }
     }
 
     /// Record a discard.
     pub fn record_discard(&mut self) {
         self.discarded += 1;
+        if let Some(w) = &mut self.window {
+            w.current.discards += 1;
+        }
     }
 
     /// Record a failed bitstream load. The configuration time was already
@@ -266,6 +362,9 @@ impl Stats {
             domain_restores: 0,
             domain_downtime: Vec::new(),
             mean_time_to_recover: 0.0,
+            windows_closed: self.window.as_ref().map_or(0, |w| w.closed_total),
+            window_peak_arrivals: self.window.as_ref().map_or(0, |w| w.peak_arrivals),
+            window_peak_completions: self.window.as_ref().map_or(0, |w| w.peak_completions),
         }
     }
 }
@@ -378,6 +477,18 @@ pub struct Metrics {
     /// completed).
     #[serde(default)]
     pub mean_time_to_recover: f64,
+    /// Sliding-window buckets closed over the service window (0 in
+    /// batch runs).
+    #[serde(default)]
+    pub windows_closed: u64,
+    /// Lifetime peak arrivals in one sliding-window bucket (0 in batch
+    /// runs).
+    #[serde(default)]
+    pub window_peak_arrivals: u64,
+    /// Lifetime peak completions in one sliding-window bucket (0 in
+    /// batch runs).
+    #[serde(default)]
+    pub window_peak_completions: u64,
 }
 
 #[cfg(test)]
@@ -523,6 +634,50 @@ mod tests {
         assert_eq!(m.resubmissions, 5);
         assert_eq!(m.tasks_lost, 2);
         assert_eq!(m.node_downtime, 777);
+    }
+
+    #[test]
+    fn window_buckets_roll_trim_and_track_peaks() {
+        let mut s = Stats::default();
+        s.window = Some(WindowStats::new(100, 2));
+        for _ in 0..3 {
+            s.record_arrival();
+        }
+        s.record_placement(PhaseKind::Allocation, 7, 0, 0, false);
+        s.record_completion(50);
+        let w = s.window.as_mut().unwrap();
+        w.roll(100);
+        assert_eq!(w.closed.len(), 1);
+        assert_eq!(w.closed[0].arrivals, 3);
+        assert_eq!(w.closed[0].placements, 1);
+        assert_eq!(w.closed[0].wait_sum, 7);
+        assert_eq!(w.closed[0].completions, 1);
+        assert_eq!(w.current.start, 100);
+        s.record_arrival();
+        let w = s.window.as_mut().unwrap();
+        // A long quiet gap closes (and trims) several empty buckets at once.
+        w.roll(450);
+        assert_eq!(w.closed.len(), 2);
+        assert_eq!(w.closed_total, 4);
+        assert_eq!(w.current.start, 400);
+        assert_eq!(w.peak_arrivals, 3);
+        assert_eq!(w.peak_completions, 1);
+        // Rolling again at the same clock is a no-op.
+        let before = w.clone();
+        w.roll(450);
+        assert_eq!(*w, before);
+        let m = finalize(&s, StepCounter::default());
+        assert_eq!(m.windows_closed, 4);
+        assert_eq!(m.window_peak_arrivals, 3);
+        assert_eq!(m.window_peak_completions, 1);
+    }
+
+    #[test]
+    fn window_stats_absent_in_batch_metrics() {
+        let m = finalize(&Stats::default(), StepCounter::default());
+        assert_eq!(m.windows_closed, 0);
+        assert_eq!(m.window_peak_arrivals, 0);
+        assert_eq!(m.window_peak_completions, 0);
     }
 
     #[test]

@@ -36,11 +36,12 @@
 
 use crate::runner::PolicyConfig;
 use dreamsim_engine::{
-    read_checkpoint, AdmissionPolicy, BurstWindow, CheckpointError, DomainOutageKind, DomainParams,
-    ReconfigMode, RunOptions, RunResult, ScriptedOutage, SimParams, Simulation,
+    read_checkpoint, scan_ring, serve, AdmissionPolicy, ArrivalDistribution, BurstWindow,
+    CheckpointError, DomainOutageKind, DomainParams, ReconfigMode, RunOptions, RunResult,
+    ScriptedOutage, ServiceError, ServiceOptions, ServiceParams, SimParams, Simulation,
 };
 use dreamsim_model::Ticks;
-use dreamsim_workload::SyntheticSource;
+use dreamsim_workload::{OpenSource, SyntheticSource};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -561,6 +562,195 @@ fn drill_scenario(
     })
 }
 
+/// Outcome of the kill-and-auto-recover *service* drill (the `serve`
+/// counterpart of [`DrillResult`]).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct ServiceDrillReport {
+    /// Simulated clock at which the service was killed mid-window.
+    pub killed_at: Ticks,
+    /// Snapshot clock the straight recovery resumed from.
+    pub recovered_clock: Option<Ticks>,
+    /// Ring file deliberately corrupted for the fallback leg.
+    pub corrupted_entry: String,
+    /// Snapshot clock the fallback recovery resumed from (older than
+    /// the corrupted entry).
+    pub fallback_clock: Option<Ticks>,
+    /// Snapshots the fallback recovery rejected (the corrupted one).
+    pub fallback_rejected: u64,
+    /// Both recovered windows matched the uninterrupted baseline report
+    /// byte for byte (always true in a returned report; a mismatch is a
+    /// [`ChaosError::DrillMismatch`]).
+    pub report_identical: bool,
+}
+
+impl ServiceDrillReport {
+    /// Pretty JSON for the CI artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        // INVARIANT: plain strings and integers; serialization cannot
+        // fail.
+        serde_json::to_string_pretty(self).expect("service drill report serializes")
+    }
+}
+
+/// The service drill's fixed parameter set: an open-system window with
+/// a diurnal curve, a composed burst, and sliding-window metrics — big
+/// enough to cross several ring boundaries, small enough for CI.
+fn service_drill_params() -> SimParams {
+    let horizon = 6_000;
+    let mut p = SimParams::paper(20, 0, ReconfigMode::Partial);
+    p.seed = 20_260_807;
+    p.arrival = ArrivalDistribution::Poisson;
+    p.burst = Some(BurstWindow {
+        start: 2_000,
+        end: 3_000,
+        interval: 2,
+    });
+    p.service = Some(ServiceParams {
+        horizon,
+        day_length: 2_000,
+        amplitude_permille: 400,
+        window: 1_000,
+        window_retain: 4,
+    });
+    // Inter-arrival is at least one tick, so horizon + 1 tasks is a
+    // true upper bound on arrivals inside the window: the source never
+    // exhausts before the horizon.
+    p.total_tasks = horizon as usize + 1;
+    p
+}
+
+fn serve_drill_leg(
+    params: &SimParams,
+    ring_dir: PathBuf,
+    stop_at: Option<Ticks>,
+) -> Result<dreamsim_engine::ServiceOutcome, ChaosError> {
+    let opts = ServiceOptions {
+        ring_every: 1_000,
+        audit_every: Some(500),
+        stop_at,
+        ..ServiceOptions::new(ring_dir)
+    };
+    serve(
+        params,
+        OpenSource::from_params,
+        || PolicyConfig::paper().build(),
+        &opts,
+    )
+    .map_err(|e: ServiceError| ChaosError::Run(e.to_string()))
+}
+
+fn copy_ring(from: &Path, to: &Path) -> Result<(), ChaosError> {
+    std::fs::create_dir_all(to)?;
+    for entry in scan_ring(from)? {
+        // INVARIANT: scan_ring only yields well-formed checkpoint-*.dsc
+        // names, which always have a final path component.
+        let name = entry.path.file_name().expect("ring entry has a file name");
+        std::fs::copy(&entry.path, to.join(name))?;
+    }
+    Ok(())
+}
+
+/// The kill-and-auto-recover service drill (`dreamsim serve`'s
+/// counterpart of [`drill_scenario`], DESIGN.md §15):
+///
+/// 1. run the service window uninterrupted → baseline report;
+/// 2. rerun it with the deterministic kill switch mid-window (no final
+///    snapshot survives, exactly like a SIGKILL);
+/// 3. auto-recover from the ring and drain: the final report must be
+///    byte-identical to the baseline;
+/// 4. corrupt the *newest* snapshot in a pristine copy of the killed
+///    ring, recover again: recovery must fall back to the older
+///    snapshot and still reproduce the baseline byte for byte.
+pub fn service_drill(work_dir: &Path) -> Result<ServiceDrillReport, ChaosError> {
+    let params = service_drill_params();
+    let base_dir = work_dir.join("service-base");
+    let crash_dir = work_dir.join("service-crash");
+    let fallback_dir = work_dir.join("service-fallback");
+
+    let base = serve_drill_leg(&params, base_dir, None)?;
+    let base_xml = base
+        .result
+        .as_ref()
+        .map(|r| r.report.to_xml())
+        .ok_or_else(|| ChaosError::Run("baseline service produced no report".into()))?;
+
+    let killed = serve_drill_leg(&params, crash_dir.clone(), Some(3_000))?;
+    if !killed.killed || killed.result.is_some() {
+        return Err(ChaosError::Run(
+            "kill switch did not end the service mid-window".into(),
+        ));
+    }
+    let killed_at = killed.final_clock;
+    // Freeze the killed ring for the corruption leg before recovery
+    // extends it.
+    copy_ring(&crash_dir, &fallback_dir)?;
+
+    // Leg 3: straight auto-recovery.
+    let recovered = serve_drill_leg(&params, crash_dir, None)?;
+    let recovered_xml = recovered
+        .result
+        .as_ref()
+        .map(|r| r.report.to_xml())
+        .ok_or_else(|| ChaosError::Run("recovered service produced no report".into()))?;
+    if recovered_xml != base_xml {
+        return Err(ChaosError::DrillMismatch {
+            scenario: "service".to_string(),
+            checkpoint_at: recovered.recovery.recovered_clock.unwrap_or(0),
+        });
+    }
+
+    // Leg 4: corrupt the newest snapshot, recover past it.
+    let entries = scan_ring(&fallback_dir)?;
+    let newest = entries
+        .last()
+        .ok_or_else(|| ChaosError::Run("killed service left no ring snapshot".into()))?;
+    let mut bytes = std::fs::read(&newest.path)?;
+    let n = bytes.len();
+    if n < 2 {
+        return Err(ChaosError::Run("ring snapshot impossibly short".into()));
+    }
+    bytes[n - 2] ^= 0xFF;
+    std::fs::write(&newest.path, &bytes)?;
+    let corrupted_entry = newest
+        .path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+
+    let fallback = serve_drill_leg(&params, fallback_dir, None)?;
+    let fallback_xml = fallback
+        .result
+        .as_ref()
+        .map(|r| r.report.to_xml())
+        .ok_or_else(|| ChaosError::Run("fallback service produced no report".into()))?;
+    if fallback_xml != base_xml {
+        return Err(ChaosError::DrillMismatch {
+            scenario: "service-fallback".to_string(),
+            checkpoint_at: fallback.recovery.recovered_clock.unwrap_or(0),
+        });
+    }
+    if !fallback
+        .recovery
+        .rejected
+        .iter()
+        .any(|r| r.file == corrupted_entry)
+    {
+        return Err(ChaosError::Run(format!(
+            "fallback recovery did not reject the corrupted snapshot {corrupted_entry:?}"
+        )));
+    }
+
+    Ok(ServiceDrillReport {
+        killed_at,
+        recovered_clock: recovered.recovery.recovered_clock,
+        corrupted_entry,
+        fallback_clock: fallback.recovery.recovered_clock,
+        fallback_rejected: fallback.recovery.rejected.len() as u64,
+        report_identical: true,
+    })
+}
+
 /// Run a whole campaign, scenario by scenario.
 pub fn run_campaign(
     scenarios: &[ChaosScenario],
@@ -679,6 +869,26 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"mini\""), "{json}");
         assert!(json.contains("\"checkpoint_at\""), "{json}");
+    }
+
+    #[test]
+    fn service_drill_recovers_byte_identically_even_past_corruption() {
+        let dir = temp_dir("service");
+        let report = service_drill(&dir).unwrap();
+        assert!(report.report_identical);
+        assert!(report.killed_at >= 3_000, "killed at {}", report.killed_at);
+        let straight = report.recovered_clock.expect("straight recovery resumed");
+        let fallback = report.fallback_clock.expect("fallback recovery resumed");
+        assert!(
+            fallback < straight,
+            "fallback resumed from {fallback}, straight from {straight}: \
+             corrupting the newest snapshot must push recovery further back"
+        );
+        assert_eq!(report.fallback_rejected, 1);
+        assert!(report.corrupted_entry.starts_with("checkpoint-"));
+        let json = report.to_json();
+        assert!(json.contains("\"corrupted_entry\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod runner;
 
 pub use bench::{run_grid_bench, run_search_bench, GridBenchReport, SearchBenchReport};
 pub use chaos::{
-    parse_campaign, run_campaign, CampaignCase, CampaignOptions, CampaignReport, ChaosError,
-    ChaosScenario, DrillResult, BUILTIN_CAMPAIGN,
+    parse_campaign, run_campaign, service_drill, CampaignCase, CampaignOptions, CampaignReport,
+    ChaosError, ChaosScenario, DrillResult, ServiceDrillReport, BUILTIN_CAMPAIGN,
 };
 pub use figures::{ExperimentGrid, Figure, FigureSeries};
 pub use parallel::{cost_descending_order, effective_jobs, run_indexed, run_ordered};

@@ -9,6 +9,10 @@
 //!   exercising the closest-match path. Poisson and geometric arrival
 //!   processes are available, matching the input subsystem's promise of
 //!   user-specified "arrival rate and arrival distribution functions".
+//! * [`open`] — the open-system service workload (`dreamsim serve`):
+//!   an unbounded arrival stream modulated by a deterministic integer
+//!   diurnal load curve, composed with chaos-layer burst windows, with
+//!   a resume cursor for checkpoint-ring recovery.
 //! * [`trace`] — a plain-text trace format for "real workloads": record
 //!   a synthetic run to a trace, edit or import external traces, and
 //!   replay them deterministically.
@@ -22,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod dag;
+pub mod open;
 pub mod swf;
 pub mod synthetic;
 pub mod trace;
 
 pub use dag::{DagError, DagSource, DagSpec, DagTask};
+pub use open::OpenSource;
 pub use swf::{import_swf, SwfError, SwfOptions};
 pub use synthetic::SyntheticSource;
 pub use trace::{ParseError, RecordingSource, TraceSource};

@@ -1,0 +1,313 @@
+//! Open-system task generation for `dreamsim serve`.
+//!
+//! [`OpenSource`] is the service-mode sibling of
+//! [`SyntheticSource`](crate::synthetic::SyntheticSource): an unbounded
+//! stream of arrivals whose inter-arrival bound is modulated by a
+//! **diurnal load curve** — a deterministic integer triangle wave over a
+//! configurable day length — composed with the chaos layer's
+//! [`BurstWindow`]. The per-task draw *order* (inter-arrival, required
+//! time, phantom flag, preference, area) mirrors the synthetic source
+//! exactly, and with amplitude zero the modulation multiplier is the
+//! identity and is skipped entirely, so the two sources consume
+//! bit-identical RNG sequences for the same parameters.
+//!
+//! ## Diurnal curve
+//!
+//! All modulation arithmetic is integer permille — no trigonometry, so
+//! the curve is bit-identical on every platform. The wave rises from the
+//! trough at the start of each day to the peak at mid-day and falls
+//! back: with `tri(phase) ∈ [-1000, 1000]`, the load multiplier is
+//! `m = 1000 + amplitude_permille * tri / 1000`, and the effective mean
+//! inter-arrival is the base mean scaled by `1000 / m`. Validation caps
+//! the amplitude at 900 ‰, so `m ∈ [100, 1900]` and the mean never
+//! collapses to zero.
+//!
+//! ## Resume cursor
+//!
+//! The source counts yielded tasks and reports the count as its
+//! [`source_cursor`](dreamsim_engine::sim::TaskSource::source_cursor).
+//! All draw state lives in the checkpointed RNG, so restoring is just
+//! accepting the count; the cursor makes service snapshots
+//! self-describing (how far into the stream this snapshot is) and lets
+//! the recovery report state the resume position.
+
+use dreamsim_engine::params::{ArrivalDistribution, BurstWindow, SimParams};
+use dreamsim_engine::sim::{SourceYield, TaskSource, TaskSpec};
+use dreamsim_model::{ConfigId, PreferredConfig, Ticks};
+use dreamsim_rng::Rng;
+
+/// Unbounded diurnal task stream (the open-system service workload).
+#[derive(Clone, Debug)]
+pub struct OpenSource {
+    /// Upper bound of the uniform inter-arrival interval (off-peak).
+    max_interval: u64,
+    /// Arrival process.
+    arrival: ArrivalDistribution,
+    /// `t_required` bounds (inclusive).
+    time_lo: u64,
+    time_hi: u64,
+    /// Phantom-preference area bounds (inclusive; the config-area range).
+    area_lo: u64,
+    area_hi: u64,
+    /// Number of configurations preferences index into.
+    num_configs: usize,
+    /// Fraction of tasks with a phantom preference.
+    phantom_fraction: f64,
+    /// Overload burst window, composed with the diurnal curve.
+    burst: Option<BurstWindow>,
+    /// Diurnal period in ticks; below 2 the curve is flat.
+    day_length: u64,
+    /// Diurnal modulation depth in permille (0 = flat).
+    amplitude_permille: u32,
+    /// Tasks yielded so far (the resume cursor).
+    yielded: u64,
+}
+
+/// Triangle wave over one day, in permille: `-1000` at the start of the
+/// day (trough), `+1000` at mid-day (peak), back down by day's end.
+/// Pure integer arithmetic — identical on every platform.
+fn triangle_permille(phase: u64, day_length: u64) -> i64 {
+    let half = day_length / 2;
+    if phase < half {
+        // Rising edge: -1000 → +1000 over [0, half).
+        (2000u128 * u128::from(phase) / u128::from(half)) as i64 - 1000
+    } else {
+        // Falling edge: +1000 → -1000 over [half, day_length).
+        1000 - (2000u128 * u128::from(phase - half) / u128::from(day_length - half)) as i64
+    }
+}
+
+impl OpenSource {
+    /// Build the service workload from the simulation parameters. The
+    /// diurnal fields come from `params.service`; without a service
+    /// block the curve is flat and the source degenerates to the
+    /// synthetic stream.
+    #[must_use]
+    pub fn from_params(params: &SimParams) -> Self {
+        let (day_length, amplitude_permille) = params
+            .service
+            .map_or((0, 0), |s| (s.day_length, s.amplitude_permille));
+        Self {
+            max_interval: params.next_task_max_interval,
+            arrival: params.arrival,
+            time_lo: params.task_time.lo,
+            time_hi: params.task_time.hi,
+            area_lo: params.config_area.lo,
+            area_hi: params.config_area.hi,
+            num_configs: params.total_configs,
+            phantom_fraction: params.closest_match_fraction,
+            burst: params.burst,
+            day_length,
+            amplitude_permille,
+            yielded: 0,
+        }
+    }
+
+    /// Load multiplier in permille at `now`: 1000 is the identity;
+    /// above 1000 arrivals compress (peak), below they stretch (trough).
+    fn load_permille(&self, now: Ticks) -> u64 {
+        if self.amplitude_permille == 0 || self.day_length < 2 {
+            return 1000;
+        }
+        let tri = triangle_permille(now % self.day_length, self.day_length);
+        // amplitude ≤ 900 (validated) and |tri| ≤ 1000, so the product
+        // stays within i64 and m ∈ [100, 1900].
+        (1000 + i64::from(self.amplitude_permille) * tri / 1000) as u64
+    }
+
+    fn draw_interarrival(&self, now: Ticks, rng: &mut Rng) -> Ticks {
+        // Burst composition first (exactly the synthetic source's rule:
+        // inside [start, end) the bound tightens to the burst interval),
+        // then the diurnal multiplier on top. The draw count is one
+        // either way, so flat-curve, burst-free streams consume the
+        // identical RNG sequence.
+        let max_interval = match self.burst {
+            Some(b) if (b.start..b.end).contains(&now) => b.interval,
+            _ => self.max_interval,
+        };
+        let m = self.load_permille(now);
+        if m == 1000 {
+            // Identity multiplier: skip scaling entirely so the draws
+            // are bit-identical to SyntheticSource's.
+            let mean = (1.0 + max_interval as f64) / 2.0;
+            return match self.arrival {
+                ArrivalDistribution::Uniform => rng.uniform_inclusive(1, max_interval),
+                ArrivalDistribution::Poisson => rng.poisson(mean).max(1),
+                ArrivalDistribution::Exponential => {
+                    (rng.exponential_with_mean(mean).round() as u64).max(1)
+                }
+            };
+        }
+        match self.arrival {
+            ArrivalDistribution::Uniform => {
+                // Scale the bound in integer space: m > 1000 shrinks it
+                // (peak load), m < 1000 widens it.
+                let bound = ((u128::from(max_interval) * 1000 / u128::from(m)).max(1)) as u64;
+                rng.uniform_inclusive(1, bound)
+            }
+            ArrivalDistribution::Poisson => {
+                let mean = (1.0 + max_interval as f64) / 2.0 * 1000.0 / m as f64;
+                rng.poisson(mean).max(1)
+            }
+            ArrivalDistribution::Exponential => {
+                let mean = (1.0 + max_interval as f64) / 2.0 * 1000.0 / m as f64;
+                (rng.exponential_with_mean(mean).round() as u64).max(1)
+            }
+        }
+    }
+}
+
+impl TaskSource for OpenSource {
+    fn next_task(&mut self, now: Ticks, rng: &mut Rng) -> SourceYield {
+        // Draw order mirrors SyntheticSource::next_task exactly.
+        let interarrival = self.draw_interarrival(now, rng);
+        let required_time = rng.uniform_inclusive(self.time_lo, self.time_hi);
+        let phantom = rng.bernoulli(self.phantom_fraction);
+        let (preferred, needed_area) = if phantom || self.num_configs == 0 {
+            let area = rng.uniform_inclusive(self.area_lo, self.area_hi);
+            (PreferredConfig::Phantom { area }, area)
+        } else {
+            let c = ConfigId::from_index(rng.index(self.num_configs));
+            (PreferredConfig::Known(c), 0)
+        };
+        let data_bytes = required_time.saturating_mul(8);
+        self.yielded += 1;
+        SourceYield::Task(TaskSpec {
+            interarrival,
+            required_time,
+            preferred,
+            needed_area,
+            data_bytes,
+        })
+    }
+
+    fn source_kind(&self) -> &'static str {
+        "open"
+    }
+
+    fn source_cursor(&self) -> u64 {
+        self.yielded
+    }
+
+    fn restore_cursor(&mut self, cursor: u64) -> bool {
+        // All draw state lives in the checkpointed RNG; the cursor is
+        // the yielded-task count, restored so subsequent snapshots keep
+        // counting from the right position.
+        self.yielded = cursor;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSource;
+    use dreamsim_engine::params::{ReconfigMode, ServiceParams};
+
+    fn service_params(day_length: u64, amplitude: u32) -> SimParams {
+        let mut p = SimParams::paper(100, 1000, ReconfigMode::Partial);
+        p.arrival = ArrivalDistribution::Poisson;
+        p.service = Some(ServiceParams {
+            horizon: 50_000,
+            day_length,
+            amplitude_permille: amplitude,
+            window: 0,
+            window_retain: 0,
+        });
+        p
+    }
+
+    fn draw(src: &mut impl TaskSource, now: Ticks, rng: &mut Rng) -> TaskSpec {
+        match src.next_task(now, rng) {
+            SourceYield::Task(t) => t,
+            other => panic!("open source yielded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_wave_hits_trough_peak_and_stays_in_range() {
+        let day = 1000;
+        assert_eq!(triangle_permille(0, day), -1000);
+        assert_eq!(triangle_permille(day / 2, day), 1000);
+        for phase in 0..day {
+            let t = triangle_permille(phase, day);
+            assert!((-1000..=1000).contains(&t), "phase {phase}: {t}");
+        }
+        // Odd day lengths stay in range too.
+        for phase in 0..999 {
+            let t = triangle_permille(phase, 999);
+            assert!((-1000..=1000).contains(&t), "phase {phase}: {t}");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_matches_the_synthetic_source_bit_for_bit() {
+        let p = service_params(2_000, 0);
+        let mut open = OpenSource::from_params(&p);
+        let mut synth = SyntheticSource::from_params(&p);
+        let mut rng_a = Rng::seed_from(42);
+        let mut rng_b = Rng::seed_from(42);
+        for now in 0..3_000u64 {
+            let a = draw(&mut open, now, &mut rng_a);
+            let b = match synth.next_task(now, &mut rng_b) {
+                SourceYield::Task(t) => t,
+                other => panic!("synthetic source yielded {other:?}"),
+            };
+            assert_eq!(a, b, "divergence at now={now}");
+        }
+    }
+
+    #[test]
+    fn peak_load_compresses_interarrivals_versus_the_trough() {
+        let day = 10_000u64;
+        let p = service_params(day, 800);
+        let mean_at = |now: Ticks| {
+            let mut src = OpenSource::from_params(&p);
+            let mut rng = Rng::seed_from(7);
+            let n = 4_000;
+            let sum: u64 = (0..n)
+                .map(|_| draw(&mut src, now, &mut rng).interarrival)
+                .sum();
+            sum as f64 / f64::from(n)
+        };
+        let trough = mean_at(0); // tri = -1000: slowest arrivals
+        let peak = mean_at(day / 2); // tri = +1000: fastest arrivals
+        assert!(
+            peak * 2.0 < trough,
+            "peak mean {peak} should be well under trough mean {trough}"
+        );
+    }
+
+    #[test]
+    fn burst_window_composes_with_the_diurnal_curve() {
+        let mut p = service_params(10_000, 0);
+        p.burst = Some(BurstWindow {
+            start: 100,
+            end: 200,
+            interval: 3,
+        });
+        p.arrival = ArrivalDistribution::Uniform;
+        let mut src = OpenSource::from_params(&p);
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..500 {
+            let t = draw(&mut src, 150, &mut rng);
+            assert!((1..=3).contains(&t.interarrival));
+        }
+    }
+
+    #[test]
+    fn cursor_counts_yields_and_round_trips() {
+        let p = service_params(2_000, 300);
+        let mut src = OpenSource::from_params(&p);
+        let mut rng = Rng::seed_from(5);
+        assert_eq!(src.source_cursor(), 0);
+        for _ in 0..17 {
+            let _ = draw(&mut src, 0, &mut rng);
+        }
+        assert_eq!(src.source_cursor(), 17);
+        let mut fresh = OpenSource::from_params(&p);
+        assert!(fresh.restore_cursor(17));
+        assert_eq!(fresh.source_cursor(), 17);
+        assert_eq!(fresh.source_kind(), "open");
+    }
+}

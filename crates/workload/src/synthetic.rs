@@ -232,6 +232,85 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_burst_window_is_never_active() {
+        use dreamsim_engine::params::BurstWindow;
+        // Validation rejects start >= end, but the source must also be
+        // safe by construction: an empty [start, start) range contains
+        // no tick, so the draw sequence is bit-identical to burst-free.
+        let plain = specs(2_000, |_| {});
+        let degenerate = specs(2_000, |p| {
+            p.burst = Some(BurstWindow {
+                start: 0,
+                end: 0,
+                interval: 1,
+            });
+        });
+        assert_eq!(plain, degenerate);
+    }
+
+    #[test]
+    fn burst_window_past_the_horizon_is_rng_neutral() {
+        use dreamsim_engine::params::BurstWindow;
+        // A window that opens after every arrival in the run has been
+        // drawn never activates and never perturbs the RNG stream.
+        let plain = specs(2_000, |_| {});
+        let future = specs(2_000, |p| {
+            p.burst = Some(BurstWindow {
+                start: u64::MAX - 1,
+                end: u64::MAX,
+                interval: 1,
+            });
+        });
+        assert_eq!(plain, future);
+    }
+
+    #[test]
+    fn burst_window_overlapping_the_stream_boundary_is_half_open() {
+        use dreamsim_engine::params::BurstWindow;
+        // A window straddling tick 0 is active at its first tick and
+        // inactive from `end` onward, and the per-task draw count is
+        // one either way: draws outside the window stay bit-identical
+        // to the burst-free stream even when the window overlaps the
+        // sampled range.
+        let mut p = SimParams::paper(100, 1000, ReconfigMode::Partial);
+        p.burst = Some(BurstWindow {
+            start: 0,
+            end: 50,
+            interval: 2,
+        });
+        let mut src = SyntheticSource::from_params(&p);
+        let mut rng = Rng::seed_from(11);
+        for _ in 0..500 {
+            match src.next_task(0, &mut rng) {
+                SourceYield::Task(t) => assert!((1..=2).contains(&t.interarrival)),
+                other => panic!("synthetic source yielded {other:?}"),
+            }
+        }
+        // From `end` onward the draws match a burst-free source that
+        // consumed the same number of draws beforehand.
+        let mut plain = SyntheticSource::from_params(&{
+            let mut q = p.clone();
+            q.burst = None;
+            q
+        });
+        let mut rng_plain = Rng::seed_from(11);
+        for _ in 0..500 {
+            let _ = plain.next_task(0, &mut rng_plain);
+        }
+        for _ in 0..500 {
+            let a = match src.next_task(50, &mut rng) {
+                SourceYield::Task(t) => t,
+                other => panic!("synthetic source yielded {other:?}"),
+            };
+            let b = match plain.next_task(50, &mut rng_plain) {
+                SourceYield::Task(t) => t,
+                other => panic!("synthetic source yielded {other:?}"),
+            };
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn burst_outside_the_window_leaves_the_draw_sequence_untouched() {
         use dreamsim_engine::params::BurstWindow;
         // All specs are drawn at now=0, outside this window, so the RNG
