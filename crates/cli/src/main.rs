@@ -26,8 +26,8 @@ mod args;
 use args::{ArgError, Args};
 use dreamsim_engine::{
     read_checkpoint, AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind,
-    DomainParams, ReconfigMode, Report, RunOptions, RunResult, ScriptedOutage, SearchBackend,
-    SimParams, Simulation,
+    DomainParams, EventQueueBackend, ReconfigMode, Report, RunOptions, RunResult, ScriptedOutage,
+    SearchBackend, SimParams, Simulation, StatsBackend,
 };
 use dreamsim_rng::Rng;
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
@@ -58,6 +58,7 @@ USAGE:
                [--checkpoint-every TICKS] [--checkpoint-dir DIR]
                [--audit] [--audit-every TICKS] [--resume-from FILE]
                [--search auto|linear|indexed]
+               [--event-queue heap|calendar] [--stats exact|sketch]
                [--report table|xml|json|csv] [--out FILE]
   dreamsim figures [--fig 6a|6b|7a|7b|8a|8b|9a|9b|10|all]
                    [--max-tasks N | --tasks N1,N2,...]
@@ -69,6 +70,9 @@ USAGE:
                         [--rounds N] [--seed S] [--out FILE]
   dreamsim bench-grid [--nodes N1,N2,...] [--tasks N1,N2,...]
                       [--jobs J1,J2,...] [--seed S] [--out FILE]
+  dreamsim bench-scale [--nodes N1,N2,...] [--tasks-per-node N]
+                       [--seed S] [--verify-max-nodes N] [--reps N]
+                       [--out FILE]
   dreamsim chaos [--script FILE] [--no-drill] [--audit-every TICKS]
                  [--work-dir DIR] [--report csv|json] [--out FILE]
   dreamsim serve [--nodes N] [--seed S] [--mode full|partial]
@@ -162,6 +166,21 @@ bench-search measures both backends (search-time micro benchmark plus
 end-to-end runs) and writes the results as JSON (default
 BENCH_search.json).
 
+Scale backends: --event-queue selects the pending-event structure. heap
+(default) is the binary heap; calendar is a Brown-style calendar queue
+with O(1) amortized operations that pops the exact same (time, seq)
+order, so reports and checkpoints are byte-identical under both (the
+differential suite proves it). --stats selects wait-time statistics:
+exact (default) stores every wait sample; sketch replaces the unbounded
+sample vector with a fixed-size integer quantile sketch whose
+percentiles match exact to within 1/128 relative error (and are
+byte-identical below the 4096-sample exact window). Both flags also
+apply to --resume-from: checkpoints are backend-agnostic and the chosen
+structures are rebuilt from the restored state. bench-scale times the
+seed path (heap+exact) against the scale path (calendar+sketch) over a
+node ladder, records peak RSS per rung, cross-checks report
+byte-identity up to --verify-max-nodes, and writes BENCH_scale.json.
+
 Parallel sweeps: figures and ablations fan their independent simulation
 points across --jobs worker threads (0 or omitted = all hardware
 threads; --threads is an alias). Results are merged in point order, so
@@ -184,6 +203,7 @@ fn main() -> ExitCode {
         Some("ablations") => cmd_ablations(&args),
         Some("bench-search") => cmd_bench_search(&args),
         Some("bench-grid") => cmd_bench_grid(&args),
+        Some("bench-scale") => cmd_bench_scale(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("serve") => cmd_serve(&args),
         Some("trace") => cmd_trace(&args),
@@ -221,6 +241,18 @@ fn parse_search(args: &Args) -> Result<SearchBackend, ArgError> {
             "--search must be auto, linear, or indexed, got {s:?}"
         ))
     })
+}
+
+fn parse_event_queue(args: &Args) -> Result<EventQueueBackend, ArgError> {
+    let s = args.get("event-queue", "heap");
+    EventQueueBackend::parse(s)
+        .ok_or_else(|| ArgError(format!("--event-queue must be heap or calendar, got {s:?}")))
+}
+
+fn parse_stats(args: &Args) -> Result<StatsBackend, ArgError> {
+    let s = args.get("stats", "exact");
+    StatsBackend::parse(s)
+        .ok_or_else(|| ArgError(format!("--stats must be exact or sketch, got {s:?}")))
 }
 
 /// Worker count for parallel sweeps: `--jobs N` (preferred), with
@@ -515,6 +547,36 @@ fn trace_from_args(args: &Args, num_configs: usize) -> Result<TraceSource, ArgEr
     }
 }
 
+/// The trio of derived-state backends `run` can select: checkpoints
+/// store none of them, so they are re-applied identically to fresh and
+/// resumed simulations.
+#[derive(Clone, Copy)]
+struct Backends {
+    search: SearchBackend,
+    queue: EventQueueBackend,
+    stats: StatsBackend,
+}
+
+impl Backends {
+    fn from_args(args: &Args) -> Result<Self, ArgError> {
+        Ok(Self {
+            search: parse_search(args)?,
+            queue: parse_event_queue(args)?,
+            stats: parse_stats(args)?,
+        })
+    }
+
+    fn apply<S, P>(self, sim: Simulation<S, P>) -> Simulation<S, P>
+    where
+        S: dreamsim_engine::TaskSource,
+        P: dreamsim_engine::SchedulePolicy,
+    {
+        sim.with_search_backend(self.search)
+            .with_event_queue_backend(self.queue)
+            .with_stats_backend(self.stats)
+    }
+}
+
 /// `run --resume-from FILE`: restore a checkpoint and continue. The
 /// simulation parameters (and for synthetic workloads the entire task
 /// stream) come from the checkpoint itself; trace/SWF runs re-supply the
@@ -522,7 +584,7 @@ fn trace_from_args(args: &Args, num_configs: usize) -> Result<TraceSource, ArgEr
 fn resume_run(
     args: &Args,
     run_opts: &RunOptions,
-    search: SearchBackend,
+    backends: Backends,
 ) -> Result<RunResult, ArgError> {
     let path = args.get("resume-from", "");
     let cp = read_checkpoint(Path::new(path))
@@ -549,9 +611,11 @@ fn resume_run(
     let result = match cp.source_kind() {
         "synthetic" => {
             let source = SyntheticSource::from_params(cp.params());
-            Simulation::resume(cp, source, policy)
-                .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
-                .with_search_backend(search)
+            backends
+                .apply(
+                    Simulation::resume(cp, source, policy)
+                        .map_err(|e| ArgError(format!("restoring {path}: {e}")))?,
+                )
                 .run_with(run_opts)
         }
         "trace" => {
@@ -562,9 +626,11 @@ fn resume_run(
                 ));
             }
             let source = trace_from_args(args, cp.params().total_configs)?;
-            Simulation::resume(cp, source, policy)
-                .map_err(|e| ArgError(format!("restoring {path}: {e}")))?
-                .with_search_backend(search)
+            backends
+                .apply(
+                    Simulation::resume(cp, source, policy)
+                        .map_err(|e| ArgError(format!("restoring {path}: {e}")))?,
+                )
                 .run_with(run_opts)
         }
         "open" => {
@@ -585,9 +651,9 @@ fn resume_run(
 
 fn cmd_run(args: &Args) -> Result<(), ArgError> {
     let run_opts = run_options_from_args(args)?;
-    let search = parse_search(args)?;
+    let backends = Backends::from_args(args)?;
     let result: RunResult = if args.has("resume-from") {
-        resume_run(args, &run_opts, search)?
+        resume_run(args, &run_opts, backends)?
     } else {
         let params = params_from_args(args)?;
         let strategy = parse_strategy(args.get("policy", "best-fit"))?;
@@ -597,16 +663,16 @@ fn cmd_run(args: &Args) -> Result<(), ArgError> {
             let mut p = params;
             // Replay exactly the trace, whatever --tasks said.
             p.total_tasks = source.len();
-            Simulation::new(p, source, policy)
-                .map_err(|e| ArgError(e.to_string()))?
-                .with_search_backend(search)
+            backends
+                .apply(Simulation::new(p, source, policy).map_err(|e| ArgError(e.to_string()))?)
                 .run_with(&run_opts)
                 .map_err(|e| ArgError(e.to_string()))?
         } else {
             let source = SyntheticSource::from_params(&params);
-            Simulation::new(params, source, policy)
-                .map_err(|e| ArgError(e.to_string()))?
-                .with_search_backend(search)
+            backends
+                .apply(
+                    Simulation::new(params, source, policy).map_err(|e| ArgError(e.to_string()))?,
+                )
                 .run_with(&run_opts)
                 .map_err(|e| ArgError(e.to_string()))?
         }
@@ -971,6 +1037,51 @@ fn cmd_bench_grid(args: &Args) -> Result<(), ArgError> {
         "wrote {out} ({} hardware threads, checksum {:016x}, all runs identical: {})",
         report.hardware_threads, report.checksum, report.checksums_identical
     );
+    Ok(())
+}
+
+/// `bench-scale`: climb a node ladder timing the seed path (heap queue +
+/// exact stats) against the scale path (calendar queue + quantile
+/// sketch), record per-rung wall time and peak RSS, cross-check report
+/// byte-identity at exact-capable sizes, and write `BENCH_scale.json`.
+fn cmd_bench_scale(args: &Args) -> Result<(), ArgError> {
+    let seed = args.get_num("seed", 2012u64)?;
+    let node_ladder: Vec<usize> = if args.has("nodes") {
+        args.get_list("nodes", &[])?
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    };
+    if node_ladder.is_empty() || node_ladder.contains(&0) {
+        return Err(ArgError("--nodes ladder entries must be > 0".into()));
+    }
+    let tasks_per_node = args.get_num("tasks-per-node", 2usize)?;
+    if tasks_per_node == 0 {
+        return Err(ArgError("--tasks-per-node must be > 0".into()));
+    }
+    let verify_max_nodes = args.get_num("verify-max-nodes", 10_000usize)?;
+    let reps = args.get_num("reps", 1usize)?;
+    eprintln!(
+        "benchmarking scale ladder: nodes {node_ladder:?} x {tasks_per_node} tasks/node, \
+         cross-check up to {verify_max_nodes} nodes (seed {seed})"
+    );
+    let report =
+        dreamsim_sweep::run_scale_bench(&node_ladder, tasks_per_node, seed, verify_max_nodes, reps);
+    for r in &report.rungs {
+        println!(
+            "scale  n{:<8} t{:<8} heap+exact {:>13} ns  calendar+sketch {:>13} ns  \
+             speedup {:.2}x  peak rss {:>9} kB  cross-checked: {}",
+            r.nodes,
+            r.tasks,
+            r.heap_exact_ns,
+            r.calendar_sketch_ns,
+            r.speedup,
+            r.peak_rss_kb,
+            r.reports_cross_checked
+        );
+    }
+    let out = args.get("out", "BENCH_scale.json");
+    std::fs::write(out, report.to_json()).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!("wrote {out} ({} rungs)", report.rungs.len());
     Ok(())
 }
 

@@ -333,6 +333,89 @@ fn bench_grid_writes_json_report() {
 }
 
 #[test]
+fn event_queue_and_stats_backends_match_defaults_byte_for_byte() {
+    // 100 tasks sits far below the sketch's 4096-sample exact window, so
+    // every backend combination must render the identical report.
+    let run = |queue: &str, stats: &str| {
+        run_ok(&[
+            "run",
+            "--nodes",
+            "20",
+            "--tasks",
+            "100",
+            "--seed",
+            "3",
+            "--event-queue",
+            queue,
+            "--stats",
+            stats,
+            "--report",
+            "csv",
+        ])
+    };
+    let base = run("heap", "exact");
+    assert_eq!(base, run("calendar", "exact"), "calendar queue diverged");
+    assert_eq!(base, run("heap", "sketch"), "sketch stats diverged");
+    assert_eq!(
+        base,
+        run("calendar", "sketch"),
+        "combined backends diverged"
+    );
+    let bad_queue = dreamsim()
+        .args(["run", "--event-queue", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad_queue.status.success());
+    assert!(String::from_utf8_lossy(&bad_queue.stderr)
+        .contains("--event-queue must be heap or calendar"));
+    let bad_stats = dreamsim()
+        .args(["run", "--stats", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad_stats.status.success());
+    assert!(String::from_utf8_lossy(&bad_stats.stderr).contains("--stats must be exact or sketch"));
+}
+
+#[test]
+fn bench_scale_writes_json_report() {
+    let dir = std::env::temp_dir().join(format!("dreamsim-bench-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_scale.json");
+    let stdout = run_ok(&[
+        "bench-scale",
+        "--nodes",
+        "20,40",
+        "--tasks-per-node",
+        "5",
+        "--seed",
+        "7",
+        "--verify-max-nodes",
+        "40",
+        "--reps",
+        "1",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("cross-checked: true"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["benchmark"], "scale-ladder");
+    assert_eq!(v["seed"], 7);
+    assert_eq!(v["rungs"][0]["nodes"], 20);
+    assert_eq!(v["rungs"][0]["tasks"], 100);
+    assert_eq!(v["rungs"][1]["nodes"], 40);
+    assert_eq!(v["rungs"][1]["reports_cross_checked"], true);
+    // A zero entry in the node ladder is rejected up front.
+    let bad = dreamsim()
+        .args(["bench-scale", "--nodes", "0,20"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--nodes ladder"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_from_missing_path_is_a_typed_error_not_a_panic() {
     let missing = "/no/such/dir/checkpoint-000000001000.dsc";
     let out = dreamsim()

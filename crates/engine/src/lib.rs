@@ -41,7 +41,7 @@ pub use checkpoint::{
     read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, FORMAT_VERSION,
 };
 pub use dreamsim_model::SearchBackend;
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, EventQueueBackend};
 pub use fault::FaultModel;
 pub use monitor::{NullObserver, Observer, RecordingMonitor};
 pub use params::{
@@ -59,4 +59,6 @@ pub use sim::{
     Decision, DiscardReason, PlacePhase, Placement, Resume, RunError, RunOptions, RunResult,
     SchedCtx, SchedulePolicy, SimScratch, Simulation, SourceYield, TaskSource, TaskSpec, TaskTable,
 };
-pub use stats::{Metrics, PhaseCounts, PhaseKind, Stats, WindowBucket, WindowStats};
+pub use stats::{
+    Metrics, PhaseCounts, PhaseKind, Stats, StatsBackend, WaitSketch, WindowBucket, WindowStats,
+};

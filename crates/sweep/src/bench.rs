@@ -491,6 +491,186 @@ pub fn run_grid_bench(
     }
 }
 
+// ----------------------------------------------------------------------
+// Scale benchmark (`dreamsim bench-scale` / BENCH_scale.json)
+// ----------------------------------------------------------------------
+
+/// Process peak resident-set size (`VmHWM`) in KiB, read from
+/// `/proc/self/status`; 0 on platforms without procfs.
+///
+/// `VmHWM` is the process-lifetime *high-water mark*, so it is
+/// cumulative across rungs: the scale bench runs its ladder in
+/// ascending node order and reads the mark right after each rung's
+/// scale-path run, which makes the recorded value ≈ that rung's own
+/// peak (every earlier rung is an order of magnitude smaller).
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// One rung of the scale ladder: the same workload timed under the
+/// scale path (calendar queue + sketch stats) and the seed path
+/// (binary heap + exact samples).
+#[derive(Clone, Debug)]
+pub struct ScaleRung {
+    /// Node count of the rung.
+    pub nodes: usize,
+    /// Task count of the rung (`nodes × tasks_per_node`).
+    pub tasks: usize,
+    /// Wall time under the seed path (heap queue, exact stats), ns;
+    /// best of the configured repetitions.
+    pub heap_exact_ns: u128,
+    /// Wall time under the scale path (calendar queue, sketch stats),
+    /// ns; best of the configured repetitions.
+    pub calendar_sketch_ns: u128,
+    /// `heap_exact_ns / calendar_sketch_ns`.
+    pub speedup: f64,
+    /// Peak RSS in KiB right after the scale-path run (see
+    /// [`peak_rss_kb`] for the cumulative caveat).
+    pub peak_rss_kb: u64,
+    /// Whether the calendar-queue report was verified byte-identical
+    /// to the heap report at this rung (done up to the configured
+    /// verification ceiling; `false` means *not checked here*, never
+    /// "checked and differed" — a difference panics).
+    pub reports_cross_checked: bool,
+}
+
+/// Full scale-ladder output, serializable to `BENCH_scale.json`.
+#[derive(Clone, Debug)]
+pub struct ScaleBenchReport {
+    /// Base seed the rung seeds derive from.
+    pub seed: u64,
+    /// Tasks generated per node at every rung.
+    pub tasks_per_node: usize,
+    /// Largest rung at which the calendar-vs-heap report cross-check
+    /// ran.
+    pub verify_max_nodes: usize,
+    /// Ladder rungs, ascending node counts.
+    pub rungs: Vec<ScaleRung>,
+}
+
+impl ScaleBenchReport {
+    /// Serialize to the committed `BENCH_scale.json` schema
+    /// (hand-rolled for the same reasons as
+    /// [`SearchBenchReport::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"scale-ladder\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"tasks_per_node\": {},", self.tasks_per_node);
+        let _ = writeln!(out, "  \"verify_max_nodes\": {},", self.verify_max_nodes);
+        let _ = writeln!(out, "  \"rungs\": [");
+        for (i, r) in self.rungs.iter().enumerate() {
+            let comma = if i + 1 < self.rungs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"nodes\": {}, \"tasks\": {}, \"heap_exact_ns\": {}, \
+                 \"calendar_sketch_ns\": {}, \"speedup\": {:.2}, \"peak_rss_kb\": {}, \
+                 \"reports_cross_checked\": {}}}{comma}",
+                r.nodes,
+                r.tasks,
+                r.heap_exact_ns,
+                r.calendar_sketch_ns,
+                r.speedup,
+                r.peak_rss_kb,
+                r.reports_cross_checked
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn time_reps<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, u128) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos().max(1));
+        out = Some(r);
+    }
+    // INVARIANT: reps is clamped to >= 1, so the loop body ran.
+    (out.expect("reps >= 1"), best)
+}
+
+/// Run the scale ladder: at each rung (ascending `node_ladder`, tasks
+/// scaled as `nodes × tasks_per_node`) time the scale path (calendar
+/// queue + sketch stats) and the seed path (heap + exact), record peak
+/// RSS, and — up to `verify_max_nodes` — cross-check that the calendar
+/// queue reproduces the heap's XML report byte for byte (with exact
+/// stats on both sides, so the comparison isolates the queue; the
+/// sketch-vs-exact identity below its window is pinned separately by
+/// the differential battery).
+///
+/// # Panics
+/// Panics if parameters fail validation or a cross-check finds a
+/// report difference — timings of diverging runs are meaningless.
+#[must_use]
+pub fn run_scale_bench(
+    node_ladder: &[usize],
+    tasks_per_node: usize,
+    seed: u64,
+    verify_max_nodes: usize,
+    reps: usize,
+) -> ScaleBenchReport {
+    let mut rungs = Vec::with_capacity(node_ladder.len());
+    for &nodes in node_ladder {
+        let tasks = nodes.saturating_mul(tasks_per_node);
+        let mut params = SimParams::paper(nodes, tasks, ReconfigMode::Partial);
+        params.seed = dreamsim_rng::derive_stream(seed, nodes as u64);
+        let label = format!("scale-n{nodes}");
+        let scale_point = SweepPoint::new(label.clone(), params.clone())
+            .with_queue(dreamsim_engine::EventQueueBackend::Calendar)
+            .with_stats(dreamsim_engine::StatsBackend::Sketch);
+        let seed_point = SweepPoint::new(label.clone(), params.clone());
+        let (_, calendar_sketch_ns) = time_reps(reps, || run_point(&scale_point));
+        let peak = peak_rss_kb();
+        let (heap_report, heap_exact_ns) = time_reps(reps, || run_point(&seed_point));
+        let cross_checked = nodes <= verify_max_nodes;
+        if cross_checked {
+            let cal_exact = run_point(
+                &SweepPoint::new(label, params)
+                    .with_queue(dreamsim_engine::EventQueueBackend::Calendar),
+            );
+            assert_eq!(
+                heap_report.to_xml(),
+                cal_exact.to_xml(),
+                "calendar queue diverged from heap at n{nodes}"
+            );
+        }
+        rungs.push(ScaleRung {
+            nodes,
+            tasks,
+            heap_exact_ns,
+            calendar_sketch_ns,
+            speedup: heap_exact_ns as f64 / calendar_sketch_ns as f64,
+            peak_rss_kb: peak,
+            reports_cross_checked: cross_checked,
+        });
+    }
+    ScaleBenchReport {
+        seed,
+        tasks_per_node,
+        verify_max_nodes,
+        rungs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +706,37 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(report.peak_micro_speedup() > 0.0);
+    }
+
+    #[test]
+    fn scale_bench_serializes_expected_schema_and_cross_checks() {
+        let report = run_scale_bench(&[20, 40], 10, 7, 20, 1);
+        assert_eq!(report.rungs.len(), 2);
+        assert_eq!(report.rungs[0].tasks, 200);
+        assert!(report.rungs[0].reports_cross_checked, "20 <= verify cap");
+        assert!(!report.rungs[1].reports_cross_checked, "40 > verify cap");
+        assert!(report.rungs.iter().all(|r| r.calendar_sketch_ns > 0));
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"scale-ladder\"",
+            "\"tasks_per_node\": 10",
+            "\"verify_max_nodes\": 20",
+            "\"heap_exact_ns\"",
+            "\"calendar_sketch_ns\"",
+            "\"peak_rss_kb\"",
+            "\"reports_cross_checked\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn peak_rss_reads_a_nonzero_high_water_mark_on_linux() {
+        // The committed BENCH_scale.json promises a real peak-RSS
+        // column; on the Linux CI/dev hosts procfs must deliver one.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod figures;
 pub mod parallel;
 pub mod runner;
 
-pub use bench::{run_grid_bench, run_search_bench, GridBenchReport, SearchBenchReport};
+pub use bench::{
+    peak_rss_kb, run_grid_bench, run_scale_bench, run_search_bench, GridBenchReport,
+    ScaleBenchReport, ScaleRung, SearchBenchReport,
+};
 pub use chaos::{
     parse_campaign, run_campaign, service_drill, CampaignCase, CampaignOptions, CampaignReport,
     ChaosError, ChaosScenario, DrillResult, ServiceDrillReport, BUILTIN_CAMPAIGN,

@@ -6,7 +6,10 @@
 //! produce identical reports — pinned by the determinism tests.
 
 use crate::parallel::{cost_descending_order, effective_jobs, run_ordered};
-use dreamsim_engine::{Report, RunOptions, SearchBackend, SimParams, SimScratch, Simulation};
+use dreamsim_engine::{
+    EventQueueBackend, Report, RunOptions, SearchBackend, SimParams, SimScratch, Simulation,
+    StatsBackend,
+};
 use dreamsim_sched::{AllocationStrategy, CaseStudyScheduler};
 use dreamsim_workload::SyntheticSource;
 
@@ -46,6 +49,13 @@ pub struct SweepPoint {
     /// (DESIGN.md §11), so this changes wall-clock speed only, never the
     /// report — which is why it lives outside [`SimParams`].
     pub search: SearchBackend,
+    /// Event-queue backend. Byte-equivalent in reports *and*
+    /// checkpoints (DESIGN.md §16); lives outside [`SimParams`] for the
+    /// same reason as `search`.
+    pub queue: EventQueueBackend,
+    /// Waiting-time statistics backend. Byte-equivalent up to the
+    /// sketch's exact window, error-bounded beyond (DESIGN.md §16).
+    pub stats: StatsBackend,
 }
 
 impl SweepPoint {
@@ -63,6 +73,8 @@ impl SweepPoint {
             params,
             policy: PolicyConfig::paper(),
             search: SearchBackend::Auto,
+            queue: EventQueueBackend::Heap,
+            stats: StatsBackend::Exact,
         }
     }
 
@@ -77,6 +89,20 @@ impl SweepPoint {
     #[must_use]
     pub fn with_search(mut self, search: SearchBackend) -> Self {
         self.search = search;
+        self
+    }
+
+    /// Builder-style event-queue-backend override.
+    #[must_use]
+    pub fn with_queue(mut self, queue: EventQueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Builder-style statistics-backend override.
+    #[must_use]
+    pub fn with_stats(mut self, stats: StatsBackend) -> Self {
+        self.stats = stats;
         self
     }
 }
@@ -106,7 +132,9 @@ pub fn run_point_with_scratch(point: &SweepPoint, scratch: &mut SimScratch) -> R
             // INVARIANT: sweep declarations are programmer input (documented
             // panic above), validated once per point.
             .expect("sweep point parameters must validate")
-            .with_search_backend(point.search);
+            .with_search_backend(point.search)
+            .with_event_queue_backend(point.queue)
+            .with_stats_backend(point.stats);
     let result = sim
         .run_with_scratch(&RunOptions::default(), scratch)
         // INVARIANT: RunError only arises from checkpoint I/O or a
@@ -286,6 +314,29 @@ mod tests {
         let idx = run_point(&point.clone().with_search(SearchBackend::Indexed));
         assert_eq!(lin.metrics, idx.metrics, "backends must be equivalent");
         assert_eq!(lin.to_xml(), idx.to_xml());
+    }
+
+    #[test]
+    fn queue_and_stats_backend_points_report_identically() {
+        let point = small(9, ReconfigMode::Partial);
+        let base = run_point(&point);
+        let cal = run_point(&point.clone().with_queue(EventQueueBackend::Calendar));
+        assert_eq!(
+            base.metrics, cal.metrics,
+            "queue backends must be equivalent"
+        );
+        assert_eq!(base.to_xml(), cal.to_xml());
+        // 200 placed tasks sit far below the sketch's exact window, so
+        // the sketch report is byte-identical too.
+        let sk = run_point(&point.clone().with_stats(StatsBackend::Sketch));
+        assert_eq!(base.to_xml(), sk.to_xml());
+        let both = run_point(
+            &point
+                .clone()
+                .with_queue(EventQueueBackend::Calendar)
+                .with_stats(StatsBackend::Sketch),
+        );
+        assert_eq!(base.to_xml(), both.to_xml());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Checkpoint-size regression for the scale backends (DESIGN.md §16).
+//!
+//! The seed checkpoint format carried every waiting-time sample
+//! (`wait_samples`), an O(task count) payload that dominates snapshots
+//! of large runs. Under `StatsBackend::Sketch` the samples are folded
+//! into a fixed-structure quantile sketch, so the statistics portion of
+//! a checkpoint must stay **flat** as the task ladder climbs.
+
+use dreamsim::engine::{ReconfigMode, RunOptions, SimParams, Simulation, StatsBackend};
+use dreamsim::sched::CaseStudyScheduler;
+use dreamsim::workload::SyntheticSource;
+use std::path::{Path, PathBuf};
+
+fn params(tasks: usize, seed: u64) -> SimParams {
+    let mut p = SimParams::paper(20, tasks, ReconfigMode::Partial);
+    p.seed = seed;
+    // Short tasks keep the big rungs fast.
+    p.task_time = dreamsim::engine::params::Range::new(10, 2_000);
+    p
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dreamsim-cpscale-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run a synthetic workload with periodic checkpoints and return the
+/// bytes of the **last** checkpoint written — the one with the most
+/// waiting-time samples accumulated.
+fn last_checkpoint(p: &SimParams, stats: StatsBackend, dir: &Path) -> Vec<u8> {
+    let opts = RunOptions {
+        checkpoint_every: Some(100_000),
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..RunOptions::default()
+    };
+    Simulation::new(
+        p.clone(),
+        SyntheticSource::from_params(p),
+        CaseStudyScheduler::new(),
+    )
+    .unwrap()
+    .with_stats_backend(stats)
+    .run_with(&opts)
+    .unwrap();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let last = files.last().expect("run long enough to checkpoint");
+    std::fs::read(last).unwrap()
+}
+
+/// Serialized size of one named field of the checkpoint's JSON payload
+/// (the bytes after the `DREAMSIM-CHECKPOINT` header line).
+fn field_size(checkpoint: &[u8], field: &str) -> usize {
+    let text = std::str::from_utf8(checkpoint).unwrap();
+    let payload = text.split_once('\n').expect("header line").1;
+    let v: serde_json::Value = serde_json::from_str(payload).expect("valid JSON payload");
+    serde_json::to_string(&v[field]).unwrap().len()
+}
+
+/// Climbing the task ladder 6k → 24k must leave the sketch-mode
+/// statistics payload flat (both rungs sit past the sketch's collapse
+/// threshold, so both serialize the fixed bucket structure), while the
+/// exact-mode payload demonstrably grows with the ladder.
+#[test]
+fn sketch_mode_checkpoint_stats_payload_is_flat_across_the_ladder() {
+    let rungs = [6_000usize, 24_000];
+    let mut sketch_stats = Vec::new();
+    let mut exact_waits = Vec::new();
+    let mut file_sizes = Vec::new();
+    for (i, &tasks) in rungs.iter().enumerate() {
+        let p = params(tasks, 0xC0DE + i as u64);
+        let sk_dir = fresh_dir(&format!("sk{tasks}"));
+        let ex_dir = fresh_dir(&format!("ex{tasks}"));
+        let sk = last_checkpoint(&p, StatsBackend::Sketch, &sk_dir);
+        let ex = last_checkpoint(&p, StatsBackend::Exact, &ex_dir);
+        // Sketch mode never carries raw samples.
+        assert_eq!(
+            field_size(&sk, "wait_samples"),
+            "[]".len(),
+            "n={tasks}: sketch-mode checkpoint still carries wait samples"
+        );
+        sketch_stats.push(field_size(&sk, "stats"));
+        exact_waits.push(field_size(&ex, "wait_samples"));
+        file_sizes.push((sk.len(), ex.len()));
+        std::fs::remove_dir_all(&sk_dir).ok();
+        std::fs::remove_dir_all(&ex_dir).ok();
+    }
+    // End-to-end, at the top rung (where the O(n) sample vector has
+    // outgrown the fixed sketch): the sketch checkpoint file is
+    // strictly smaller than the exact one.
+    let (sk_top, ex_top) = file_sizes[1];
+    assert!(
+        sk_top < ex_top,
+        "top rung: sketch file {sk_top} >= exact file {ex_top}"
+    );
+    let (small, large) = (sketch_stats[0], sketch_stats[1]);
+    assert!(
+        large <= small * 2 && large < 80_000,
+        "sketch stats payload not flat: {small} bytes at {}k tasks, {large} at {}k",
+        rungs[0] / 1000,
+        rungs[1] / 1000
+    );
+    assert!(
+        exact_waits[1] > exact_waits[0] * 2,
+        "expected exact-mode wait samples to grow with the ladder: {exact_waits:?}"
+    );
+    // The removed hazard, head-on: the exact payload at the top rung
+    // dwarfs the entire sketch statistics block.
+    assert!(
+        exact_waits[1] > sketch_stats[1] * 4,
+        "exact wait samples {} should dwarf sketch stats {}",
+        exact_waits[1],
+        sketch_stats[1]
+    );
+}

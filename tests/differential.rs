@@ -1,11 +1,20 @@
-//! Differential equivalence suite for the search backends (DESIGN.md
-//! §11): every policy × reconfiguration mode × fault-injection cell must
-//! produce **byte-identical** reports and checkpoints under the linear
-//! and indexed backends, and a run may switch backends at any
-//! checkpoint boundary without perturbing anything.
+//! Differential equivalence suite for the derived-state backends.
+//!
+//! Search backends (DESIGN.md §11): every policy × reconfiguration mode
+//! × fault-injection cell must produce **byte-identical** reports and
+//! checkpoints under the linear and indexed backends, and a run may
+//! switch backends at any checkpoint boundary without perturbing
+//! anything.
+//!
+//! Scale backends (DESIGN.md §16): the calendar event queue must be
+//! byte-identical to the binary heap — reports *and* checkpoints —
+//! across policies × drivers × fault-on/off, and the quantile-sketch
+//! statistics must render byte-identical reports at exact-capable sizes
+//! (below the sketch's 4096-sample exact window).
 
 use dreamsim::engine::{
-    read_checkpoint, ReconfigMode, RunOptions, RunResult, SearchBackend, SimParams, Simulation,
+    read_checkpoint, EventQueueBackend, ReconfigMode, RunOptions, RunResult, SearchBackend,
+    SimParams, Simulation, StatsBackend,
 };
 use dreamsim::sched::{AllocationStrategy, CaseStudyScheduler};
 use dreamsim::workload::SyntheticSource;
@@ -168,6 +177,252 @@ fn resume_mid_run_and_switch_backend() {
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Which simulation driver a differential cell runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Driver {
+    /// Event-driven clock (the default).
+    Event,
+    /// Literal tick-by-tick clock (ablation A4); probes the queue with
+    /// one `pop_due` miss per idle tick, the calendar's cursor hot path.
+    Tick,
+}
+
+/// Run one cell under an explicit queue/stats backend pair and driver.
+fn run_cell_scale(
+    p: &SimParams,
+    strategy: AllocationStrategy,
+    queue: EventQueueBackend,
+    stats: StatsBackend,
+    driver: Driver,
+    checkpoint_dir: Option<&Path>,
+) -> RunResult {
+    let opts = RunOptions {
+        checkpoint_every: checkpoint_dir.map(|_| 5_000),
+        checkpoint_dir: checkpoint_dir.map(Path::to_path_buf),
+        ..RunOptions::default()
+    };
+    let sim = Simulation::new(
+        p.clone(),
+        SyntheticSource::from_params(p),
+        CaseStudyScheduler::with_strategy(strategy),
+    )
+    .unwrap()
+    .with_event_queue_backend(queue)
+    .with_stats_backend(stats);
+    match driver {
+        Driver::Event => sim.run_with(&opts),
+        Driver::Tick => sim.run_tick_stepped_with(&opts),
+    }
+    .unwrap()
+}
+
+/// Scale-backend tentpole guarantee, queue half: the calendar event
+/// queue is byte-identical to the binary heap — reports (XML and JSON),
+/// metrics, task tables, *and* every mid-run checkpoint — across every
+/// policy × driver × fault cell.
+#[test]
+fn queue_backend_grid_reports_and_checkpoints_byte_identical() {
+    for strategy in STRATEGIES {
+        for driver in [Driver::Event, Driver::Tick] {
+            for faults in [false, true] {
+                let cell = format!("{strategy:?}/{driver:?}/faults={faults}");
+                let p = params(ReconfigMode::Partial, faults, 0xCA1);
+                let heap_dir = fresh_dir("heap");
+                let cal_dir = fresh_dir("cal");
+                let heap = run_cell_scale(
+                    &p,
+                    strategy,
+                    EventQueueBackend::Heap,
+                    StatsBackend::Exact,
+                    driver,
+                    Some(&heap_dir),
+                );
+                let cal = run_cell_scale(
+                    &p,
+                    strategy,
+                    EventQueueBackend::Calendar,
+                    StatsBackend::Exact,
+                    driver,
+                    Some(&cal_dir),
+                );
+                assert_eq!(heap.metrics, cal.metrics, "{cell}: metrics");
+                assert_eq!(
+                    heap.report.to_xml(),
+                    cal.report.to_xml(),
+                    "{cell}: XML report"
+                );
+                assert_eq!(
+                    heap.report.to_json(),
+                    cal.report.to_json(),
+                    "{cell}: JSON report"
+                );
+                assert_eq!(heap.tasks, cal.tasks, "{cell}: task table");
+                let heap_cps = checkpoint_files(&heap_dir);
+                let cal_cps = checkpoint_files(&cal_dir);
+                assert!(
+                    !heap_cps.is_empty(),
+                    "{cell}: grid cells must actually checkpoint"
+                );
+                assert_eq!(
+                    heap_cps.len(),
+                    cal_cps.len(),
+                    "{cell}: checkpoint cadence diverged"
+                );
+                for ((hn, hb), (cn, cb)) in heap_cps.iter().zip(&cal_cps) {
+                    assert_eq!(hn, cn, "{cell}: checkpoint file names");
+                    assert_eq!(hb, cb, "{cell}: checkpoint {hn} not byte-identical");
+                }
+                std::fs::remove_dir_all(&heap_dir).ok();
+                std::fs::remove_dir_all(&cal_dir).ok();
+            }
+        }
+    }
+}
+
+/// Scale-backend tentpole guarantee, stats half: at exact-capable sizes
+/// (200 tasks, far below the sketch's 4096-sample exact window) the
+/// quantile sketch renders byte-identical reports across every policy ×
+/// driver × fault cell, and the sketch-mode checkpoints themselves are
+/// byte-identical across queue backends.
+#[test]
+fn stats_backend_reports_byte_identical_below_exact_window() {
+    for strategy in STRATEGIES {
+        for driver in [Driver::Event, Driver::Tick] {
+            for faults in [false, true] {
+                let cell = format!("{strategy:?}/{driver:?}/faults={faults}");
+                let p = params(ReconfigMode::Partial, faults, 0x57A7);
+                let exact = run_cell_scale(
+                    &p,
+                    strategy,
+                    EventQueueBackend::Heap,
+                    StatsBackend::Exact,
+                    driver,
+                    None,
+                );
+                let sketch = run_cell_scale(
+                    &p,
+                    strategy,
+                    EventQueueBackend::Heap,
+                    StatsBackend::Sketch,
+                    driver,
+                    None,
+                );
+                assert_eq!(exact.metrics, sketch.metrics, "{cell}: metrics");
+                assert_eq!(
+                    exact.report.to_xml(),
+                    sketch.report.to_xml(),
+                    "{cell}: XML report"
+                );
+                assert_eq!(
+                    exact.report.to_json(),
+                    sketch.report.to_json(),
+                    "{cell}: JSON report"
+                );
+            }
+        }
+    }
+    // Sketch-mode checkpoints must not depend on the queue backend.
+    let p = params(ReconfigMode::Partial, true, 0x57A8);
+    let heap_dir = fresh_dir("sk-heap");
+    let cal_dir = fresh_dir("sk-cal");
+    let _ = run_cell_scale(
+        &p,
+        AllocationStrategy::BestFit,
+        EventQueueBackend::Heap,
+        StatsBackend::Sketch,
+        Driver::Event,
+        Some(&heap_dir),
+    );
+    let _ = run_cell_scale(
+        &p,
+        AllocationStrategy::BestFit,
+        EventQueueBackend::Calendar,
+        StatsBackend::Sketch,
+        Driver::Event,
+        Some(&cal_dir),
+    );
+    let heap_cps = checkpoint_files(&heap_dir);
+    let cal_cps = checkpoint_files(&cal_dir);
+    assert!(!heap_cps.is_empty(), "sketch cells must checkpoint");
+    assert_eq!(heap_cps, cal_cps, "sketch checkpoints diverged by queue");
+    std::fs::remove_dir_all(&heap_dir).ok();
+    std::fs::remove_dir_all(&cal_dir).ok();
+}
+
+/// A checkpoint taken under the calendar queue (sketch stats on) resumes
+/// under either queue backend to the uninterrupted run's exact report —
+/// the scale analogue of [`resume_mid_run_and_switch_backend`].
+#[test]
+fn resume_mid_run_and_switch_queue_backend() {
+    let p = params(ReconfigMode::Partial, true, 0xCA15);
+    let reference = run_cell_scale(
+        &p,
+        AllocationStrategy::BestFit,
+        EventQueueBackend::Heap,
+        StatsBackend::Sketch,
+        Driver::Event,
+        None,
+    );
+    for writer in [EventQueueBackend::Heap, EventQueueBackend::Calendar] {
+        let dir = fresh_dir("qswitch");
+        let _ = run_cell_scale(
+            &p,
+            AllocationStrategy::BestFit,
+            writer,
+            StatsBackend::Sketch,
+            Driver::Event,
+            Some(&dir),
+        );
+        let files = checkpoint_files(&dir);
+        assert!(files.len() >= 2, "need a mid-run checkpoint to switch at");
+        let mid = &files[files.len() / 2].0;
+        for resumer in [EventQueueBackend::Heap, EventQueueBackend::Calendar] {
+            let cp = read_checkpoint(&dir.join(mid)).unwrap();
+            let resumed = Simulation::resume(
+                cp,
+                SyntheticSource::from_params(&p),
+                CaseStudyScheduler::new(),
+            )
+            .unwrap()
+            .with_event_queue_backend(resumer)
+            .with_stats_backend(StatsBackend::Sketch)
+            .run_with(&RunOptions::default())
+            .unwrap();
+            assert_eq!(
+                resumed.report.to_xml(),
+                reference.report.to_xml(),
+                "wrote under {writer:?}, resumed {mid} under {resumer:?}"
+            );
+            assert_eq!(resumed.metrics, reference.metrics);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The deterministic parallel sweep pool stays byte-identical across
+/// `--jobs` when points run under the scale backends (calendar queue +
+/// quantile sketch).
+#[test]
+fn parallel_batch_invariant_across_jobs_with_scale_backends() {
+    use dreamsim::sweep::{run_batch, SweepPoint};
+    let points: Vec<SweepPoint> = (0..6)
+        .map(|i| {
+            let p = params(ReconfigMode::Partial, i % 2 == 0, 0xBA7C + i);
+            SweepPoint::new(format!("scale{i}"), p)
+                .with_queue(EventQueueBackend::Calendar)
+                .with_stats(StatsBackend::Sketch)
+        })
+        .collect();
+    let xmls = |jobs: usize| -> Vec<String> {
+        run_batch(&points, jobs)
+            .iter()
+            .map(dreamsim::engine::Report::to_xml)
+            .collect()
+    };
+    let serial = xmls(1);
+    assert_eq!(serial, xmls(4), "scale-backend batch diverged at -j4");
 }
 
 /// The continuous auditor accepts the indexed backend after **every**
