@@ -87,7 +87,7 @@ USAGE:
                  [--recovery-report FILE] [--search auto|linear|indexed]
                  [--report table|xml|json|csv] [--out FILE]
   dreamsim trace --out FILE [--tasks N] [--seed S]
-  dreamsim lint [--root DIR] [--format text|json] [--out FILE]
+  dreamsim lint [--root DIR] [--format text|json|sarif] [--out FILE]
                 [--list-rules] [FILES...]
   dreamsim help
 

@@ -486,8 +486,13 @@ pub struct Simulation<S, P> {
     stats: Stats,
     rng: Rng,
     fault: FaultModel,
+    // REBUILD: the checkpoint captures the source as (source_kind,
+    // source_cursor); [`Simulation::resume`] checks the kind and
+    // fast-forwards a caller-supplied source via `restore_cursor`.
     source: S,
     policy: P,
+    // REBUILD: observers are process-local hooks, deliberately outside
+    // the snapshot; callers re-register them after resume.
     observers: Vec<Box<dyn Observer>>,
     clock: Ticks,
     created: usize,
@@ -496,6 +501,8 @@ pub struct Simulation<S, P> {
     stalled: bool,
     /// Whether [`prime`](Self::prime) already ran (true for resumed
     /// simulations, whose checkpoint captured the primed state).
+    // REBUILD: resume constructs the simulation with primed = true;
+    // a checkpoint is only ever taken after priming.
     primed: bool,
 }
 

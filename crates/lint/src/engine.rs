@@ -15,11 +15,27 @@
 //! the tree carries its justification. Several rules can share one
 //! pragma (`allow(r1, r4)`). A pragma that suppresses nothing is stale
 //! and reported as `p1` so fixed code sheds its waivers.
+//!
+//! Pragmas inside test regions (`#[cfg(test)]`, `mod tests`) are inert:
+//! the region is never scanned, so they can neither suppress anything
+//! (no spurious suppression counts) nor go stale (no spurious `p1`),
+//! and a malformed pragma there is not worth failing the build over.
+//!
+//! ## Multi-file analysis
+//!
+//! [`lint_sources`] is the primary entry point: it lexes and parses the
+//! whole file set first, runs the workspace-global symbol analyses
+//! (r8/r9 — see [`crate::symbols`]), then applies the per-file token
+//! rules and pragmas. [`lint_source`] is the single-file convenience
+//! wrapper; on one file the global analyses degrade gracefully
+//! (unresolvable names prove nothing).
 
-use crate::lexer::{lex, Comment};
+use crate::lexer::{lex, Comment, Lexed};
+use crate::parser::{parse_items, FileItems};
 use crate::regions::LineMap;
-use crate::rules::{rule_info, scan};
+use crate::rules::{in_test_tree, rule_info, scan, RawFinding};
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 /// One unsuppressed rule violation.
 #[derive(Clone, Debug, Serialize)]
@@ -191,10 +207,74 @@ fn parse_pragmas(comments: &[Comment]) -> Pragmas {
 /// [`rule_applies`](crate::rules::rule_applies)).
 #[must_use]
 pub fn lint_source(label: &str, src: &str) -> LintReport {
-    let lexed = lex(src);
-    let map = LineMap::build(&lexed);
-    let raw = scan(&lexed, &map, label);
-    let pragmas = parse_pragmas(&lexed.comments);
+    lint_sources(&[(label.to_string(), src.to_string())])
+}
+
+/// Lint a set of source files together. The workspace-global analyses
+/// (checkpoint coverage, taint) see the whole set, so cross-file
+/// hazards — a helper in one crate laundering wall-clock reads into
+/// another — are caught here and only here.
+#[must_use]
+pub fn lint_sources(files: &[(String, String)]) -> LintReport {
+    // Pass 1: lex, build regions, and parse items per file. Files in
+    // tests/examples trees contribute no items: their types and fns
+    // are outside the guarantees and must not perturb the proofs.
+    let ctxs: Vec<(Lexed, LineMap, FileItems)> = files
+        .iter()
+        .map(|(label, src)| {
+            let lexed = lex(src);
+            let map = LineMap::build(&lexed);
+            let items = if in_test_tree(label) {
+                FileItems::default()
+            } else {
+                parse_items(&lexed, &map)
+            };
+            (lexed, map, items)
+        })
+        .collect();
+
+    // Pass 2: global symbol analyses over the full item set.
+    let view: Vec<(&str, &FileItems)> = files
+        .iter()
+        .zip(&ctxs)
+        .map(|((label, _), (_, _, items))| (label.as_str(), items))
+        .collect();
+    let mut global: BTreeMap<usize, Vec<RawFinding>> = BTreeMap::new();
+    for (file_idx, finding) in crate::symbols::global_scan(&view) {
+        global.entry(file_idx).or_default().push(finding);
+    }
+
+    // Pass 3: per-file token rules + pragma resolution.
+    let mut report = LintReport::default();
+    for (i, (label, src)) in files.iter().enumerate() {
+        let (lexed, map, _) = &ctxs[i];
+        let mut raw = scan(lexed, map, label);
+        if let Some(extra) = global.remove(&i) {
+            raw.extend(extra);
+        }
+        raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+        report.absorb(apply_pragmas(label, src, lexed, map, raw));
+    }
+    report.sort();
+    report
+}
+
+/// Resolve suppression pragmas against one file's raw findings and
+/// assemble its report.
+fn apply_pragmas(
+    label: &str,
+    src: &str,
+    lexed: &Lexed,
+    map: &LineMap,
+    raw: Vec<RawFinding>,
+) -> LintReport {
+    let mut pragmas = parse_pragmas(&lexed.comments);
+    // Pragmas in test regions are inert: the region is never scanned,
+    // so counting them (as suppressions, p0, or p1) would misstate the
+    // audit totals for code the guarantees actually cover.
+    pragmas.valid.retain(|p| !map.is_test(p.comment_line));
+    pragmas.malformed.retain(|(line, _)| !map.is_test(*line));
     let lines: Vec<&str> = src.lines().collect();
     let excerpt = |line: u32| -> String {
         let text = lines
@@ -358,6 +438,111 @@ mod tests {
         assert_eq!(r.findings.len(), 1, "findings: {:?}", r.findings);
         assert_eq!(r.findings[0].line, 4);
         assert_eq!(r.findings[0].rule, "r4");
+    }
+
+    #[test]
+    fn test_region_pragmas_are_inert_and_uncounted() {
+        // One live-path pragma (counted) plus two pragmas inside
+        // #[cfg(test)]: a valid-looking one that would previously be
+        // reported stale (p1) and a malformed one that would
+        // previously fail the build (p0). Both must be inert, and the
+        // suppression total must count only the live-path waiver.
+        let src = "\
+use std::collections::HashMap; // lint: allow(r1) -- membership only, never iterated
+#[cfg(test)]
+mod tests {
+    // lint: allow(r1) -- inert: the region is never scanned
+    use std::collections::HashMap;
+    // lint: allow(r99)
+    fn t() {}
+}
+";
+        let r = lint_source(LABEL, src);
+        assert!(r.is_clean(), "findings: {:?}", r.findings);
+        assert_eq!(
+            r.suppressions.len(),
+            1,
+            "suppressions: {:?}",
+            r.suppressions
+        );
+        assert_eq!(r.suppressions[0].line, 1);
+    }
+
+    #[test]
+    fn lint_sources_catches_cross_file_taint() {
+        let files = vec![
+            (
+                "crates/sched/src/helper.rs".to_string(),
+                "pub fn wall_probe() -> u64 {\n    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()\n}\n".to_string(),
+            ),
+            (
+                "crates/engine/src/x.rs".to_string(),
+                "pub fn step(c: u64) -> u64 { c.max(wall_probe()) }\n".to_string(),
+            ),
+        ];
+        let r = lint_sources(&files);
+        // helper.rs: direct r2 on the SystemTime line; x.rs: r9 at the
+        // call site, naming the root.
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "r9" && f.file == "crates/engine/src/x.rs"),
+            "findings: {:?}",
+            r.findings
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "r2" && f.file == "crates/sched/src/helper.rs"),
+            "findings: {:?}",
+            r.findings
+        );
+        assert_eq!(r.files_scanned, 2);
+    }
+
+    #[test]
+    fn waived_source_stops_taint_at_the_root() {
+        let files = vec![
+            (
+                "crates/sched/src/helper.rs".to_string(),
+                "pub fn wall_probe() -> u64 {\n    // lint: allow(r2) -- progress display only, never reaches state\n    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()\n}\n".to_string(),
+            ),
+            (
+                "crates/engine/src/x.rs".to_string(),
+                "pub fn step(c: u64) -> u64 { c.max(wall_probe()) }\n".to_string(),
+            ),
+        ];
+        // The audited r2 waiver on the source stops the taint at its
+        // root: callers need no pragma of their own.
+        let r = lint_sources(&files);
+        assert!(r.is_clean(), "findings: {:?}", r.findings);
+    }
+
+    #[test]
+    fn r9_call_site_is_suppressible_by_pragma() {
+        let files = vec![
+            (
+                "crates/sched/src/helper.rs".to_string(),
+                "pub fn wall_probe() -> u64 {\n    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()\n}\n".to_string(),
+            ),
+            (
+                "crates/engine/src/x.rs".to_string(),
+                "// lint: allow(r9) -- logged for operators, never enters the event loop\npub fn step(c: u64) -> u64 { c.max(wall_probe()) }\n".to_string(),
+            ),
+        ];
+        let r = lint_sources(&files);
+        assert!(
+            r.suppressions.iter().any(|s| s.rule == "r9"),
+            "suppressions: {:?}",
+            r.suppressions
+        );
+        // The unwaived source itself still carries its direct r2 (and
+        // the helper's own unwrap chain is clean), so only that remains.
+        assert!(
+            r.findings.iter().all(|f| f.rule == "r2"),
+            "findings: {:?}",
+            r.findings
+        );
     }
 
     #[test]

@@ -10,20 +10,29 @@
 //! `crates/*/src` file — including `crates/bench`, which the cargo
 //! workspace excludes but the path-based walk does not.
 //!
-//! See [`rules`] for the rule catalogue (r1–r6 plus the pragma
+//! Beyond the token rules, a lightweight item [`parser`] recovers
+//! structs, fields, fns, and call edges, feeding the workspace-global
+//! [`symbols`] analyses: the checkpoint-coverage proof (r8) and
+//! interprocedural nondeterminism taint (r9).
+//!
+//! See [`rules`] for the rule catalogue (r1–r11 plus the pragma
 //! meta-rules p0/p1) and [`engine`] for the suppression-pragma syntax.
-//! DESIGN.md §12 documents how to add a rule.
+//! DESIGN.md §12 documents how to add a token rule; §17 documents the
+//! symbol model and the global analyses.
 //!
 //! Three front ends share this library: the standalone `dreamsim-lint`
 //! binary, the `dreamsim lint` CLI subcommand, and the blocking CI job.
 
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod regions;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 pub mod walk;
 
-pub use engine::{lint_source, Finding, LintReport, Suppression};
+pub use engine::{lint_source, lint_sources, Finding, LintReport, Suppression};
 pub use rules::{rule_info, RuleInfo, RULES};
 
 use std::io;
@@ -36,6 +45,8 @@ pub enum Format {
     Text,
     /// Machine-readable JSON (the CI artifact format).
     Json,
+    /// SARIF 2.1.0 (the CI annotation format; see [`sarif`]).
+    Sarif,
 }
 
 impl std::str::FromStr for Format {
@@ -45,7 +56,10 @@ impl std::str::FromStr for Format {
         match s {
             "text" => Ok(Self::Text),
             "json" => Ok(Self::Json),
-            other => Err(format!("--format must be text or json, got {other:?}")),
+            "sarif" => Ok(Self::Sarif),
+            other => Err(format!(
+                "--format must be text, json, or sarif, got {other:?}"
+            )),
         }
     }
 }
@@ -58,13 +72,7 @@ impl std::str::FromStr for Format {
 /// file.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let files = walk::workspace_files(root)?;
-    let mut report = LintReport::default();
-    for path in &files {
-        let src = std::fs::read_to_string(path)?;
-        report.absorb(lint_source(&walk::label_for(root, path), &src));
-    }
-    report.sort();
-    Ok(report)
+    lint_paths(root, &files)
 }
 
 /// Lint an explicit list of files, labelling each relative to `root`.
@@ -72,19 +80,24 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
 /// # Errors
 /// Propagates filesystem errors from reading a source file.
 pub fn lint_files(root: &Path, paths: &[std::path::PathBuf]) -> io::Result<LintReport> {
-    let mut report = LintReport::default();
+    lint_paths(root, paths)
+}
+
+/// Read the files and run the multi-file analysis over the whole set
+/// (the global r8/r9 passes must see every file at once).
+fn lint_paths(root: &Path, paths: &[std::path::PathBuf]) -> io::Result<LintReport> {
+    let mut sources = Vec::with_capacity(paths.len());
     for path in paths {
-        let src = std::fs::read_to_string(path)?;
-        report.absorb(lint_source(&walk::label_for(root, path), &src));
+        sources.push((walk::label_for(root, path), std::fs::read_to_string(path)?));
     }
-    report.sort();
-    Ok(report)
+    Ok(lint_sources(&sources))
 }
 
 /// Render a report in the requested format.
 #[must_use]
 pub fn render(report: &LintReport, format: Format) -> String {
     match format {
+        Format::Sarif => sarif::render_sarif(report),
         Format::Json => serde_json::to_string_pretty(report)
             // INVARIANT: LintReport is strings and integers only; the
             // serializer has no failure mode for those shapes.

@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! USAGE:
-//!   dreamsim-lint [--root DIR] [--format text|json] [--out FILE]
+//!   dreamsim-lint [--root DIR] [--format text|json|sarif] [--out FILE]
 //!                 [--list-rules] [FILES...]
 //! ```
 //!
 //! With no `FILES`, walks every `crates/*/src` tree under `--root`
 //! (default `.`) plus the facade crate's `src/` — including the
-//! cargo-excluded `crates/bench`. Exit code 0 when clean, 1 when there
+//! cargo-excluded `crates/bench` — and the `tests/`/`examples/` trees
+//! (r2 only; see `walk.rs`). Exit code 0 when clean, 1 when there
 //! are unsuppressed findings, 2 on usage or I/O errors, so it slots
 //! directly into CI as a blocking gate.
 
@@ -21,15 +22,19 @@ const USAGE: &str = "\
 dreamsim-lint — static determinism checks for the DReAMSim workspace
 
 USAGE:
-  dreamsim-lint [--root DIR] [--format text|json] [--out FILE]
+  dreamsim-lint [--root DIR] [--format text|json|sarif] [--out FILE]
                 [--list-rules] [FILES...]
 
 Walks crates/*/src (path-based, so the cargo-excluded crates/bench is
-included) and reports determinism hazards: nondeterministic iteration,
-wall-clock/entropy reads, float equality, unjustified panics, unstable
-sorts, and undocumented #[serde(skip)] fields. Suppress a finding with
-a `lint: allow(<rule>) -- <reason>` comment; the reason is mandatory
-and every suppression is counted in the report.
+included) plus tests/ and examples/ trees (r2 only) and reports
+determinism hazards: nondeterministic iteration, wall-clock/entropy
+reads, float equality, unjustified panics, unstable sorts,
+undocumented #[serde(skip)] fields, unchecked counter arithmetic,
+unproven checkpoint coverage, transitive entropy via helper fns, and
+shard-unsafe state (interior mutability, unsafe, raw pointers).
+Suppress a finding with a `lint: allow(<rule>) -- <reason>` comment;
+the reason is mandatory and every suppression is counted in the
+report. --format sarif emits SARIF 2.1.0 for CI check annotations.
 
 Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
 ";

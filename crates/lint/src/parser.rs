@@ -1,0 +1,708 @@
+//! Lightweight item parser over the lexed token stream.
+//!
+//! This is **not** a Rust parser. It recovers exactly the item-level
+//! facts the symbol-aware analyses (r8/r9, see [`crate::symbols`])
+//! need, and nothing more:
+//!
+//! * `struct` definitions with their fields, the identifiers appearing
+//!   in each field's type, per-field `#[serde(skip…)]` markers, and
+//!   whether the struct derives `Serialize`;
+//! * `enum` definitions with the type identifiers referenced by their
+//!   variant payloads;
+//! * `fn` definitions with the call sites in their bodies (callee
+//!   simple name + line) and whether the body reads ambient entropy
+//!   (the r2 token set) on an unwaived line;
+//! * manual `impl Serialize for T` / `impl Deserialize for T` blocks,
+//!   which mark `T` as serialized by hand.
+//!
+//! Everything is recovered by bracket-matched token scanning, so the
+//! parser never fails: malformed or exotic syntax degrades to *fewer
+//! recorded facts*, which makes the downstream analyses conservative in
+//! the safe direction for r8 (an unrecorded serialized field cannot
+//! waive anything) and merely blind — like the token rules before it —
+//! for pathological inputs.
+//!
+//! Items inside test regions (`#[cfg(test)]`, `mod tests`) are not
+//! recorded: the coverage and taint proofs, like every other rule,
+//! cover shipping simulator paths only.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::regions::LineMap;
+
+/// One field of a parsed struct.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name (the decimal position for tuple structs).
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// Line of the field's first attribute (equals `line` without
+    /// attributes) — `// REBUILD:` notes may sit above the attributes.
+    pub attr_line: u32,
+    /// Every identifier appearing in the field's type (generic
+    /// arguments included); resolution against the workspace symbol
+    /// table decides which of them name state types.
+    pub type_idents: Vec<String>,
+    /// The field carries a `#[serde(skip…)]` attribute.
+    pub serde_skip: bool,
+    /// A `// REBUILD:` note is adjacent to the field (on the field or
+    /// attribute line, or in the comment block directly above).
+    pub rebuild_note: bool,
+}
+
+/// A parsed struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// The struct's `#[derive(…)]` list names `Serialize`.
+    pub derives_serialize: bool,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// A parsed enum definition (variant payloads are flattened to the set
+/// of referenced type identifiers; per-variant detail is never needed).
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// The enum's `#[derive(…)]` list names `Serialize`.
+    pub derives_serialize: bool,
+    /// Type identifiers referenced by variant payloads.
+    pub type_idents: Vec<String>,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee simple name (`helper` for both `helper(…)` and
+    /// `self.helper(…)`; paths keep only the final segment).
+    pub callee: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A parsed function definition (free function or method — the
+/// analyses resolve callees by simple name, so the owner type is not
+/// recorded).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// First unwaived ambient-entropy read in the body, as
+    /// `(token, line)` — e.g. `("SystemTime", 412)`. Lines carrying a
+    /// `lint: allow(…r2…)` pragma are not sources: the pragma's audited
+    /// reason covers transitive callers too.
+    pub entropy: Option<(String, u32)>,
+}
+
+/// Item-level facts for one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// Struct definitions outside test regions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions outside test regions.
+    pub enums: Vec<EnumDef>,
+    /// Function definitions outside test regions.
+    pub fns: Vec<FnDef>,
+    /// Type names with a hand-written `impl Serialize`/`Deserialize`.
+    pub manual_serde: Vec<String>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 7] = ["if", "while", "for", "match", "return", "loop", "fn"];
+
+/// Ambient-entropy identifiers (the r2 token set, kept in sync with
+/// [`crate::rules`]).
+const ENTROPY_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
+
+/// Parse the item-level facts out of one lexed file.
+#[must_use]
+pub fn parse_items(lexed: &Lexed, map: &LineMap) -> FileItems {
+    let toks = &lexed.tokens;
+    let mut items = FileItems::default();
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "struct" if next_is_ident(toks, k) => {
+                if !map.is_test(t.line) {
+                    if let Some(def) = parse_struct(toks, k, map) {
+                        items.structs.push(def);
+                    }
+                }
+                // Jump past the name so the body is never re-scanned as
+                // item starts (field types cannot begin items).
+                k += 2;
+            }
+            "enum" if next_is_ident(toks, k) => {
+                if !map.is_test(t.line) {
+                    if let Some(def) = parse_enum(toks, k) {
+                        items.enums.push(def);
+                    }
+                }
+                k += 2;
+            }
+            "fn" if next_is_ident(toks, k) => {
+                if !map.is_test(t.line) {
+                    if let Some(def) = parse_fn(toks, k, map) {
+                        items.fns.push(def);
+                    }
+                }
+                // Do not skip the body: nested `fn` items must also be
+                // recorded (their calls are attributed to both, which
+                // is conservative for taint).
+                k += 2;
+            }
+            "impl" => {
+                if let Some(name) = manual_serde_target(toks, k) {
+                    items.manual_serde.push(name);
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    items
+}
+
+fn next_is_ident(toks: &[Tok], k: usize) -> bool {
+    matches!(toks.get(k + 1), Some(t) if t.kind == TokKind::Ident)
+}
+
+/// Identifier lists of the `#[…]` attribute groups directly above token
+/// `k`, scanning backwards over visibility modifiers.
+fn preceding_attrs(toks: &[Tok], k: usize) -> Vec<Vec<String>> {
+    let mut groups = Vec::new();
+    let mut j = k;
+    // Step back over `pub`, `pub(crate)`, `pub(super)`, `pub(in …)`.
+    while j > 0 {
+        let t = &toks[j - 1];
+        let vis = matches!(
+            t.text.as_str(),
+            "pub" | "crate" | "super" | "in" | "(" | ")"
+        );
+        if vis {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    while j > 0 && toks[j - 1].text == "]" {
+        let close = j - 1;
+        let mut depth = 1usize;
+        let mut open = close;
+        while open > 0 && depth > 0 {
+            open -= 1;
+            match toks[open].text.as_str() {
+                "]" => depth += 1,
+                "[" => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth != 0 || open == 0 || toks[open - 1].text != "#" {
+            break;
+        }
+        groups.push(
+            toks[open + 1..close]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .collect(),
+        );
+        j = open - 1;
+    }
+    groups
+}
+
+/// Whether any attribute group is a `derive` naming `Serialize`.
+fn derives_serialize(attrs: &[Vec<String>]) -> bool {
+    attrs.iter().any(|g| {
+        g.first().map(String::as_str) == Some("derive") && g.iter().any(|i| i == "Serialize")
+    })
+}
+
+/// Skip a generic parameter list starting at the `<` at `j`; returns
+/// the index just past the matching `>`. `>>` closes two levels.
+fn skip_angles(toks: &[Tok], j: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" | "<<" => {
+                depth += i32::from(toks[k].text == "<") + 2 * i32::from(toks[k].text == "<<")
+            }
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        k += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    k
+}
+
+/// Bracket-depth bookkeeping for field-type scanning. A `,` ends the
+/// field only when every bracket kind is balanced.
+#[derive(Default)]
+struct Depth {
+    round: i32,
+    square: i32,
+    angle: i32,
+}
+
+impl Depth {
+    fn feed(&mut self, text: &str) {
+        match text {
+            "(" => self.round += 1,
+            ")" => self.round -= 1,
+            "[" => self.square += 1,
+            "]" => self.square -= 1,
+            "<" => self.angle += 1,
+            ">" => self.angle -= 1,
+            "<<" => self.angle += 2,
+            ">>" => self.angle -= 2,
+            _ => {}
+        }
+    }
+
+    fn level(&self) -> bool {
+        self.round <= 0 && self.square <= 0 && self.angle <= 0
+    }
+}
+
+fn parse_struct(toks: &[Tok], k: usize, map: &LineMap) -> Option<StructDef> {
+    let name_tok = toks.get(k + 1)?;
+    let attrs = preceding_attrs(toks, k);
+    let mut def = StructDef {
+        name: name_tok.text.clone(),
+        line: toks[k].line,
+        derives_serialize: derives_serialize(&attrs),
+        fields: Vec::new(),
+    };
+    let mut j = k + 2;
+    if matches!(toks.get(j), Some(t) if t.text == "<") {
+        j = skip_angles(toks, j);
+    }
+    match toks.get(j).map(|t| t.text.as_str()) {
+        Some(";") => Some(def), // unit struct
+        Some("(") => {
+            parse_tuple_fields(toks, j, &mut def, map);
+            Some(def)
+        }
+        _ => {
+            // Named struct: scan past a possible `where` clause to `{`.
+            while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.text == "{") {
+                parse_named_fields(toks, j, &mut def, map);
+            }
+            Some(def)
+        }
+    }
+}
+
+fn parse_tuple_fields(toks: &[Tok], open: usize, def: &mut StructDef, map: &LineMap) {
+    let close = matching(toks, open, "(", ")");
+    let mut depth = Depth::default();
+    let mut idents: Vec<String> = Vec::new();
+    let mut line = toks[open].line;
+    let mut index = 0usize;
+    for t in &toks[open + 1..close] {
+        if t.text == "," && depth.level() {
+            def.fields
+                .push(tuple_field(index, line, std::mem::take(&mut idents), map));
+            index += 1;
+            line = t.line;
+            continue;
+        }
+        depth.feed(&t.text);
+        if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+    }
+    if !idents.is_empty() {
+        def.fields.push(tuple_field(index, line, idents, map));
+    }
+}
+
+fn tuple_field(index: usize, line: u32, type_idents: Vec<String>, map: &LineMap) -> FieldDef {
+    FieldDef {
+        name: index.to_string(),
+        line,
+        attr_line: line,
+        type_idents,
+        serde_skip: false,
+        rebuild_note: map.justified(line, "REBUILD:"),
+    }
+}
+
+fn parse_named_fields(toks: &[Tok], open: usize, def: &mut StructDef, map: &LineMap) {
+    let close = matching(toks, open, "{", "}");
+    let mut j = open + 1;
+    while j < close {
+        // Field attributes.
+        let mut serde_skip = false;
+        let mut attr_line: Option<u32> = None;
+        while toks[j].text == "#" && matches!(toks.get(j + 1), Some(t) if t.text == "[") {
+            let aclose = matching(toks, j + 1, "[", "]");
+            let idents: Vec<&str> = toks[j + 1..aclose]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if idents.first() == Some(&"serde") && idents.iter().any(|i| i.starts_with("skip")) {
+                serde_skip = true;
+            }
+            attr_line.get_or_insert(toks[j].line);
+            j = aclose + 1;
+        }
+        // Visibility.
+        if j < close && toks[j].text == "pub" {
+            j += 1;
+            if j < close && toks[j].text == "(" {
+                j = matching(toks, j, "(", ")") + 1;
+            }
+        }
+        // `name: Type,`
+        if j + 1 < close && toks[j].kind == TokKind::Ident && toks[j + 1].text == ":" {
+            let name = toks[j].text.clone();
+            let line = toks[j].line;
+            j += 2;
+            let mut depth = Depth::default();
+            let mut idents = Vec::new();
+            while j < close {
+                let t = &toks[j];
+                if t.text == "," && depth.level() {
+                    break;
+                }
+                depth.feed(&t.text);
+                if t.kind == TokKind::Ident {
+                    idents.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let attr_line = attr_line.unwrap_or(line);
+            def.fields.push(FieldDef {
+                name,
+                line,
+                attr_line,
+                type_idents: idents,
+                serde_skip,
+                rebuild_note: map.justified(line, "REBUILD:")
+                    || map.justified(attr_line, "REBUILD:"),
+            });
+        }
+        // Resync to the `,` ending this field (no-op if the loop above
+        // already stopped there).
+        let mut depth = Depth::default();
+        while j < close && !(toks[j].text == "," && depth.level()) {
+            depth.feed(&toks[j].text);
+            j += 1;
+        }
+        j += 1;
+    }
+}
+
+fn parse_enum(toks: &[Tok], k: usize) -> Option<EnumDef> {
+    let name_tok = toks.get(k + 1)?;
+    let attrs = preceding_attrs(toks, k);
+    let mut def = EnumDef {
+        name: name_tok.text.clone(),
+        line: toks[k].line,
+        derives_serialize: derives_serialize(&attrs),
+        type_idents: Vec::new(),
+    };
+    let mut j = k + 2;
+    if matches!(toks.get(j), Some(t) if t.text == "<") {
+        j = skip_angles(toks, j);
+    }
+    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+        j += 1;
+    }
+    if toks.get(j).is_none_or(|t| t.text != "{") {
+        return Some(def);
+    }
+    let close = matching(toks, j, "{", "}");
+    let mut depth = Depth::default();
+    let mut expect_variant = true;
+    let mut i = j + 1;
+    while i < close {
+        let t = &toks[i];
+        // Skip variant attributes (`#[serde(other)]` etc.) wholesale so
+        // their idents are not mistaken for type references.
+        if t.text == "#" && matches!(toks.get(i + 1), Some(n) if n.text == "[") {
+            i = matching(toks, i + 1, "[", "]") + 1;
+            continue;
+        }
+        if t.text == "," && depth.level() {
+            expect_variant = true;
+            i += 1;
+            continue;
+        }
+        depth.feed(&t.text);
+        if t.kind == TokKind::Ident {
+            if expect_variant && depth.level() {
+                expect_variant = false; // the variant's own name
+            } else {
+                def.type_idents.push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    Some(def)
+}
+
+fn parse_fn(toks: &[Tok], k: usize, map: &LineMap) -> Option<FnDef> {
+    let name_tok = toks.get(k + 1)?;
+    let mut def = FnDef {
+        name: name_tok.text.clone(),
+        line: toks[k].line,
+        calls: Vec::new(),
+        entropy: None,
+    };
+    // Scan the signature to the body `{` (or `;` for trait method
+    // declarations, which have no body to analyze). Parentheses and
+    // angle brackets may nest in the signature; braces may not.
+    let mut j = k + 2;
+    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+        j += 1;
+    }
+    if toks.get(j).is_none_or(|t| t.text != "{") {
+        return Some(def);
+    }
+    let close = matching(toks, j, "{", "}");
+    for i in j + 1..close.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let next_is_paren = matches!(toks.get(i + 1), Some(n) if n.text == "(");
+        if next_is_paren && prev.text != "fn" && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            def.calls.push(CallSite {
+                callee: t.text.clone(),
+                line: t.line,
+            });
+        }
+        if def.entropy.is_none() && !map.is_test(t.line) && !entropy_waived(map, t.line) {
+            if ENTROPY_IDENTS.contains(&t.text.as_str()) {
+                def.entropy = Some((t.text.clone(), t.line));
+            } else if t.text == "std"
+                && matches!(toks.get(i + 1), Some(n) if n.text == "::")
+                && matches!(
+                    toks.get(i + 2),
+                    Some(seg) if seg.kind == TokKind::Ident
+                        && (seg.text == "time" || seg.text == "env")
+                )
+            {
+                def.entropy = Some((format!("std::{}", toks[i + 2].text), t.line));
+            }
+        }
+    }
+    Some(def)
+}
+
+/// Whether an entropy read on `line` is covered by an adjacent
+/// `lint: allow(… r2 …)` pragma. The pragma's mandatory reason is an
+/// audited statement that the value never feeds simulation state, so
+/// the waiver extends to transitive callers (otherwise every caller of
+/// a justified progress-display helper would need its own waiver).
+fn entropy_waived(map: &LineMap, line: u32) -> bool {
+    map.justified(line, "allow(") && map.justified(line, "r2")
+}
+
+/// The target type name of a hand-written serde impl starting at the
+/// `impl` token `k` (`impl serde::Serialize for EventQueue { …`), if
+/// this impl is one.
+fn manual_serde_target(toks: &[Tok], k: usize) -> Option<String> {
+    let mut is_serde = false;
+    let mut j = k + 1;
+    // Scan the trait path up to `for`, bounded by the block opener so a
+    // bare `impl Type { … }` never scans into the body.
+    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && (t.text == "Serialize" || t.text == "Deserialize") {
+            is_serde = true;
+        }
+        if t.kind == TokKind::Ident && t.text == "for" {
+            if !is_serde {
+                return None;
+            }
+            // Self type: the last path segment before `{`/`<`/`where`.
+            let mut name = None;
+            let mut i = j + 1;
+            while i < toks.len() {
+                match toks[i].text.as_str() {
+                    "{" | "where" | "<" => break,
+                    _ => {
+                        if toks[i].kind == TokKind::Ident {
+                            name = Some(toks[i].text.clone());
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            return name;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the token with text `close` matching the `open` at `k`.
+/// Returns `toks.len()` when unterminated, like the region scanners.
+fn matching(toks: &[Tok], k: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(k) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        let lexed = lex(src);
+        let map = LineMap::build(&lexed);
+        parse_items(&lexed, &map)
+    }
+
+    #[test]
+    fn struct_fields_types_and_serde_markers() {
+        let src = "\
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct Stats {
+    pub completed: u64,
+    pub window: Option<WindowStats>,
+    // REBUILD: refilled by resume.
+    #[serde(skip)]
+    pub wait_samples: Vec<Ticks>,
+}
+";
+        let it = items(src);
+        assert_eq!(it.structs.len(), 1);
+        let s = &it.structs[0];
+        assert_eq!(s.name, "Stats");
+        assert!(s.derives_serialize);
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[1].name, "window");
+        assert!(s.fields[1].type_idents.contains(&"WindowStats".into()));
+        assert!(!s.fields[1].serde_skip);
+        let skip = &s.fields[2];
+        assert!(skip.serde_skip);
+        assert!(skip.rebuild_note);
+        assert!(skip.type_idents.contains(&"Ticks".into()));
+    }
+
+    #[test]
+    fn generic_struct_and_pub_crate_fields() {
+        let src = "pub struct Table<S, P> {\n    pub(crate) inner: BTreeMap<Key, Vec<S>>,\n    source: S,\n}\n";
+        let it = items(src);
+        let s = &it.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "inner");
+        assert!(s.fields[0].type_idents.contains(&"Key".into()));
+        assert_eq!(s.fields[1].name, "source");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let it = items("pub struct Id(pub u32);\npub struct Marker;\n");
+        assert_eq!(it.structs.len(), 2);
+        assert_eq!(it.structs[0].fields.len(), 1);
+        assert_eq!(it.structs[0].fields[0].name, "0");
+        assert!(it.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn enum_variants_yield_payload_types_not_variant_names() {
+        let src = "#[derive(serde::Serialize)]\npub enum Event {\n    Arrival { task: TaskSpec },\n    Tick,\n    Failed(NodeId, u64),\n}\n";
+        let it = items(src);
+        let e = &it.enums[0];
+        assert!(e.derives_serialize);
+        assert!(e.type_idents.contains(&"TaskSpec".into()));
+        assert!(e.type_idents.contains(&"NodeId".into()));
+        assert!(!e.type_idents.contains(&"Arrival".into()));
+        assert!(!e.type_idents.contains(&"Tick".into()));
+        assert!(!e.type_idents.contains(&"Failed".into()));
+    }
+
+    #[test]
+    fn fn_calls_and_entropy_are_recorded() {
+        let src = "\
+fn helper() -> u64 {
+    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()
+}
+pub fn caller(x: u64) -> u64 {
+    helper() + x
+}
+";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 2);
+        let h = &it.fns[0];
+        assert_eq!(h.name, "helper");
+        assert!(h.entropy.is_some(), "helper reads SystemTime");
+        let c = &it.fns[1];
+        assert_eq!(c.name, "caller");
+        assert!(c.calls.iter().any(|s| s.callee == "helper"));
+    }
+
+    #[test]
+    fn waived_entropy_is_not_a_source() {
+        let src = "fn ui() -> u64 {\n    // lint: allow(r2) -- display only\n    std::time::Instant::now().elapsed().as_secs()\n}\n";
+        let it = items(src);
+        assert!(it.fns[0].entropy.is_none());
+    }
+
+    #[test]
+    fn test_region_items_are_ignored() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    struct Fake { x: u64 }\n    fn t() { live(); }\n}\n";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 1);
+        assert!(it.structs.is_empty());
+    }
+
+    #[test]
+    fn manual_serde_impls_are_detected() {
+        let src = "impl serde::Serialize for EventQueue {\n    fn serialize(&self) {}\n}\nimpl<'de> serde::Deserialize<'de> for Rng {}\nimpl Display for Other {}\n";
+        let it = items(src);
+        assert!(it.manual_serde.contains(&"EventQueue".into()));
+        assert!(it.manual_serde.contains(&"Rng".into()));
+        assert!(!it.manual_serde.contains(&"Other".into()));
+    }
+
+    #[test]
+    fn method_calls_keep_the_simple_name() {
+        let it = items("fn f(q: &Q) { q.pop_due(3); free(1); }\n");
+        let names: Vec<&str> = it.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"pop_due"));
+        assert!(names.contains(&"free"));
+    }
+}

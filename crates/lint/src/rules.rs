@@ -13,19 +13,36 @@
 //! | r5 | `sort_unstable*` without a `// TIEBREAK:` note documenting why ties cannot reorder |
 //! | r6 | `#[serde(skip)]` fields without a `// REBUILD:` rebuild-on-resume story |
 //! | r7 | unannotated narrowing `as` casts and unchecked `+`/`*` on tick/area counters |
+//! | r8 | checkpoint-reachable state that the snapshot provably does not cover |
+//! | r9 | calls that transitively reach ambient entropy through helper fns |
+//! | r10 | `static mut` / interior mutability in shard-visible state without `// SHARD-SAFE:` |
+//! | r11 | `unsafe` or raw pointers in shard-visible state without `// SHARD-SAFE:` |
 //! | p0 | malformed suppression pragma (unparseable, unknown rule id, or missing reason) |
 //! | p1 | unused suppression pragma (suppresses nothing — stale after a fix) |
 //!
-//! Rules are scoped by path: r1 only fires in the crates whose state
-//! feeds the event loop (`model`, `engine`, `sched`, `sweep`); r2 is
-//! waived for the `cli` crate and for bench harness code (`crates/bench`
-//! and `bench.rs` modules), which measure wall-clock time by design;
-//! r7 covers only the `model` and `engine` hot paths, where a wrapped
-//! tick or truncated area silently corrupts the simulation instead of
-//! crashing it. An r7 site is justified with a `// BOUND:` comment
-//! naming the bound that rules overflow/truncation out.
-//! Test code (`#[cfg(test)]`, `mod tests`) is never scanned — the
-//! guarantees cover shipping simulator paths only.
+//! r8 and r9 are the symbol-aware analyses (see [`crate::symbols`]);
+//! this module holds their catalogue entries and scoping, while the
+//! matchers live in the global pass because they need the whole file
+//! set at once.
+//!
+//! Rules are scoped by path: r1 and r9 only fire in the crates whose
+//! state feeds the event loop (`model`, `engine`, `sched`, `sweep`);
+//! r2 and r9 are waived for the `cli` crate and for bench harness code
+//! (`crates/bench` and `bench.rs` modules), which measure wall-clock
+//! time by design; r7 covers only the `model` and `engine` hot paths,
+//! where a wrapped tick or truncated area silently corrupts the
+//! simulation instead of crashing it. An r7 site is justified with a
+//! `// BOUND:` comment naming the bound that rules overflow/truncation
+//! out. r10/r11 cover `model`, `engine`, and `sched` — the state a
+//! sharded PDES engine would execute concurrently (ROADMAP item 2);
+//! `sweep` is excluded because its worker pool uses `Mutex` by design,
+//! *outside* the per-shard state. A shard-safety site is justified
+//! with a `// SHARD-SAFE:` comment naming why concurrent shards cannot
+//! observe it.
+//! Test code (`#[cfg(test)]`, `mod tests`) is never scanned, and files
+//! under `tests/` or `examples/` trees are scanned for r2 only (see
+//! [`in_test_tree`]) — the guarantees cover shipping simulator paths,
+//! but a wall-clock read in a test still masks real divergence.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::regions::LineMap;
@@ -42,7 +59,7 @@ pub struct RuleInfo {
 }
 
 /// The full rule catalogue (including the pragma meta-rules).
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 13] = [
     RuleInfo {
         id: "r1",
         name: "nondet-iteration",
@@ -88,6 +105,34 @@ pub const RULES: [RuleInfo; 9] = [
                   in release; use saturating/checked/try_from or document the bound",
     },
     RuleInfo {
+        id: "r8",
+        name: "checkpoint-coverage",
+        summary: "state reachable from the checkpoint that the snapshot provably does not \
+                  cover: a reachable type without Serialize capability, or a live Simulation \
+                  field with no Checkpoint counterpart and no // REBUILD: note",
+    },
+    RuleInfo {
+        id: "r9",
+        name: "transitive-entropy",
+        summary: "call that transitively reaches ambient entropy (wall clock, env, thread_rng) \
+                  through helper fns: the file-local r2 cannot see laundering through a callee; \
+                  thread simulated time or the seeded Rng through instead",
+    },
+    RuleInfo {
+        id: "r10",
+        name: "shard-mutability",
+        summary: "static mut or interior mutability (Cell, RefCell, Mutex, RwLock, atomics, \
+                  lazy statics) in model/engine/sched without a // SHARD-SAFE: note: shared \
+                  mutable state breaks the planned sharded PDES engine's isolation",
+    },
+    RuleInfo {
+        id: "r11",
+        name: "shard-unsafety",
+        summary: "unsafe block or raw pointer in model/engine/sched without a // SHARD-SAFE: \
+                  note: the parallel engine relies on the borrow checker proving shard \
+                  disjointness, which unsafe code silently opts out of",
+    },
+    RuleInfo {
         id: "p0",
         name: "malformed-pragma",
         summary: "suppression pragma that cannot be honoured: unparseable, unknown rule id, or \
@@ -112,6 +157,24 @@ const R1_CRATES: [&str; 4] = ["model", "engine", "sched", "sweep"];
 /// Crates whose hot paths carry the tick/area counters (r7 scope).
 const R7_CRATES: [&str; 2] = ["model", "engine"];
 
+/// Crates holding the state a sharded PDES engine would execute
+/// concurrently (r10/r11 scope). `sweep` is deliberately absent: its
+/// worker pool shares a `Mutex` *between* grid points by design.
+const R10_CRATES: [&str; 3] = ["model", "engine", "sched"];
+
+/// Interior-mutability type names (r10). `Atomic*` is matched by
+/// prefix separately.
+const R10_CELLS: [&str; 8] = [
+    "Cell",
+    "RefCell",
+    "Mutex",
+    "RwLock",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+];
+
 /// Cast targets r7 treats as narrowing from the simulator's `u64`
 /// ticks / `u32` areas (`usize`/`isize` are platform-width, so a cast
 /// into them truncates on 32-bit targets).
@@ -122,10 +185,22 @@ const R7_NARROWING: [&str; 9] = [
 /// Identifier fragments that mark a tick/area counter for r7.
 const R7_COUNTER_WORDS: [&str; 6] = ["tick", "clock", "area", "downtime", "elapsed", "makespan"];
 
+/// Whether `path` is in a `tests/` or `examples/` tree. Those trees
+/// are scanned for r2 only: test code may allocate hash maps and
+/// unwrap freely, but a wall-clock or env read in a test masks exactly
+/// the divergence the differential suites exist to catch.
+#[must_use]
+pub fn in_test_tree(path: &str) -> bool {
+    path.split('/').any(|s| s == "tests" || s == "examples")
+}
+
 /// Whether `rule` applies to the file at `path` (paths use `/`
 /// separators; fixture tests pass synthetic labels to pick a scope).
 #[must_use]
 pub fn rule_applies(rule: &str, path: &str) -> bool {
+    if in_test_tree(path) && rule != "r2" {
+        return false;
+    }
     let segments: Vec<&str> = path.split('/').collect();
     match rule {
         "r1" => match segments.iter().position(|s| *s == "crates") {
@@ -140,6 +215,19 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         "r7" => match segments.iter().position(|s| *s == "crates") {
             Some(i) => segments.get(i + 1).is_some_and(|c| R7_CRATES.contains(c)),
             // Same fallback as r1: ad-hoc scans get the full rule set.
+            None => true,
+        },
+        // r9 shares r1's crate scope *and* r2's bench waiver: the bench
+        // harness measures wall-clock by design, transitively included.
+        "r9" => {
+            let in_scope = match segments.iter().position(|s| *s == "crates") {
+                Some(i) => segments.get(i + 1).is_some_and(|c| R1_CRATES.contains(c)),
+                None => true,
+            };
+            in_scope && !segments.iter().any(|s| *s == "bench" || *s == "bench.rs")
+        }
+        "r10" | "r11" => match segments.iter().position(|s| *s == "crates") {
+            Some(i) => segments.get(i + 1).is_some_and(|c| R10_CRATES.contains(c)),
             None => true,
         },
         _ => true,
@@ -173,41 +261,8 @@ pub fn scan(lexed: &Lexed, map: &LineMap, path: &str) -> Vec<RawFinding> {
             TokKind::Ident => {
                 scan_ident(toks, k, map, &applies, &mut out);
             }
-            TokKind::Op
-                if (t.text == "==" || t.text == "!=")
-                    && applies("r3")
-                    && float_neighbour(toks, k) =>
-            {
-                out.push(RawFinding {
-                    rule: "r3",
-                    line: t.line,
-                    message: format!(
-                        "float `{}` comparison: exact float equality is \
-                         representation-sensitive; compare integer ticks or use an epsilon",
-                        t.text
-                    ),
-                });
-            }
-            TokKind::Op
-                if matches!(t.text.as_str(), "+" | "*" | "+=" | "*=")
-                    && applies("r7")
-                    && !map.justified(t.line, "BOUND:") =>
-            {
-                if let Some(name) = counter_operand(toks, k) {
-                    out.push(RawFinding {
-                        rule: "r7",
-                        line: t.line,
-                        message: format!(
-                            "unchecked `{}` on counter `{name}`: tick/area arithmetic wraps \
-                             silently on overflow in release; use saturating/checked ops or add \
-                             a `// BOUND:` note naming the bound",
-                            t.text
-                        ),
-                    });
-                }
-            }
-            TokKind::Op if t.text == "#" => {
-                scan_attr(toks, k, map, &applies, &mut out);
+            TokKind::Op => {
+                scan_op(toks, k, map, &applies, &mut out);
             }
             _ => {}
         }
@@ -216,6 +271,71 @@ pub fn scan(lexed: &Lexed, map: &LineMap, path: &str) -> Vec<RawFinding> {
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     out
+}
+
+/// Operator-token checks. One token can be a candidate for several
+/// rules (`*` is r7 counter arithmetic *and* an r11 raw-pointer
+/// sigil), so these run sequentially instead of as exclusive match
+/// arms.
+fn scan_op(
+    toks: &[Tok],
+    k: usize,
+    map: &LineMap,
+    applies: &impl Fn(&str) -> bool,
+    out: &mut Vec<RawFinding>,
+) {
+    let t = &toks[k];
+    if (t.text == "==" || t.text == "!=") && applies("r3") && float_neighbour(toks, k) {
+        out.push(RawFinding {
+            rule: "r3",
+            line: t.line,
+            message: format!(
+                "float `{}` comparison: exact float equality is \
+                 representation-sensitive; compare integer ticks or use an epsilon",
+                t.text
+            ),
+        });
+    }
+    if matches!(t.text.as_str(), "+" | "*" | "+=" | "*=")
+        && applies("r7")
+        && !map.justified(t.line, "BOUND:")
+    {
+        if let Some(name) = counter_operand(toks, k) {
+            out.push(RawFinding {
+                rule: "r7",
+                line: t.line,
+                message: format!(
+                    "unchecked `{}` on counter `{name}`: tick/area arithmetic wraps \
+                     silently on overflow in release; use saturating/checked ops or add \
+                     a `// BOUND:` note naming the bound",
+                    t.text
+                ),
+            });
+        }
+    }
+    // Raw pointer type: `*const T` / `*mut T` (r11). A dereference or
+    // multiplication is never followed by the `const`/`mut` keyword.
+    if t.text == "*"
+        && applies("r11")
+        && matches!(
+            toks.get(k + 1),
+            Some(n) if n.kind == TokKind::Ident && (n.text == "const" || n.text == "mut")
+        )
+        && !map.justified(t.line, "SHARD-SAFE:")
+    {
+        out.push(RawFinding {
+            rule: "r11",
+            line: t.line,
+            message: format!(
+                "raw pointer `*{}` in shard-visible code without a `// SHARD-SAFE:` note: the \
+                 parallel engine relies on borrows proving shard disjointness",
+                toks[k + 1].text
+            ),
+        });
+    }
+    if t.text == "#" {
+        scan_attr(toks, k, map, applies, out);
+    }
 }
 
 fn scan_ident(
@@ -313,6 +433,41 @@ fn scan_ident(
                     });
                 }
             }
+        }
+        "static" if applies("r10") && !map.justified(t.line, "SHARD-SAFE:") => {
+            if matches!(toks.get(k + 1), Some(n) if n.kind == TokKind::Ident && n.text == "mut") {
+                out.push(RawFinding {
+                    rule: "r10",
+                    line: t.line,
+                    message: "`static mut` in shard-visible code without a `// SHARD-SAFE:` \
+                              note: process-global mutable state is visible to every shard"
+                        .into(),
+                });
+            }
+        }
+        "unsafe" if applies("r11") && !map.justified(t.line, "SHARD-SAFE:") => {
+            out.push(RawFinding {
+                rule: "r11",
+                line: t.line,
+                message: "`unsafe` in shard-visible code without a `// SHARD-SAFE:` note: the \
+                          parallel engine relies on the borrow checker proving shard \
+                          disjointness, which unsafe code opts out of"
+                    .into(),
+            });
+        }
+        s if (R10_CELLS.contains(&s) || s.starts_with("Atomic"))
+            && applies("r10")
+            && !map.justified(t.line, "SHARD-SAFE:") =>
+        {
+            out.push(RawFinding {
+                rule: "r10",
+                line: t.line,
+                message: format!(
+                    "interior mutability: `{s}` in shard-visible code without a \
+                     `// SHARD-SAFE:` note: shared mutation bypasses the shard isolation the \
+                     parallel engine depends on",
+                ),
+            });
         }
         s if s.starts_with("sort_unstable")
             && prev_is_dot

@@ -1,0 +1,192 @@
+//! SARIF 2.1.0 rendering of a [`LintReport`].
+//!
+//! SARIF (Static Analysis Results Interchange Format, OASIS) is the
+//! format code hosts ingest for inline check annotations. The emitted
+//! document is the minimal valid profile those ingesters need:
+//!
+//! * `runs[0].tool.driver` carries the tool name, version, and the
+//!   full rule catalogue (`rules[]`, with each rule's summary as
+//!   `fullDescription`), so annotations can link back to rule docs;
+//! * one `result` per unsuppressed finding, `level: "error"` (every
+//!   rule here guards a determinism guarantee — there are no
+//!   warnings), with a `physicalLocation` of workspace-relative URI +
+//!   1-based line;
+//! * one `result` per waived finding with `suppressions: [{kind:
+//!   "inSource", justification}]`, so the audit trail of reasons
+//!   survives into the artifact exactly as it does in the JSON format.
+//!
+//! The document is built as a `serde_json::Value` tree (the compat
+//! shim keeps object fields in insertion order), so the artifact is
+//! byte-stable for a given report — the same property the text and
+//! JSON formats guarantee.
+
+use crate::engine::LintReport;
+use crate::rules::RULES;
+use serde_json::{Number, Value};
+
+/// `Value::Object` from key/value pairs.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// `Value::String`.
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+/// `{ "text": … }` — SARIF's message/description wrapper shape.
+fn text(t: &str) -> Value {
+    obj(vec![("text", s(t))])
+}
+
+/// `physicalLocation` for a workspace-relative file and 1-based line.
+fn location(file: &str, line: u32) -> Value {
+    obj(vec![(
+        "physicalLocation",
+        obj(vec![
+            (
+                "artifactLocation",
+                obj(vec![("uri", s(file)), ("uriBaseId", s("SRCROOT"))]),
+            ),
+            (
+                "region",
+                obj(vec![(
+                    "startLine",
+                    Value::Number(Number::U(u64::from(line))),
+                )]),
+            ),
+        ]),
+    )])
+}
+
+/// Render a report as a SARIF 2.1.0 JSON document.
+#[must_use]
+pub fn render_sarif(report: &LintReport) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", s(r.id)),
+                ("name", s(r.name)),
+                ("shortDescription", text(r.name)),
+                ("fullDescription", text(r.summary)),
+                ("defaultConfiguration", obj(vec![("level", s("error"))])),
+            ])
+        })
+        .collect();
+
+    let rule_index = |id: &str| {
+        let idx = RULES
+            .iter()
+            .position(|r| r.id == id)
+            // INVARIANT: every finding's rule id comes from the catalogue.
+            .expect("finding rule id is in the catalogue");
+        Value::Number(Number::U(idx as u64))
+    };
+
+    let mut results: Vec<Value> = Vec::new();
+    for f in &report.findings {
+        results.push(obj(vec![
+            ("ruleId", s(&f.rule)),
+            ("ruleIndex", rule_index(&f.rule)),
+            ("level", s("error")),
+            ("message", text(&f.message)),
+            ("locations", Value::Array(vec![location(&f.file, f.line)])),
+        ]));
+    }
+    for sp in &report.suppressions {
+        results.push(obj(vec![
+            ("ruleId", s(&sp.rule)),
+            ("ruleIndex", rule_index(&sp.rule)),
+            ("level", s("error")),
+            (
+                "message",
+                text(&format!("suppressed in source: {}", sp.reason)),
+            ),
+            ("locations", Value::Array(vec![location(&sp.file, sp.line)])),
+            (
+                "suppressions",
+                Value::Array(vec![obj(vec![
+                    ("kind", s("inSource")),
+                    ("justification", s(&sp.reason)),
+                ])]),
+            ),
+        ]));
+    }
+
+    let doc = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("dreamsim-lint")),
+                            ("version", s(env!("CARGO_PKG_VERSION"))),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    // INVARIANT: the document is strings and integers only; the
+    // serializer has no failure mode for those shapes.
+    serde_json::to_string_pretty(&doc).expect("sarif serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    #[test]
+    fn sarif_document_has_results_and_suppressions() {
+        let src = "use std::collections::HashMap;\n\
+                   use std::collections::HashSet; // lint: allow(r1) -- membership only\n";
+        let report = lint_source("crates/model/src/x.rs", src);
+        let doc: Value = serde_json::from_str(&render_sarif(&report)).expect("valid json");
+        assert_eq!(doc["version"], "2.1.0");
+        let run = &doc["runs"][0];
+        assert_eq!(run["tool"]["driver"]["name"], "dreamsim-lint");
+        let rules = run["tool"]["driver"]["rules"].as_array().expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        let results = run["results"].as_array().expect("results");
+        assert_eq!(results.len(), 2, "one finding + one suppressed result");
+        let finding = &results[0];
+        assert_eq!(finding["ruleId"], "r1");
+        assert_eq!(
+            finding["locations"][0]["physicalLocation"]["region"]["startLine"],
+            1
+        );
+        let suppressed = &results[1];
+        assert_eq!(suppressed["suppressions"][0]["kind"], "inSource");
+        assert!(suppressed["suppressions"][0]["justification"]
+            .as_str()
+            .expect("justification")
+            .contains("membership"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif() {
+        let report = LintReport::default();
+        let doc: Value = serde_json::from_str(&render_sarif(&report)).expect("valid json");
+        assert!(doc["runs"][0]["results"]
+            .as_array()
+            .expect("results")
+            .is_empty());
+    }
+}

@@ -2,13 +2,27 @@
 //!
 //! The walk is driven by the directory layout, **not** by cargo
 //! metadata, so crates excluded from the cargo workspace (the
-//! criterion-dependent `crates/bench`) are still scanned. Scan roots
-//! are every `crates/<name>/src` directory plus the facade crate's
-//! `src/`; `tests/`, `benches/`, and `examples/` trees are out of scope
-//! (they are test/bench code, which the determinism guarantees do not
-//! cover). Directory entries are sorted before recursion so the report
-//! order — and therefore the uploaded CI artifact — is byte-stable
-//! across filesystems.
+//! criterion-dependent `crates/bench`) are still scanned.
+//!
+//! ## Scan roots and exclusion rules
+//!
+//! * Every `crates/<name>/src` directory plus the facade crate's
+//!   `src/` gets the full rule set.
+//! * `crates/<name>/tests`, `crates/<name>/examples`, and the root
+//!   `tests/` and `examples/` trees are also walked, but
+//!   [`rule_applies`](crate::rules::rule_applies) restricts them to r2
+//!   (wall-clock/env): test code may allocate hash maps and unwrap
+//!   freely, but an ambient-entropy read in a test masks exactly the
+//!   divergence the differential suites exist to catch.
+//! * `fixtures/` subdirectories under any `tests/` tree are skipped —
+//!   `crates/lint/tests/fixtures/` holds the deliberately-hazardous
+//!   rule fixtures, which must never fail the workspace's own gate.
+//! * `benches/` trees stay out of scope entirely: bench code measures
+//!   wall-clock time by design (the same reason r2 waives `bench.rs`).
+//!
+//! Directory entries are sorted before recursion so the report order —
+//! and therefore the uploaded CI artifact — is byte-stable across
+//! filesystems.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -22,15 +36,19 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for krate in sorted_entries(&crates_dir)? {
-            let src = krate.join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut files)?;
+            for tree in ["src", "tests", "examples"] {
+                let dir = krate.join(tree);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut files)?;
+                }
             }
         }
     }
-    let facade_src = root.join("src");
-    if facade_src.is_dir() {
-        collect_rs(&facade_src, &mut files)?;
+    for tree in ["src", "tests", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
     }
     files.sort();
     Ok(files)
@@ -41,6 +59,11 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in sorted_entries(dir)? {
         if entry.is_dir() {
+            // Fixture directories hold deliberately-hazardous sources
+            // (see the module docs) and are never part of the gate.
+            if entry.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&entry, out)?;
         } else if entry.extension().is_some_and(|e| e == "rs") {
             out.push(entry);

@@ -1,0 +1,11 @@
+//! r10 fixture: process-global mutable state and interior mutability
+//! in shard-visible code, none of it justified.
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+static mut GLOBAL_TICKS: u64 = 0;
+
+pub struct ShardState {
+    pub counter: RefCell<u64>,
+    pub log: Mutex<Vec<u64>>,
+}

@@ -1,0 +1,12 @@
+//! r10 fixture (clean): every interior-mutability site documents why
+//! concurrent shards cannot observe it.
+
+// SHARD-SAFE: the merge buffer is owned by the single merger thread;
+// shards only ever hand it sealed segments at the window barrier.
+use std::sync::Mutex;
+
+pub struct MergeBuffer {
+    // SHARD-SAFE: locked only at the inter-window barrier, when no
+    // shard is executing events.
+    pub pending: Mutex<Vec<u64>>,
+}

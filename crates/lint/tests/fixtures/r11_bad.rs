@@ -1,0 +1,11 @@
+//! r11 fixture: unsafe code and raw pointers in shard-visible code,
+//! none of it justified.
+
+pub struct SlotView {
+    pub base: *const u64,
+    pub cursor: *mut u64,
+}
+
+pub fn read_slot(view: &SlotView, idx: usize) -> u64 {
+    unsafe { *view.base.add(idx) }
+}

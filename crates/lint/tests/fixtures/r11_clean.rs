@@ -1,0 +1,14 @@
+//! r11 fixture (clean): the raw pointer and the unsafe block document
+//! the shard-disjointness argument.
+
+pub struct SlotView {
+    // SHARD-SAFE: points into this shard's own slot arena; shards
+    // never exchange views.
+    pub base: *const u64,
+}
+
+pub fn read_slot(view: &SlotView, idx: usize) -> u64 {
+    // SHARD-SAFE: idx is bounds-checked by the caller against this
+    // shard's arena length.
+    unsafe { *view.base.add(idx) }
+}

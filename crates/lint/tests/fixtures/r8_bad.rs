@@ -1,0 +1,24 @@
+//! r8 fixture: checkpoint-reachable state the snapshot provably
+//! misses — one reachable type without Serialize capability, and one
+//! live field with no snapshot counterpart.
+use serde::{Deserialize, Serialize};
+
+/// The serialized snapshot root.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub clock: u64,
+    pub stats: Stats,
+}
+
+/// Reachable from the snapshot but not serializable.
+pub struct Stats {
+    pub completed: u64,
+}
+
+/// Live state: `scratch` has no `Checkpoint` counterpart and no
+/// `// REBUILD:` note, so a resume would silently lose it.
+pub struct Simulation {
+    pub clock: u64,
+    pub stats: Stats,
+    pub scratch: Vec<u64>,
+}

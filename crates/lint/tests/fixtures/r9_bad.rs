@@ -1,0 +1,13 @@
+//! r9 fixture: ambient entropy laundered through a helper fn — the
+//! file-local r2 flags the read itself, but only the interprocedural
+//! taint pass catches the call site.
+
+/// Helper that reads the wall clock.
+fn wall_seconds() -> u64 {
+    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()
+}
+
+/// Scheduler path: this call transitively reaches the wall clock.
+pub fn schedule_tick(now: u64) -> u64 {
+    now.max(wall_seconds())
+}

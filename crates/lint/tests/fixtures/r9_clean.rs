@@ -1,0 +1,13 @@
+//! r9 fixture (clean): the entropy read carries an audited waiver, so
+//! the taint stops at its root and callers need no pragma of their
+//! own.
+
+/// Display helper; the pragma's audited reason covers callers too.
+fn wall_seconds() -> u64 {
+    // lint: allow(r2) -- progress display only; never feeds simulation state
+    std::time::SystemTime::now().elapsed().unwrap_or_default().as_secs()
+}
+
+pub fn schedule_tick(now: u64) -> u64 {
+    now.max(wall_seconds())
+}

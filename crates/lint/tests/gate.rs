@@ -85,6 +85,27 @@ fn gate_writes_the_json_artifact() {
 }
 
 #[test]
+fn gate_writes_the_sarif_artifact() {
+    let root = scratch_tree("sarif", "crates/model/src/table.rs", &fixture("r1_bad"));
+    let report_path = root.join("lint-report.sarif");
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(&root)
+        .args(["--format", "sarif", "--out"])
+        .arg(&report_path)
+        .output()
+        .expect("run dreamsim-lint");
+    assert_eq!(out.status.code(), Some(1), "findings still fail the gate");
+    let sarif = std::fs::read_to_string(&report_path).expect("artifact written");
+    assert!(
+        sarif.contains("\"version\": \"2.1.0\"")
+            && sarif.contains("\"ruleId\": \"r1\"")
+            && sarif.contains("crates/model/src/table.rs"),
+        "SARIF artifact names the rule and file: {sarif}"
+    );
+}
+
+#[test]
 fn unknown_flag_is_a_usage_error() {
     let out = Command::new(bin())
         .arg("--no-such-flag")

@@ -24,7 +24,9 @@ fn rules_hit(report: &LintReport) -> Vec<&str> {
 
 #[test]
 fn bad_fixtures_trip_their_rule() {
-    for rule in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
+    for rule in [
+        "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11",
+    ] {
         let report = lint_fixture(&format!("{rule}_bad"), IN_SCOPE);
         assert!(
             rules_hit(&report).contains(&rule),
@@ -41,7 +43,9 @@ fn bad_fixtures_trip_their_rule() {
 
 #[test]
 fn clean_fixtures_are_clean() {
-    for rule in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
+    for rule in [
+        "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11",
+    ] {
         let report = lint_fixture(&format!("{rule}_clean"), IN_SCOPE);
         assert!(
             report.is_clean(),
@@ -165,6 +169,142 @@ fn r7_bad_findings_cover_both_hazard_shapes() {
         messages.iter().any(|m| m.contains("unchecked `+=`")),
         "compound-assign shape missing: {messages:?}"
     );
+}
+
+#[test]
+fn r8_bad_covers_both_proof_halves() {
+    let report = lint_fixture("r8_bad", IN_SCOPE);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "r8")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("`Stats`")),
+        "unserializable reachable type missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`Simulation::scratch`")),
+        "uncovered live field missing: {messages:?}"
+    );
+}
+
+#[test]
+fn r9_bad_flags_the_call_site_with_its_root() {
+    let report = lint_fixture("r9_bad", IN_SCOPE);
+    let r9: Vec<_> = report.findings.iter().filter(|f| f.rule == "r9").collect();
+    assert_eq!(r9.len(), 1, "findings: {:?}", report.findings);
+    assert!(r9[0].message.contains("wall_seconds"));
+    assert!(r9[0].excerpt.contains("wall_seconds()"));
+}
+
+#[test]
+fn r9_is_scoped_like_r1_with_the_bench_waiver() {
+    for label in [
+        "crates/cli/src/main.rs",
+        "crates/rng/src/lib.rs",
+        "crates/sweep/src/bench.rs",
+        "crates/bench/src/lib.rs",
+    ] {
+        let report = lint_fixture("r9_bad", label);
+        assert!(
+            !rules_hit(&report).contains(&"r9"),
+            "r9 must not fire in {label}, got {:?}",
+            report.findings
+        );
+    }
+    for scope in ["model", "engine", "sched", "sweep"] {
+        let report = lint_fixture("r9_bad", &format!("crates/{scope}/src/x.rs"));
+        assert!(
+            rules_hit(&report).contains(&"r9"),
+            "r9 must fire in {scope}"
+        );
+    }
+}
+
+#[test]
+fn r10_and_r11_are_scoped_to_shard_state_crates() {
+    for rule in ["r10", "r11"] {
+        for label in ["crates/sweep/src/parallel.rs", "crates/cli/src/main.rs"] {
+            let report = lint_fixture(&format!("{rule}_bad"), label);
+            assert!(
+                !rules_hit(&report).contains(&rule),
+                "{rule} must not fire in {label}, got {:?}",
+                report.findings
+            );
+        }
+        for scope in ["model", "engine", "sched"] {
+            let report = lint_fixture(&format!("{rule}_bad"), &format!("crates/{scope}/src/x.rs"));
+            assert!(
+                rules_hit(&report).contains(&rule),
+                "{rule} must fire in {scope}"
+            );
+        }
+    }
+}
+
+#[test]
+fn r10_bad_covers_static_mut_and_interior_mutability() {
+    let report = lint_fixture("r10_bad", IN_SCOPE);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "r10")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("`static mut`")),
+        "static-mut shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`RefCell`")),
+        "cell shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`Mutex`")),
+        "lock shape missing: {messages:?}"
+    );
+}
+
+#[test]
+fn r11_bad_covers_unsafe_and_raw_pointers() {
+    let report = lint_fixture("r11_bad", IN_SCOPE);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "r11")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("`unsafe`")),
+        "unsafe shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("raw pointer `*const`")),
+        "*const shape missing: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("raw pointer `*mut`")),
+        "*mut shape missing: {messages:?}"
+    );
+}
+
+#[test]
+fn test_trees_are_scanned_for_r2_only() {
+    let label = "crates/engine/tests/integration.rs";
+    assert!(
+        rules_hit(&lint_fixture("r2_bad", label)).contains(&"r2"),
+        "r2 must still fire in tests/ trees"
+    );
+    for rule in ["r1", "r4", "r10"] {
+        let report = lint_fixture(&format!("{rule}_bad"), label);
+        assert!(
+            !rules_hit(&report).contains(&rule),
+            "{rule} must be waived in tests/ trees, got {:?}",
+            report.findings
+        );
+    }
 }
 
 #[test]

@@ -53,10 +53,24 @@ fn walk_covers_the_cargo_excluded_bench_crate() {
         labels.iter().any(|l| l.starts_with("crates/lint/src/")),
         "the linter scans itself"
     );
-    // The walk must skip tests/, so the deliberately-bad fixtures in
-    // crates/lint/tests/fixtures/ never pollute the workspace report.
+    // tests/ trees are in scope (r2 only — see walk.rs), but the
+    // deliberately-bad fixtures under crates/lint/tests/fixtures/ must
+    // never pollute the workspace report.
     assert!(
-        !labels.iter().any(|l| l.contains("/tests/")),
-        "tests trees are out of scope; got {labels:?}"
+        labels.iter().any(|l| l.starts_with("tests/")),
+        "root tests/ tree must be walked for r2; got {labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.starts_with("crates/sweep/tests/")),
+        "crate tests/ trees must be walked for r2; got {labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.starts_with("examples/")),
+        "root examples/ tree must be walked for r2; got {labels:?}"
+    );
+    assert!(
+        !labels.iter().any(|l| l.contains("fixtures")),
+        "fixture directories hold deliberately-bad sources and must be \
+         excluded; got {labels:?}"
     );
 }

@@ -10,6 +10,7 @@ use dreamsim_sweep::chaos::{parse_campaign, run_campaign, CampaignOptions, BUILT
 use dreamsim_sweep::{run_batch, SweepPoint};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
+    // lint: allow(r2) -- scratch directory for test artifacts, never simulator state
     let d = std::env::temp_dir().join(format!("dreamsim-chaoscamp-{}-{}", tag, std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).unwrap();

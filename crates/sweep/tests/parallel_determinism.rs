@@ -67,6 +67,7 @@ fn resume_mid_grid_point_matches_parallel_batch_result() {
 
     // The same cell run standalone with a mid-run checkpoint, then
     // resumed from that checkpoint to completion.
+    // lint: allow(r2) -- scratch directory for test artifacts, never simulator state
     let dir = std::env::temp_dir().join(format!("dreamsim-grid-resume-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();

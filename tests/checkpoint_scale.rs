@@ -20,6 +20,7 @@ fn params(tasks: usize, seed: u64) -> SimParams {
 }
 
 fn fresh_dir(tag: &str) -> PathBuf {
+    // lint: allow(r2) -- scratch directory for test artifacts, never simulator state
     let dir = std::env::temp_dir().join(format!("dreamsim-cpscale-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();

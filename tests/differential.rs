@@ -46,6 +46,7 @@ fn params(mode: ReconfigMode, faults: bool, seed: u64) -> SimParams {
 
 fn fresh_dir(tag: &str) -> PathBuf {
     static CASE: AtomicUsize = AtomicUsize::new(0);
+    // lint: allow(r2) -- scratch directory for test artifacts, never simulator state
     let dir = std::env::temp_dir().join(format!(
         "dreamsim-diff-{tag}-{}-{}",
         std::process::id(),

@@ -118,6 +118,7 @@ proptest! {
         // Faults exercise the RNG-heavy paths the checkpoint must capture.
         p.faults.node_mttf = Some(2_000);
         p.faults.reconfig_fail_prob = 0.1;
+        // lint: allow(r2) -- scratch directory for test artifacts, never simulator state
         let dir = std::env::temp_dir().join(format!(
             "dreamsim-prop-cp-{}-{}",
             std::process::id(),
