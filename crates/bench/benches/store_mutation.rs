@@ -1,0 +1,132 @@
+//! Hot-path mutation cost of the node/slot store: the legacy
+//! array-of-structs `Node` objects against the struct-of-arrays
+//! `NodeStore` (DESIGN.md §18), plus the full `ResourceManager`
+//! mutation path (which adds idle/busy list splicing on top of the
+//! store writes).
+//!
+//! The workout is the same deterministic place → run → complete → evict
+//! cycle on both layouts, and both sides fold their results into a
+//! checksum that must agree — asserted before anything is timed, so a
+//! layout that drifted behaviourally can never post a number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dreamsim_model::{
+    Config, ConfigId, Node, NodeId, NodeStore, ResourceManager, StepCounter, TaskId,
+};
+use std::hint::black_box;
+
+const NODE_COUNTS: [usize; 2] = [1_000, 100_000];
+
+fn configs() -> Vec<Config> {
+    (0..16)
+        .map(|i| Config::new(ConfigId(i as u32), 100 + ((i as u64 * 211) % 900), 10))
+        .collect()
+}
+
+fn nodes(count: usize) -> Vec<Node> {
+    (0..count)
+        .map(|i| Node::new(NodeId::from_index(i), 500 + ((i as u64 * 307) % 2500), 2))
+        .collect()
+}
+
+/// One deterministic mutation cycle per visited node: place an instance,
+/// start a task on it, complete the task, then evict the slot. Returns a
+/// checksum over every observed slot index and config id.
+fn aos_workout(nodes: &mut [Node], configs: &[Config], rounds: usize) -> u64 {
+    let mut acc = 0u64;
+    for r in 0..rounds {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let cfg = &configs[(i + r) % configs.len()];
+            let Ok(slot) = node.send_bitstream(cfg) else {
+                continue;
+            };
+            acc = acc.wrapping_add(u64::from(slot) + 1);
+            node.add_task(slot, TaskId((i % 1024) as u32)).unwrap();
+            let t = node.remove_task(slot).unwrap();
+            acc = acc.wrapping_add(u64::from(t.0));
+            let c = node.evict_slot(slot).unwrap();
+            acc = acc.wrapping_add(u64::from(c.0) + 1);
+        }
+    }
+    acc
+}
+
+/// The same cycle against the SoA store (flat columns, one store for
+/// every node).
+fn soa_workout(store: &mut NodeStore, configs: &[Config], rounds: usize) -> u64 {
+    let mut acc = 0u64;
+    for r in 0..rounds {
+        for i in 0..store.len() {
+            let cfg = &configs[(i + r) % configs.len()];
+            let Ok(slot) = store.send_bitstream(i, cfg) else {
+                continue;
+            };
+            acc = acc.wrapping_add(u64::from(slot) + 1);
+            store.add_task(i, slot, TaskId((i % 1024) as u32)).unwrap();
+            let t = store.remove_task(i, slot).unwrap();
+            acc = acc.wrapping_add(u64::from(t.0));
+            let c = store.evict_slot(i, slot).unwrap();
+            acc = acc.wrapping_add(u64::from(c.0) + 1);
+        }
+    }
+    acc
+}
+
+/// The manager-level cycle: configure (idle-list push), evict idle
+/// instances back out (idle-list splice) — the store mutations plus the
+/// `ConfigLists` bookkeeping the scheduler actually pays for.
+fn rm_workout(rm: &mut ResourceManager, rounds: usize) -> u64 {
+    let mut steps = StepCounter::new();
+    let mut acc = 0u64;
+    for r in 0..rounds {
+        for i in 0..rm.num_nodes() {
+            let node = NodeId::from_index(i);
+            let cfg = ConfigId(((i + r) % 16) as u32);
+            let Ok(entry) = rm.configure_slot(node, cfg, &mut steps) else {
+                continue;
+            };
+            acc = acc.wrapping_add(u64::from(entry.slot) + 1);
+            rm.evict_idle_slots(node, &[entry.slot], &mut steps).unwrap();
+            acc = acc.wrapping_add(1);
+        }
+    }
+    acc.wrapping_add(rm.mutation_ops())
+}
+
+fn store_mutation(c: &mut Criterion) {
+    let cfgs = configs();
+
+    // Behavioural cross-check before any timing: the SoA store must
+    // produce the exact same checksum as the AoS nodes on every count.
+    for count in NODE_COUNTS {
+        let mut aos = nodes(count);
+        let mut soa = NodeStore::from_nodes(nodes(count));
+        assert_eq!(
+            aos_workout(&mut aos, &cfgs, 2),
+            soa_workout(&mut soa, &cfgs, 2),
+            "layouts disagree at {count} nodes"
+        );
+    }
+
+    let mut group = c.benchmark_group("store_mutation");
+    group.sample_size(20);
+    for count in NODE_COUNTS {
+        let rounds = if count >= 100_000 { 1 } else { 8 };
+        group.bench_function(format!("aos_node_{count}"), |b| {
+            let mut aos = nodes(count);
+            b.iter(|| black_box(aos_workout(black_box(&mut aos), &cfgs, rounds)));
+        });
+        group.bench_function(format!("soa_store_{count}"), |b| {
+            let mut soa = NodeStore::from_nodes(nodes(count));
+            b.iter(|| black_box(soa_workout(black_box(&mut soa), &cfgs, rounds)));
+        });
+        group.bench_function(format!("rm_splice_{count}"), |b| {
+            let mut rm = ResourceManager::new(nodes(count), configs());
+            b.iter(|| black_box(rm_workout(black_box(&mut rm), rounds)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, store_mutation);
+criterion_main!(benches);

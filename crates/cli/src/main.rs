@@ -24,6 +24,42 @@
 mod args;
 
 use args::{ArgError, Args};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap allocations observed since process start (relaxed counter; the
+/// `bench-profile` command reads deltas around a run).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counting wrapper around the system allocator. Installed for the whole
+/// binary — the cost is one relaxed atomic increment per allocation,
+/// unobservable next to the allocation itself — but only `bench-profile`
+/// ever reads the counter. Lives in the CLI so the engine and model
+/// crates stay free of `unsafe` (enforced by lint rule r11).
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter has no effect on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's.
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        // SAFETY: same contract as the caller's.
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's.
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 use dreamsim_engine::{
     read_checkpoint, AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind,
     DomainParams, EventQueueBackend, ReconfigMode, Report, RunOptions, RunResult, ScriptedOutage,
@@ -72,7 +108,12 @@ USAGE:
                       [--jobs J1,J2,...] [--seed S] [--out FILE]
   dreamsim bench-scale [--nodes N1,N2,...] [--tasks-per-node N]
                        [--seed S] [--verify-max-nodes N] [--reps N]
+                       [--check-against FILE] [--tolerance PCT]
                        [--out FILE]
+  dreamsim bench-profile [--nodes N] [--tasks N] [--mode full|partial]
+                         [--seed S] [--policy P] [--search auto|linear|indexed]
+                         [--event-queue heap|calendar] [--stats exact|sketch]
+                         [--out FILE]
   dreamsim chaos [--script FILE] [--no-drill] [--audit-every TICKS]
                  [--work-dir DIR] [--report csv|json] [--out FILE]
   dreamsim serve [--nodes N] [--seed S] [--mode full|partial]
@@ -179,7 +220,14 @@ apply to --resume-from: checkpoints are backend-agnostic and the chosen
 structures are rebuilt from the restored state. bench-scale times the
 seed path (heap+exact) against the scale path (calendar+sketch) over a
 node ladder, records peak RSS per rung, cross-checks report
-byte-identity up to --verify-max-nodes, and writes BENCH_scale.json.
+byte-identity up to --verify-max-nodes (default: every rung), records the
+deterministic per-phase operation counters of each rung, and writes
+BENCH_scale.json; --check-against diffs those counters against a committed
+baseline file and fails (exit 1) on any counter that grew more than
+--tolerance percent (default 25) — counters, not wall-clock, so the gate
+holds on noisy CI runners. bench-profile runs one simulation and prints
+the XML report with an extra <profile> block: the same operation counters
+plus the heap-allocation count from the CLI's counting allocator.
 
 Parallel sweeps: figures and ablations fan their independent simulation
 points across --jobs worker threads (0 or omitted = all hardware
@@ -204,6 +252,7 @@ fn main() -> ExitCode {
         Some("bench-search") => cmd_bench_search(&args),
         Some("bench-grid") => cmd_bench_grid(&args),
         Some("bench-scale") => cmd_bench_scale(&args),
+        Some("bench-profile") => cmd_bench_profile(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("serve") => cmd_serve(&args),
         Some("trace") => cmd_trace(&args),
@@ -1058,7 +1107,9 @@ fn cmd_bench_scale(args: &Args) -> Result<(), ArgError> {
     if tasks_per_node == 0 {
         return Err(ArgError("--tasks-per-node must be > 0".into()));
     }
-    let verify_max_nodes = args.get_num("verify-max-nodes", 10_000usize)?;
+    // Default: cross-check every rung. The SoA store made full-ladder
+    // verification affordable, so "not checked" is now opt-in.
+    let verify_max_nodes = args.get_num("verify-max-nodes", usize::MAX)?;
     let reps = args.get_num("reps", 1usize)?;
     eprintln!(
         "benchmarking scale ladder: nodes {node_ladder:?} x {tasks_per_node} tasks/node, \
@@ -1078,11 +1129,62 @@ fn cmd_bench_scale(args: &Args) -> Result<(), ArgError> {
             r.peak_rss_kb,
             r.reports_cross_checked
         );
+        println!(
+            "       profile: sched {} hk {} store {} push {} pop {} stats {}",
+            r.profile.scheduling_steps,
+            r.profile.housekeeping_steps,
+            r.profile.store_mutations,
+            r.profile.events_pushed,
+            r.profile.events_popped,
+            r.profile.stats_samples
+        );
     }
     let out = args.get("out", "BENCH_scale.json");
     std::fs::write(out, report.to_json()).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
     println!("wrote {out} ({} rungs)", report.rungs.len());
+    if args.has("check-against") {
+        let baseline_path = args.get("check-against", "");
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| ArgError(format!("reading {baseline_path}: {e}")))?;
+        let tolerance = args.get_num("tolerance", 25u64)? as f64 / 100.0;
+        match report.check_against(&baseline, tolerance) {
+            Ok(notes) => {
+                for n in notes {
+                    println!("check  {n}");
+                }
+                println!("phase counters within {:.0}% of {baseline_path}", tolerance * 100.0);
+            }
+            Err(failures) => {
+                return Err(ArgError(format!(
+                    "phase-counter regression vs {baseline_path}:\n{failures}"
+                )));
+            }
+        }
+    }
     Ok(())
+}
+
+/// `dreamsim bench-profile` — run one simulation and print the XML
+/// report with the opt-in `<profile>` block: the deterministic per-phase
+/// operation counters plus the heap-allocation count measured by the
+/// binary's counting allocator.
+fn cmd_bench_profile(args: &Args) -> Result<(), ArgError> {
+    let params = params_from_args(args)?;
+    let backends = Backends::from_args(args)?;
+    let strategy = parse_strategy(args.get("policy", "best-fit"))?;
+    let policy = CaseStudyScheduler::with_strategy(strategy);
+    let source = SyntheticSource::from_params(&params);
+    let sim = backends
+        .apply(Simulation::new(params, source, policy).map_err(|e| ArgError(e.to_string()))?);
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = sim
+        .run_with(&RunOptions::default())
+        .map_err(|e| ArgError(e.to_string()))?;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let mut profile = result.profile;
+    profile.allocations = Some(allocs);
+    let rendered = result.report.to_xml_with_profile(&profile);
+    write_or_print(args.flags.get("out").map(String::as_str), &rendered)
 }
 
 /// `dreamsim chaos` — run a chaos campaign: every scenario executes

@@ -47,9 +47,16 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// Format version written to the header; bumped on any incompatible
-/// payload change. Readers reject other versions with
+/// payload change. Version 2 packs the task table into the compact
+/// columnar form (see [`crate::compact`]); version 1 carried it as a
+/// plain JSON array. Readers accept every version from
+/// [`OLDEST_READABLE_VERSION`] up to this one and reject the rest with
 /// [`CheckpointError::Version`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest header version this build still reads (the version-1 task
+/// array decodes through the same [`TaskTable`] deserializer).
+pub const OLDEST_READABLE_VERSION: u32 = 1;
 
 /// Magic token opening every checkpoint file.
 const MAGIC: &str = "DREAMSIM-CHECKPOINT";
@@ -89,7 +96,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Version { found } => write!(
                 f,
                 "unsupported checkpoint format version {found} (this build reads \
-                 version {FORMAT_VERSION})"
+                 versions {OLDEST_READABLE_VERSION} through {FORMAT_VERSION})"
             ),
             CheckpointError::Crc { expected, found } => write!(
                 f,
@@ -193,11 +200,13 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Serialize `cp` and atomically write it to `path`.
+/// Serialize `cp` and atomically write it to `path`; returns the number
+/// of bytes written (header + payload), which the phase profiler
+/// accumulates as `checkpoint_bytes`.
 ///
 /// The bytes go to `path` + `".tmp"` first, are flushed and fsynced,
 /// then renamed over `path` — readers never observe a partial file.
-pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), CheckpointError> {
+pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<u64, CheckpointError> {
     let payload = serde_json::to_string(cp)
         .map_err(|e| CheckpointError::Format(format!("serialization failed: {e}")))?;
     let header = format!(
@@ -215,7 +224,46 @@ pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), CheckpointEr
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    Ok(())
+    Ok((header.len() + payload.len()) as u64)
+}
+
+/// Serialize `cp` in the legacy version-1 layout and write it to `path`.
+///
+/// Identical to [`write_checkpoint`] except the task table is emitted as
+/// the version-1 JSON array and the header carries version 1. Exists so
+/// compatibility tests (and tooling that must interoperate with old
+/// fleets) can produce files this build is contractually able to read.
+/// Returns the number of bytes written, like [`write_checkpoint`].
+pub fn write_checkpoint_compat_v1(path: &Path, cp: &Checkpoint) -> Result<u64, CheckpointError> {
+    let mut value = serde::Serialize::to_value(cp);
+    let serde::Value::Object(fields) = &mut value else {
+        return Err(CheckpointError::Format(
+            "checkpoint did not serialize to an object".to_string(),
+        ));
+    };
+    let tasks_slot = fields
+        .iter_mut()
+        .find(|(k, _)| k == "tasks")
+        .ok_or_else(|| CheckpointError::Format("payload missing tasks field".to_string()))?;
+    tasks_slot.1 = cp.tasks.to_legacy_value();
+    let payload = serde_json::to_string(&value)
+        .map_err(|e| CheckpointError::Format(format!("serialization failed: {e}")))?;
+    let header = format!(
+        "{MAGIC} {OLDEST_READABLE_VERSION} {:08x}\n",
+        crc32(payload.as_bytes())
+    );
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(header.as_bytes())?;
+        f.write_all(payload.as_bytes())?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok((header.len() + payload.len()) as u64)
 }
 
 /// Read and validate a checkpoint file written by [`write_checkpoint`].
@@ -242,7 +290,7 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
         .next()
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| CheckpointError::Format("header missing version".to_string()))?;
-    if version != FORMAT_VERSION {
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(CheckpointError::Version { found: version });
     }
     let expected = parts

@@ -461,6 +461,16 @@ impl EventQueue {
         }
     }
 
+    /// Total events ever pushed onto this queue (the next sequence
+    /// number). Monotonic, survives backend switches, and is carried by
+    /// checkpoints — the phase profiler reads it as `events_pushed`, and
+    /// `pushes() - len()` as `events_popped` (nothing else removes
+    /// entries).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Pop the earliest event, with its time.
     pub fn pop(&mut self) -> Option<(Ticks, Event)> {
         match &mut self.repr {

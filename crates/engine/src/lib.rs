@@ -25,11 +25,13 @@
 
 pub mod audit;
 pub mod checkpoint;
+pub mod compact;
 pub mod event;
 pub mod fault;
 pub mod init;
 pub mod monitor;
 pub mod params;
+pub mod profile;
 pub mod report;
 pub mod ring;
 pub mod service;
@@ -38,7 +40,8 @@ pub mod stats;
 
 pub use audit::AuditError;
 pub use checkpoint::{
-    read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, FORMAT_VERSION,
+    read_checkpoint, write_checkpoint, write_checkpoint_compat_v1, Checkpoint, CheckpointError,
+    FORMAT_VERSION, OLDEST_READABLE_VERSION,
 };
 pub use dreamsim_model::SearchBackend;
 pub use event::{Event, EventQueue, EventQueueBackend};
@@ -48,6 +51,7 @@ pub use params::{
     AdmissionPolicy, ArrivalDistribution, BurstWindow, DomainOutageKind, DomainParams, FaultParams,
     ParamsError, PlacementModel, ReconfigMode, ScriptedOutage, ServiceParams, SimParams,
 };
+pub use profile::PhaseProfile;
 pub use report::Report;
 pub use ring::{scan_ring, CheckpointRing, RingEntry};
 pub use service::{

@@ -1,0 +1,134 @@
+//! Deterministic phase profiler.
+//!
+//! Wall-clock profiles of a discrete-event simulator are noisy and
+//! machine-bound; what actually predicts scaling behaviour is *how many
+//! operations* each phase performed. This module snapshots monotonic
+//! operation counters — all derived from simulation state that is itself
+//! deterministic under a fixed seed — so two runs of the same workload
+//! produce byte-identical profiles on any machine. That is what lets CI
+//! diff profiles against a committed baseline and fail on algorithmic
+//! regressions (a 25 % jump in store mutations is a bug even when the
+//! wall clock got faster).
+//!
+//! Phases and their counters:
+//!
+//! * **search** — `scheduling_steps` ([`StepCounter`]'s
+//!   `Total_Search_Length_Scheduler`, the paper's own unit).
+//! * **store-mutate** — `store_mutations`, one tick per successful
+//!   `ResourceManager` state change (placements, evictions, task
+//!   add/remove, failure/repair transitions).
+//! * **housekeeping** — `housekeeping_steps`, the resource-information
+//!   module's list/suspension traversals.
+//! * **event-queue** — `events_pushed` / `events_popped` from the queue's
+//!   own sequence numbering (which checkpoints carry, so these count the
+//!   whole logical run even across a resume).
+//! * **stats** — `stats_samples`, one per recorded arrival, completion,
+//!   or discard.
+//! * **checkpoint** — `checkpoints_written` and `checkpoint_bytes` for
+//!   snapshots written by the run loop of the live process.
+//!
+//! `allocations` is the odd one out: operation counts can't see allocator
+//! traffic, so the `bench-profile` CLI fills it from a counting global
+//! allocator. It stays `None` inside the engine and never participates in
+//! determinism claims beyond a single build.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of per-phase operation counters for one run.
+///
+/// Obtained from [`Simulation::phase_profile`](crate::Simulation::phase_profile);
+/// all fields are monotonic over a run and deterministic under a fixed
+/// seed. Differences of two snapshots are meaningful because every
+/// counter only ever increases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Scheduler search steps (the paper's `Total_Search_Length_Scheduler`).
+    pub scheduling_steps: u64,
+    /// Resource-information housekeeping steps (list maintenance,
+    /// suspension-queue rescans).
+    pub housekeeping_steps: u64,
+    /// Successful resource-store mutations (place/evict/assign/release,
+    /// failure and repair transitions).
+    pub store_mutations: u64,
+    /// Events ever pushed onto the event queue.
+    pub events_pushed: u64,
+    /// Events popped off the event queue.
+    pub events_popped: u64,
+    /// Statistics samples recorded (arrivals + completions + discards).
+    pub stats_samples: u64,
+    /// Checkpoint files written by this process's run loop.
+    pub checkpoints_written: u64,
+    /// Total bytes of checkpoint data written (header + payload).
+    pub checkpoint_bytes: u64,
+    /// Heap allocations observed by the `bench-profile` counting
+    /// allocator; `None` when no such allocator is installed.
+    #[serde(default)]
+    pub allocations: Option<u64>,
+}
+
+impl PhaseProfile {
+    /// Total operations across all phases (excluding `allocations`,
+    /// which is measured in different units).
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.scheduling_steps
+            + self.housekeeping_steps
+            + self.store_mutations
+            + self.events_pushed
+            + self.events_popped
+            + self.stats_samples
+            + self.checkpoints_written
+    }
+
+    /// The named counters in display order, for report rendering and
+    /// baseline diffing. `checkpoint_bytes` and `allocations` are not
+    /// listed: bytes scale with payload (not algorithm) and allocations
+    /// are build-dependent, so neither belongs in a regression gate.
+    #[must_use]
+    pub fn gated_counters(&self) -> [(&'static str, u64); 7] {
+        [
+            ("scheduling_steps", self.scheduling_steps),
+            ("housekeeping_steps", self.housekeeping_steps),
+            ("store_mutations", self.store_mutations),
+            ("events_pushed", self.events_pushed),
+            ("events_popped", self.events_popped),
+            ("stats_samples", self.stats_samples),
+            ("checkpoints_written", self.checkpoints_written),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ops_sums_every_gated_counter() {
+        let p = PhaseProfile {
+            scheduling_steps: 1,
+            housekeeping_steps: 2,
+            store_mutations: 4,
+            events_pushed: 8,
+            events_popped: 16,
+            stats_samples: 32,
+            checkpoints_written: 64,
+            checkpoint_bytes: 9999,
+            allocations: Some(7),
+        };
+        assert_eq!(p.total_ops(), 127);
+        let from_list: u64 = p.gated_counters().iter().map(|(_, v)| v).sum();
+        assert_eq!(from_list, p.total_ops());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_counters() {
+        let p = PhaseProfile {
+            scheduling_steps: 10,
+            allocations: None,
+            ..PhaseProfile::default()
+        };
+        let json = serde_json::to_string(&p).unwrap(); // INVARIANT: test asserts on success.
+        let back: PhaseProfile = serde_json::from_str(&json).unwrap(); // INVARIANT: test asserts on success.
+        assert_eq!(p, back);
+    }
+}

@@ -223,12 +223,77 @@ pub enum Resume {
 }
 
 /// Dense task table (the driver's master copy of every task).
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Serialization is custom: the table writes the compact columnar form
+/// from [`crate::compact`] (`{"count": n, "packed": "<base64>"}`), which
+/// is what makes version-2 checkpoints small. Deserialization dispatches
+/// on shape and also accepts the legacy `{"tasks": [...]}` array so
+/// version-1 checkpoints keep loading.
+#[derive(Clone, Debug, Default)]
 pub struct TaskTable {
     tasks: Vec<Task>,
 }
 
+impl serde::Serialize for TaskTable {
+    fn to_value(&self) -> serde::Value {
+        let packed = crate::compact::to_base64(&crate::compact::encode_tasks(&self.tasks));
+        serde::Value::Object(vec![
+            (
+                "count".to_string(),
+                serde::Value::Number(serde::Number::U(self.tasks.len() as u64)),
+            ),
+            ("packed".to_string(), serde::Value::String(packed)),
+        ])
+    }
+}
+
+impl serde::Deserialize for TaskTable {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(packed) = value.get("packed") {
+            let s = packed
+                .as_str()
+                .ok_or_else(|| serde::Error::custom("TaskTable: packed must be a string"))?;
+            let bytes = crate::compact::from_base64(s)
+                .map_err(|e| serde::Error::custom(format!("TaskTable: {e}")))?;
+            let tasks = crate::compact::decode_tasks(&bytes)
+                .map_err(|e| serde::Error::custom(format!("TaskTable: {e}")))?;
+            if let Some(count) = value.get("count").and_then(serde::Value::as_u64) {
+                if count != tasks.len() as u64 {
+                    return Err(serde::Error::custom(format!(
+                        "TaskTable: count {count} disagrees with packed length {}",
+                        tasks.len()
+                    )));
+                }
+            }
+            return Ok(Self { tasks });
+        }
+        let legacy = value
+            .get("tasks")
+            .ok_or_else(|| serde::Error::custom("TaskTable: expected packed or tasks field"))?;
+        let tasks = Vec::<Task>::from_value(legacy)?;
+        for (i, t) in tasks.iter().enumerate() {
+            if t.id.index() != i {
+                return Err(serde::Error::custom(format!(
+                    "TaskTable: legacy task {i} has non-dense id {}",
+                    t.id.index()
+                )));
+            }
+        }
+        Ok(Self { tasks })
+    }
+}
+
 impl TaskTable {
+    /// The version-1 serialization (`{"tasks": [...]}`), used by
+    /// [`crate::checkpoint::write_checkpoint_compat_v1`] to produce
+    /// old-format files that compatibility tests resume from.
+    pub(crate) fn to_legacy_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "tasks".to_string(),
+            serde::Serialize::to_value(&self.tasks),
+        )])
+    }
+
     /// Empty table.
     #[must_use]
     pub fn new() -> Self {
@@ -400,6 +465,9 @@ pub struct RunResult {
     pub report: Report,
     /// Final state of every task.
     pub tasks: Vec<Task>,
+    /// Deterministic per-phase operation counters for the run (see
+    /// [`crate::profile`]).
+    pub profile: crate::profile::PhaseProfile,
 }
 
 /// Reusable allocation arena for back-to-back runs (sweep points).
@@ -504,6 +572,14 @@ pub struct Simulation<S, P> {
     // REBUILD: resume constructs the simulation with primed = true;
     // a checkpoint is only ever taken after priming.
     primed: bool,
+    /// Checkpoint files written by this process's run loop.
+    // REBUILD: deliberately not checkpointed — the phase profiler
+    // describes the live process, so a resumed run restarts its
+    // checkpoint-write accounting at zero.
+    checkpoints_written: u64,
+    /// Total bytes of checkpoint data written by this process.
+    // REBUILD: same process-local window as `checkpoints_written`.
+    checkpoint_bytes: u64,
 }
 
 impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
@@ -575,6 +651,8 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             last_arrival: 0,
             stalled: false,
             primed: false,
+            checkpoints_written: 0,
+            checkpoint_bytes: 0,
         })
     }
 
@@ -642,6 +720,8 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             last_arrival: cp.last_arrival,
             stalled: cp.stalled,
             primed: true,
+            checkpoints_written: 0,
+            checkpoint_bytes: 0,
         };
         sim.audit()
             .map_err(|e| CheckpointError::State(format!("restored state failed audit: {e}")))?;
@@ -670,6 +750,25 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             created: self.created as u64,
             last_arrival: self.last_arrival,
             stalled: self.stalled,
+        }
+    }
+
+    /// Snapshot the deterministic per-phase operation counters (see
+    /// [`crate::profile`]). Cheap — every counter already exists in live
+    /// state — so it can be read mid-run or after [`run`](Self::run).
+    #[must_use]
+    pub fn phase_profile(&self) -> crate::profile::PhaseProfile {
+        crate::profile::PhaseProfile {
+            scheduling_steps: self.steps.scheduling,
+            housekeeping_steps: self.steps.housekeeping,
+            store_mutations: self.resources.mutation_ops(),
+            events_pushed: self.events.pushes(),
+            // BOUND: every popped event was pushed first, so len ≤ pushes.
+            events_popped: self.events.pushes() - self.events.len() as u64,
+            stats_samples: self.stats.generated + self.stats.completed + self.stats.discarded,
+            checkpoints_written: self.checkpoints_written,
+            checkpoint_bytes: self.checkpoint_bytes,
+            allocations: None,
         }
     }
 
@@ -1020,7 +1119,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             std::fs::create_dir_all(&dir)
                 .map_err(|e| RunError::Checkpoint(CheckpointError::Io(e)))?;
             let path = dir.join(format!("checkpoint-{:012}.dsc", self.clock));
-            checkpoint::write_checkpoint(&path, &self.checkpoint())?;
+            let bytes = checkpoint::write_checkpoint(&path, &self.checkpoint())?;
+            self.checkpoints_written += 1;
+            self.checkpoint_bytes += bytes;
             *next_cp = Some(next_boundary(self.clock, every));
         }
         Ok(())
@@ -1792,7 +1893,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             self.enact_discard(t, DiscardReason::SuspensionDrain);
         }
         debug_assert!(self.resources.check_invariants().is_ok());
-        let configured: Vec<&dreamsim_model::Node> = self
+        let configured: Vec<dreamsim_model::NodeRef<'_>> = self
             .resources
             .nodes()
             .iter()
@@ -1822,6 +1923,9 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
         metrics.domain_downtime = self.fault.domain_downtime(self.clock);
         metrics.mean_time_to_recover = self.fault.mean_time_to_recover();
         let report = Report::new(self.params.clone(), metrics.clone());
+        // Capture the profile before the scratch steal below clears the
+        // event queue (which would skew the popped-events counter).
+        let profile = self.phase_profile();
         if let Some(scratch) = scratch {
             self.events.clear();
             scratch.events = self.events;
@@ -1833,6 +1937,7 @@ impl<S: TaskSource, P: SchedulePolicy> Simulation<S, P> {
             metrics,
             report,
             tasks: self.tasks.into_vec(),
+            profile,
         }
     }
 }
@@ -2622,6 +2727,57 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_checkpoint_resumes_byte_identically() {
+        // A version-1 file (legacy JSON task array) and the version-2
+        // compact file of the same snapshot must restore the same state
+        // and replay to byte-identical reports.
+        let p = fault_params();
+        let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let stop = base.metrics.total_simulation_time / 2;
+        let mut sim = Simulation::new(p, FixedSource, GreedyPolicy).unwrap();
+        drive_until(&mut sim, stop);
+        assert!(!sim.tasks.is_empty(), "snapshot must carry tasks");
+        let dir = temp_dir("v1-compat");
+        let v2 = dir.join("mid.dsc");
+        let v1 = dir.join("mid-v1.dsc");
+        let snapshot = sim.checkpoint();
+        write_checkpoint(&v2, &snapshot).unwrap();
+        crate::checkpoint::write_checkpoint_compat_v1(&v1, &snapshot).unwrap();
+
+        let v2_raw = std::fs::read(&v2).unwrap();
+        let v1_raw = std::fs::read(&v1).unwrap();
+        assert!(
+            v1_raw.starts_with(b"DREAMSIM-CHECKPOINT 1 "),
+            "compat file must carry the version-1 header"
+        );
+        assert!(
+            v2_raw.starts_with(b"DREAMSIM-CHECKPOINT 2 "),
+            "current files must carry the version-2 header"
+        );
+        assert!(
+            v1_raw.len() > v2_raw.len(),
+            "the compact form should be smaller than the legacy array \
+             (v1 = {}, v2 = {})",
+            v1_raw.len(),
+            v2_raw.len()
+        );
+
+        let from_v2 = Simulation::resume(read_checkpoint(&v2).unwrap(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        let from_v1 = Simulation::resume(read_checkpoint(&v1).unwrap(), FixedSource, GreedyPolicy)
+            .unwrap()
+            .run();
+        assert_eq!(base.metrics, from_v1.metrics);
+        assert_eq!(from_v2.metrics, from_v1.metrics);
+        assert_eq!(from_v2.tasks, from_v1.tasks);
+        assert_eq!(from_v2.report.to_xml(), from_v1.report.to_xml());
+        assert_eq!(base.report.to_xml(), from_v1.report.to_xml());
+    }
+
+    #[test]
     fn checkpoint_resume_is_bit_identical_tick_stepped() {
         let p = fault_params();
         let base = Simulation::new(p.clone(), FixedSource, GreedyPolicy)
@@ -2792,9 +2948,10 @@ mod tests {
                 .iter()
                 .find_map(|n| n.slots().next().map(|(i, _)| (n.id, i)))
         });
-        let node = sim.resources.debug_node_mut(victim);
-        node.slot_mut(slot).unwrap().area += 1;
-        node.total_area += 1;
+        let area = sim.resources.node(victim).slot(slot).unwrap().area;
+        let total = sim.resources.node(victim).total_area;
+        sim.resources.debug_set_slot_area(victim, slot, area + 1);
+        sim.resources.debug_set_total_area(victim, total + 1);
         assert!(
             sim.resources.check_invariants().is_ok(),
             "compensated corruption must evade the store's own checker"
@@ -2820,10 +2977,7 @@ mod tests {
         // list: flags and lists now disagree.
         let victim = drive_to_idle_slot(&mut sim);
         sim.resources
-            .debug_node_mut(victim.0)
-            .slot_mut(victim.1)
-            .unwrap()
-            .task = Some(TaskId(0));
+            .debug_set_slot_task(victim.0, victim.1, Some(TaskId(0)));
         match sim.audit() {
             Err(AuditError::Store { detail }) => {
                 assert!(!detail.is_empty());
@@ -2890,10 +3044,7 @@ mod tests {
         let mut sim = Simulation::new(fault_params(), FixedSource, GreedyPolicy).unwrap();
         let victim = drive_to_idle_slot(&mut sim);
         sim.resources
-            .debug_node_mut(victim.0)
-            .slot_mut(victim.1)
-            .unwrap()
-            .task = Some(TaskId(0));
+            .debug_set_slot_task(victim.0, victim.1, Some(TaskId(0)));
         let opts = RunOptions {
             audit: true,
             ..RunOptions::default()
@@ -2934,13 +3085,22 @@ mod tests {
         ));
 
         // Future version → version error (checked before the CRC).
-        let bumped = header.replacen(" 1 ", " 2 ", 1);
+        let bumped = header.replacen(" 2 ", " 3 ", 1);
         assert_ne!(bumped, header, "header should contain the version");
         let bad = dir.join("future.dsc");
         std::fs::write(&bad, format!("{bumped}\n{payload}")).unwrap();
         assert!(matches!(
             read_checkpoint(&bad),
-            Err(CheckpointError::Version { found: 2 })
+            Err(CheckpointError::Version { found: 3 })
+        ));
+
+        // Version 0 predates the format → version error too.
+        let ancient = header.replacen(" 2 ", " 0 ", 1);
+        let bad = dir.join("ancient.dsc");
+        std::fs::write(&bad, format!("{ancient}\n{payload}")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&bad),
+            Err(CheckpointError::Version { found: 0 })
         ));
 
         // Truncated payload → CRC mismatch, not a panic.
@@ -3048,10 +3208,7 @@ mod tests {
             Some((running, spare))
         });
         sim.resources
-            .debug_node_mut(spare.0)
-            .slot_mut(spare.1)
-            .unwrap()
-            .task = Some(running);
+            .debug_set_slot_task(spare.0, spare.1, Some(running));
         match sim.audit() {
             Err(AuditError::Store { .. } | AuditError::TaskSlot { .. }) => {}
             other => panic!("expected a bijection violation, got {other:?}"),

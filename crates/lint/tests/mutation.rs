@@ -52,7 +52,7 @@ fn unmutated_sources_carry_no_r8_r9_findings() {
 #[test]
 fn injected_unserialized_field_trips_r8() {
     let sim = engine_src("sim.rs");
-    let anchor = "    primed: bool,\n}";
+    let anchor = "    checkpoint_bytes: u64,\n}";
     assert_eq!(
         sim.matches(anchor).count(),
         1,
@@ -60,7 +60,7 @@ fn injected_unserialized_field_trips_r8() {
     );
     let mutated = sim.replace(
         anchor,
-        "    primed: bool,\n    injected_unserialized_field: u64,\n}",
+        "    checkpoint_bytes: u64,\n    injected_unserialized_field: u64,\n}",
     );
     let report = lint_sources(&file_set(mutated));
     assert!(

@@ -47,6 +47,7 @@ pub mod lists;
 pub mod naive;
 pub mod node;
 pub mod search;
+pub mod soa;
 pub mod steps;
 pub mod store;
 pub mod suspension;
@@ -59,6 +60,7 @@ pub use ids::{Area, ConfigId, EntryRef, NodeId, TaskId, Ticks};
 pub use lists::ConfigLists;
 pub use node::{Node, NodeState, Slot};
 pub use search::{IndexSnapshot, SearchBackend, SearchIndex, AUTO_INDEXED_MIN_NODES};
+pub use soa::{NodeRef, NodeStore, Nodes, SlotView};
 pub use steps::StepCounter;
 pub use store::{Demand, ResourceManager};
 pub use suspension::SuspensionQueue;

@@ -12,9 +12,23 @@
 //! those traversals are exactly the housekeeping component of the *total
 //! scheduler workload* metric. Every visited link charges one
 //! housekeeping step.
+//!
+//! Since the SoA refactor (DESIGN.md §18) the links are threaded through
+//! the flat `slot_link` column of [`NodeStore`], so a list splice touches
+//! one dense cell per visited entry instead of a whole `Node` struct.
+//!
+//! Each list additionally keeps a contiguous *shadow* mirror (oldest
+//! entry first, head last). Removal locates the entry and its
+//! predecessor by scanning the shadow back-to-front — the same visit
+//! order and the same one-housekeeping-step-per-visit charge as the
+//! link walk, but over a few contiguous cache lines instead of a
+//! pointer chase across the whole slot arena. The intrusive links stay
+//! fully maintained (iteration and serialization are unchanged); the
+//! shadow is derived state, skipped by serde and rebuilt from the links
+//! on first use after deserialization.
 
 use crate::ids::{ConfigId, EntryRef};
-use crate::node::Node;
+use crate::soa::NodeStore;
 use crate::steps::{StepCounter, StepKind};
 
 /// Which of the two lists an operation targets.
@@ -27,10 +41,40 @@ pub enum ListKind {
 }
 
 /// Heads of the idle/busy lists for every configuration.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ConfigLists {
     idle_head: Vec<Option<EntryRef>>,
     busy_head: Vec<Option<EntryRef>>,
+    /// Contiguous mirror of each idle list, oldest first (head is the
+    /// last element). Derived from the intrusive links; never
+    /// serialized, rebuilt lazily after deserialization.
+    // REBUILD: derived acceleration state — `ensure_shadows` rebuilds
+    // the mirrors from the serialized heads and slot links on the first
+    // `push`/`remove` after a resume, before any list is mutated.
+    #[serde(skip)]
+    idle_shadow: Vec<Vec<EntryRef>>,
+    /// Busy-list mirror; see `idle_shadow`.
+    // REBUILD: same story as `idle_shadow` — rebuilt by
+    // `ensure_shadows` before the first mutation after a resume.
+    #[serde(skip)]
+    busy_shadow: Vec<Vec<EntryRef>>,
+}
+
+// The shadows are derived acceleration state: two lists are equal iff
+// their serialized shape (the heads, plus the links in the node store)
+// is — exactly the equality the pre-shadow derive expressed.
+impl PartialEq for ConfigLists {
+    fn eq(&self, other: &Self) -> bool {
+        self.idle_head == other.idle_head && self.busy_head == other.busy_head
+    }
+}
+
+impl Eq for ConfigLists {}
+
+impl Default for ConfigLists {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl ConfigLists {
@@ -40,7 +84,37 @@ impl ConfigLists {
         Self {
             idle_head: vec![None; num_configs],
             busy_head: vec![None; num_configs],
+            idle_shadow: vec![Vec::new(); num_configs],
+            busy_shadow: vec![Vec::new(); num_configs],
         }
+    }
+
+    /// Rebuild the shadow mirrors from the intrusive links if they are
+    /// missing (the `serde(skip)` default after deserialization). A
+    /// populated shadow is maintained incrementally by `push`/`remove`
+    /// and never drifts, so the rebuild triggers at most once per
+    /// restored store.
+    fn ensure_shadows(&mut self, nodes: &NodeStore) {
+        if self.idle_shadow.len() == self.idle_head.len()
+            && self.busy_shadow.len() == self.busy_head.len()
+        {
+            return;
+        }
+        let walk = |heads: &[Option<EntryRef>]| -> Vec<Vec<EntryRef>> {
+            heads
+                .iter()
+                .map(|&head| {
+                    let mut chain: Vec<EntryRef> =
+                        ListIter { nodes, cur: head }.collect();
+                    // The walk is head-first (newest first); the shadow
+                    // stores oldest first.
+                    chain.reverse();
+                    chain
+                })
+                .collect()
+        };
+        self.idle_shadow = walk(&self.idle_head);
+        self.busy_shadow = walk(&self.busy_head);
     }
 
     /// Number of configurations covered.
@@ -63,6 +137,13 @@ impl ConfigLists {
         }
     }
 
+    fn shadow_mut(&mut self, kind: ListKind, config: ConfigId) -> &mut Vec<EntryRef> {
+        match kind {
+            ListKind::Idle => &mut self.idle_shadow[config.index()],
+            ListKind::Busy => &mut self.busy_shadow[config.index()],
+        }
+    }
+
     /// Push `entry` at the front of the `kind` list of `config`.
     /// O(1); charges one housekeeping step (the head update).
     ///
@@ -71,74 +152,85 @@ impl ConfigLists {
     /// different configuration.
     pub fn push(
         &mut self,
-        nodes: &mut [Node],
+        nodes: &mut NodeStore,
         kind: ListKind,
         config: ConfigId,
         entry: EntryRef,
         steps: &mut StepCounter,
     ) {
         debug_assert_eq!(
-            nodes[entry.node.index()].slot(entry.slot).map(|s| s.config),
+            nodes.slot(entry.node.index(), entry.slot).map(|s| s.config),
             Some(config),
             "entry {entry} is not a live slot of {config}"
         );
+        self.ensure_shadows(nodes);
         let old_head = *self.head_mut(kind, config);
-        nodes[entry.node.index()]
-            .slot_mut(entry.slot)
-            // INVARIANT: the debug_assert above pins `entry` to a live
-            // slot of `config`; the auditor cross-checks lists ⇔ slot
-            // flags on every audited event.
-            .expect("live slot")
-            .link = old_head;
+        // INVARIANT: the debug_assert above pins `entry` to a live slot
+        // of `config`; the auditor cross-checks lists ⇔ slot flags on
+        // every audited event.
+        let linked = nodes.set_slot_link(entry.node.index(), entry.slot, old_head);
+        debug_assert!(linked, "entry {entry} is not a live slot");
         *self.head_mut(kind, config) = Some(entry);
+        self.shadow_mut(kind, config).push(entry);
         steps.tick(StepKind::Housekeeping);
     }
 
-    /// Remove `entry` from the `kind` list of `config`. Traverses from
-    /// the head, charging one housekeeping step per link visited.
-    /// Returns `false` if the entry was not on the list.
+    /// Remove `entry` from the `kind` list of `config`. Visits entries
+    /// in head-first list order (via the shadow mirror), charging one
+    /// housekeeping step per entry visited — the same charge the
+    /// link-walk of the singly-linked design incurs. Returns `false`
+    /// if the entry was not on the list.
     pub fn remove(
         &mut self,
-        nodes: &mut [Node],
+        nodes: &mut NodeStore,
         kind: ListKind,
         config: ConfigId,
         entry: EntryRef,
         steps: &mut StepCounter,
     ) -> bool {
-        let mut cur = self.head(kind, config);
-        let mut prev: Option<EntryRef> = None;
-        while let Some(c) = cur {
+        self.ensure_shadows(nodes);
+        let shadow = self.shadow_mut(kind, config);
+        let len = shadow.len();
+        // Back-to-front over the shadow is head-first in list order.
+        let mut found = None;
+        for i in (0..len).rev() {
             steps.tick(StepKind::Housekeeping);
-            let next = nodes[c.node.index()].slot(c.slot).and_then(|s| s.link);
-            if c == entry {
-                match prev {
-                    None => *self.head_mut(kind, config) = next,
-                    Some(p) => {
-                        nodes[p.node.index()]
-                            .slot_mut(p.slot)
-                            // INVARIANT: `p` was visited by this very
-                            // traversal one step earlier, so its slot
-                            // is live; nothing mutates between visits.
-                            .expect("live predecessor")
-                            .link = next;
-                    }
-                }
-                if let Some(slot) = nodes[c.node.index()].slot_mut(c.slot) {
-                    slot.link = None;
-                }
-                return true;
+            if shadow[i] == entry {
+                found = Some(i);
+                break;
             }
-            prev = cur;
-            cur = next;
         }
-        false
+        let Some(i) = found else {
+            return false;
+        };
+        // List position p maps to shadow index len - p: the successor
+        // (toward the tail) sits at i - 1, the predecessor at i + 1.
+        let next = if i > 0 { Some(shadow[i - 1]) } else { None };
+        let prev = shadow.get(i + 1).copied();
+        shadow.remove(i);
+        match prev {
+            None => *self.head_mut(kind, config) = next,
+            Some(p) => {
+                // INVARIANT: the shadow mirrors the live list, so the
+                // predecessor is a live slot of the same config.
+                let relinked = nodes.set_slot_link(p.node.index(), p.slot, next);
+                debug_assert!(relinked, "live predecessor");
+            }
+        }
+        nodes.set_slot_link(entry.node.index(), entry.slot, None);
+        true
     }
 
     /// Iterate the entries of the `kind` list of `config`, head first.
     /// Does **not** charge steps itself — callers charge per visited
     /// entry with the step kind appropriate to their activity
     /// (scheduling search vs housekeeping).
-    pub fn iter<'a>(&'a self, nodes: &'a [Node], kind: ListKind, config: ConfigId) -> ListIter<'a> {
+    pub fn iter<'a>(
+        &'a self,
+        nodes: &'a NodeStore,
+        kind: ListKind,
+        config: ConfigId,
+    ) -> ListIter<'a> {
         ListIter {
             nodes,
             cur: self.head(kind, config),
@@ -148,7 +240,7 @@ impl ConfigLists {
     /// Length of the `kind` list of `config` (test/diagnostic helper;
     /// charges no steps).
     #[must_use]
-    pub fn len(&self, nodes: &[Node], kind: ListKind, config: ConfigId) -> usize {
+    pub fn len(&self, nodes: &NodeStore, kind: ListKind, config: ConfigId) -> usize {
         self.iter(nodes, kind, config).count()
     }
 
@@ -161,7 +253,7 @@ impl ConfigLists {
 
 /// Iterator over a configuration's idle or busy list.
 pub struct ListIter<'a> {
-    nodes: &'a [Node],
+    nodes: &'a NodeStore,
     cur: Option<EntryRef>,
 }
 
@@ -170,7 +262,7 @@ impl Iterator for ListIter<'_> {
 
     fn next(&mut self) -> Option<EntryRef> {
         let c = self.cur?;
-        self.cur = self.nodes[c.node.index()].slot(c.slot).and_then(|s| s.link);
+        self.cur = self.nodes.slot_link(c.node.index(), c.slot);
         Some(c)
     }
 }
@@ -180,18 +272,21 @@ mod tests {
     use super::*;
     use crate::config::Config;
     use crate::ids::NodeId;
+    use crate::node::Node;
 
-    fn setup(n_nodes: usize) -> (Vec<Node>, ConfigLists, Config) {
-        let nodes = (0..n_nodes)
-            .map(|i| Node::new(NodeId::from_index(i), 4000, 1))
-            .collect();
+    fn setup(n_nodes: usize) -> (NodeStore, ConfigLists, Config) {
+        let nodes = NodeStore::from_nodes(
+            (0..n_nodes)
+                .map(|i| Node::new(NodeId::from_index(i), 4000, 1))
+                .collect(),
+        );
         let lists = ConfigLists::new(4);
         let cfg = Config::new(ConfigId(2), 500, 10);
         (nodes, lists, cfg)
     }
 
-    fn instantiate(nodes: &mut [Node], cfg: &Config, node: usize) -> EntryRef {
-        let slot = nodes[node].send_bitstream(cfg).unwrap();
+    fn instantiate(nodes: &mut NodeStore, cfg: &Config, node: usize) -> EntryRef {
+        let slot = nodes.send_bitstream(node, cfg).unwrap();
         EntryRef::new(NodeId::from_index(node), slot)
     }
 
@@ -256,7 +351,7 @@ mod tests {
         let order: Vec<EntryRef> = lists.iter(&nodes, ListKind::Idle, cfg.id).collect();
         assert_eq!(order, vec![e[2], e[0]]);
         // Removed entry's link is cleared so it can join another list.
-        assert_eq!(nodes[1].slot(e[1].slot).unwrap().link, None);
+        assert_eq!(nodes.slot(1, e[1].slot).unwrap().link, None);
     }
 
     #[test]
@@ -314,8 +409,8 @@ mod tests {
         // per-slot links exist for.
         let (mut nodes, mut lists, cfg) = setup(1);
         let mut steps = StepCounter::new();
-        let s0 = nodes[0].send_bitstream(&cfg).unwrap();
-        let s1 = nodes[0].send_bitstream(&cfg).unwrap();
+        let s0 = nodes.send_bitstream(0, &cfg).unwrap();
+        let s1 = nodes.send_bitstream(0, &cfg).unwrap();
         let e0 = EntryRef::new(NodeId(0), s0);
         let e1 = EntryRef::new(NodeId(0), s1);
         lists.push(&mut nodes, ListKind::Idle, cfg.id, e0, &mut steps);

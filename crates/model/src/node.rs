@@ -111,8 +111,10 @@ pub struct Node {
     pub id: NodeId,
     /// Total reconfigurable area (`TotalArea`).
     pub total_area: Area,
-    /// Remaining free area (`AvailableArea`, Eq. 4).
-    available_area: Area,
+    /// Remaining free area (`AvailableArea`, Eq. 4). Crate-visible so
+    /// [`crate::soa::NodeStore`] can convert to and from this AoS form
+    /// (the serialization mirror) without going through mutations.
+    pub(crate) available_area: Area,
     /// Device family (`family`).
     pub family: DeviceFamily,
     /// Hardware capabilities (`caps`).
@@ -131,18 +133,18 @@ pub struct Node {
     /// Contiguous 1-D placement state (`None` = the paper's scalar area
     /// model). When present, configurations must fit into a contiguous
     /// gap of fabric columns (DESIGN.md experiment A5).
-    strip: Option<Strip>,
+    pub(crate) strip: Option<Strip>,
     /// Gap-selection policy for contiguous placement.
-    gap_fit: GapFit,
+    pub(crate) gap_fit: GapFit,
     /// Slot slab: `None` entries are free slots awaiting reuse, keeping
     /// `EntryRef`s stable across evictions.
-    slots: Vec<Option<Slot>>,
+    pub(crate) slots: Vec<Option<Slot>>,
     /// Free-slot indices for O(1) reuse.
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
     /// Number of live slots.
-    live: u32,
+    pub(crate) live: u32,
     /// Number of slots with a running task.
-    running: u32,
+    pub(crate) running: u32,
 }
 
 impl Node {

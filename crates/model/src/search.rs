@@ -62,7 +62,7 @@
 use crate::config::Config;
 use crate::ids::{Area, ConfigId, EntryRef, NodeId};
 use crate::lists::{ConfigLists, ListKind};
-use crate::node::Node;
+use crate::soa::NodeStore;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -168,10 +168,36 @@ struct NodeIndexState {
     /// The available area under which this node's idle entries are
     /// currently keyed in the per-config idle maps.
     keyed_avail: Area,
-    /// Idle entries of this node: slot → (config, push sequence).
-    /// Ordered so every traversal (re-keying on area change) visits
-    /// slots in a defined order.
-    slots: BTreeMap<u32, (ConfigId, u64)>,
+    /// Idle entries of this node as `(slot, config, push sequence)`,
+    /// sorted by slot so every traversal (re-keying on area change)
+    /// visits slots in a defined order. A sorted `Vec` rather than a
+    /// `BTreeMap`: nodes hold a handful of slots, and these entries are
+    /// touched on every store mutation — a tree node allocation per
+    /// touched node was measurably the wrong trade.
+    slots: Vec<(u32, ConfigId, u64)>,
+}
+
+impl NodeIndexState {
+    /// Insert `(slot, config, seq)` keeping the slot order.
+    fn insert_slot(&mut self, slot: u32, config: ConfigId, seq: u64) {
+        let pos = self.slots.partition_point(|&(s, _, _)| s < slot);
+        debug_assert!(
+            self.slots.get(pos).is_none_or(|&(s, _, _)| s != slot),
+            "slot {slot} double-indexed"
+        );
+        self.slots.insert(pos, (slot, config, seq));
+    }
+
+    /// Remove the entry for `slot`, returning its `(config, seq)`.
+    fn remove_slot(&mut self, slot: u32) -> Option<(ConfigId, u64)> {
+        match self.slots.binary_search_by_key(&slot, |&(s, _, _)| s) {
+            Ok(pos) => {
+                let (_, config, seq) = self.slots.remove(pos);
+                Some((config, seq))
+            }
+            Err(_) => None,
+        }
+    }
 }
 
 /// Comparable, order-preserving summary of a [`SearchIndex`].
@@ -226,7 +252,7 @@ impl SearchIndex {
     /// tie-break order exactly — the property the incremental hooks are
     /// audited against.
     #[must_use]
-    pub fn rebuild(nodes: &[Node], configs: &[Config], lists: &ConfigLists) -> Self {
+    pub fn rebuild(nodes: &NodeStore, configs: &[Config], lists: &ConfigLists) -> Self {
         let mut configs_by_area: Vec<(Area, ConfigId)> =
             configs.iter().map(|c| (c.req_area, c.id)).collect();
         // TIEBREAK: ConfigId is unique per element, so the (area, id)
@@ -237,35 +263,45 @@ impl SearchIndex {
             blank: BTreeSet::new(),
             partial: BTreeSet::new(),
             idle: vec![BTreeMap::new(); configs.len()],
-            node_state: nodes
-                .iter()
-                .map(|n| NodeIndexState {
+            node_state: (0..nodes.len())
+                .map(|i| NodeIndexState {
                     set_key: None,
-                    keyed_avail: n.available_area(),
-                    slots: BTreeMap::new(),
+                    keyed_avail: nodes.available_area(i),
+                    slots: Vec::new(),
                 })
                 .collect(),
             seq_next: 0,
         };
-        for n in nodes {
-            let i = n.id.index();
-            idx.node_state[i].set_key = idx.desired_set_key(n);
-            if let Some((kind, area)) = idx.node_state[i].set_key {
-                idx.set_mut(kind).insert((area, n.id));
+        // Bulk-build the blank/partial sets: collect the keys into flat
+        // vectors and let `FromIterator` sort and bottom-up-build the
+        // trees — a million per-element random inserts was the dominant
+        // startup cost at the top bench rung.
+        let mut blank_keys: Vec<(Area, NodeId)> = Vec::new();
+        let mut partial_keys: Vec<(Area, NodeId)> = Vec::new();
+        for i in 0..nodes.len() {
+            let desired = idx.desired_set_key(nodes, i);
+            idx.node_state[i].set_key = desired;
+            match desired {
+                Some((SetKind::Blank, area)) => blank_keys.push((area, NodeId::from_index(i))),
+                Some((SetKind::Partial, area)) => partial_keys.push((area, NodeId::from_index(i))),
+                None => {}
             }
         }
+        idx.blank = blank_keys.into_iter().collect();
+        idx.partial = partial_keys.into_iter().collect();
         for c in configs {
             let entries: Vec<EntryRef> = lists.iter(nodes, ListKind::Idle, c.id).collect();
             let len = entries.len() as u64;
             for (pos, e) in entries.into_iter().enumerate() {
                 // Head of the list was pushed last → largest sequence.
+                // BOUND: seq_next is monotone over at most one push per
+                // list entry, far below u64 range.
                 let seq = idx.seq_next + (len - 1 - pos as u64);
-                let avail = nodes[e.node.index()].available_area();
+                let avail = nodes.available_area(e.node.index());
                 idx.idle[c.id.index()].insert((avail, Reverse(seq)), e);
-                idx.node_state[e.node.index()]
-                    .slots
-                    .insert(e.slot, (c.id, seq));
+                idx.node_state[e.node.index()].insert_slot(e.slot, c.id, seq);
             }
+            // BOUND: total pushes bounded by total idle entries.
             idx.seq_next += len;
         }
         idx
@@ -283,14 +319,14 @@ impl SearchIndex {
         }
     }
 
-    /// The set registration `node` should currently have.
-    fn desired_set_key(&self, node: &Node) -> Option<(SetKind, Area)> {
-        if node.down {
+    /// The set registration node `i` should currently have.
+    fn desired_set_key(&self, nodes: &NodeStore, i: usize) -> Option<(SetKind, Area)> {
+        if nodes.is_down(i) {
             None
-        } else if node.is_blank() {
-            Some((SetKind::Blank, node.total_area))
+        } else if nodes.is_blank(i) {
+            Some((SetKind::Blank, nodes.total_area(i)))
         } else {
-            Some((SetKind::Partial, node.available_area()))
+            Some((SetKind::Partial, nodes.available_area(i)))
         }
     }
 
@@ -298,10 +334,9 @@ impl SearchIndex {
     /// blank/partial/down status or its available area: fixes its set
     /// membership and re-keys its idle entries under the new available
     /// area.
-    pub(crate) fn refresh_node(&mut self, nodes: &[Node], node: NodeId) {
+    pub(crate) fn refresh_node(&mut self, nodes: &NodeStore, node: NodeId) {
         let i = node.index();
-        let n = &nodes[i];
-        let desired = self.desired_set_key(n);
+        let desired = self.desired_set_key(nodes, i);
         let current = self.node_state[i].set_key;
         if current != desired {
             if let Some((kind, area)) = current {
@@ -312,31 +347,33 @@ impl SearchIndex {
             }
             self.node_state[i].set_key = desired;
         }
-        let avail = n.available_area();
+        let avail = nodes.available_area(i);
         let old = self.node_state[i].keyed_avail;
         if old != avail {
             // Move every idle entry of this node to its new area key,
             // in slot order (the moves commute, but an ordered walk
-            // keeps even the intermediate states deterministic).
-            let moved: Vec<(ConfigId, u64)> = self.node_state[i].slots.values().copied().collect();
-            for (config, seq) in moved {
-                let map = &mut self.idle[config.index()];
+            // keeps even the intermediate states deterministic). The
+            // disjoint field borrows let this walk the slot vector in
+            // place, with no scratch allocation.
+            let (node_state, idle) = (&mut self.node_state, &mut self.idle);
+            for &(_, config, seq) in &node_state[i].slots {
+                let map = &mut idle[config.index()];
                 if let Some(e) = map.remove(&(old, Reverse(seq))) {
                     map.insert((avail, Reverse(seq)), e);
                 } else {
                     debug_assert!(false, "idle entry of {node} missing during re-key");
                 }
             }
-            self.node_state[i].keyed_avail = avail;
+            node_state[i].keyed_avail = avail;
         }
     }
 
     /// Register a freshly idle slot (configure or task release). Call
     /// [`refresh_node`](Self::refresh_node) first so the node's keyed
     /// area is current.
-    pub(crate) fn add_entry(&mut self, nodes: &[Node], entry: EntryRef, config: ConfigId) {
+    pub(crate) fn add_entry(&mut self, nodes: &NodeStore, entry: EntryRef, config: ConfigId) {
         let i = entry.node.index();
-        let avail = nodes[i].available_area();
+        let avail = nodes.available_area(i);
         debug_assert_eq!(
             self.node_state[i].keyed_avail, avail,
             "add_entry requires a refreshed node"
@@ -344,14 +381,14 @@ impl SearchIndex {
         let seq = self.seq_next;
         self.seq_next += 1;
         self.idle[config.index()].insert((avail, Reverse(seq)), entry);
-        self.node_state[i].slots.insert(entry.slot, (config, seq));
+        self.node_state[i].insert_slot(entry.slot, config, seq);
     }
 
     /// Drop one idle entry (task assignment or eviction). Must run
     /// *before* the mutation changes the node's available area.
     pub(crate) fn remove_entry(&mut self, node: NodeId, slot: u32) {
         let i = node.index();
-        if let Some((config, seq)) = self.node_state[i].slots.remove(&slot) {
+        if let Some((config, seq)) = self.node_state[i].remove_slot(slot) {
             let keyed = self.node_state[i].keyed_avail;
             let removed = self.idle[config.index()].remove(&(keyed, Reverse(seq)));
             debug_assert!(removed.is_some(), "idle entry {node}#{slot} not indexed");
@@ -362,18 +399,17 @@ impl SearchIndex {
 
     /// Drop every trace of `node` (node failure): its idle entries and
     /// its blank/partial registration.
-    pub(crate) fn purge_node(&mut self, nodes: &[Node], node: NodeId) {
+    pub(crate) fn purge_node(&mut self, nodes: &NodeStore, node: NodeId) {
         let i = node.index();
         let keyed = self.node_state[i].keyed_avail;
-        let entries: Vec<(ConfigId, u64)> = self.node_state[i].slots.values().copied().collect();
-        self.node_state[i].slots.clear();
-        for (config, seq) in entries {
-            self.idle[config.index()].remove(&(keyed, Reverse(seq)));
+        let (node_state, idle) = (&mut self.node_state, &mut self.idle);
+        for (_, config, seq) in node_state[i].slots.drain(..) {
+            idle[config.index()].remove(&(keyed, Reverse(seq)));
         }
         if let Some((kind, area)) = self.node_state[i].set_key.take() {
             self.set_mut(kind).remove(&(area, node));
         }
-        self.node_state[i].keyed_avail = nodes[i].available_area();
+        self.node_state[i].keyed_avail = nodes.available_area(i);
     }
 
     // ------------------------------------------------------------------
@@ -522,7 +558,7 @@ mod tests {
 
     #[test]
     fn empty_index_answers_nothing() {
-        let idx = SearchIndex::rebuild(&[], &[], &ConfigLists::new(0));
+        let idx = SearchIndex::rebuild(&NodeStore::default(), &[], &ConfigLists::new(0));
         assert_eq!(idx.closest_config(0), None);
         assert_eq!(idx.blank_candidates(0).next(), None);
         assert_eq!(idx.partial_candidates(0).next(), None);

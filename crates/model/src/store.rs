@@ -13,6 +13,12 @@
 //! ([`crate::search`]). The backend changes wall-clock cost only — both
 //! backends return the same results **and charge the same steps**, so
 //! reports and checkpoints are backend-independent (DESIGN.md §11).
+//!
+//! Node state lives in a struct-of-arrays [`NodeStore`] (DESIGN.md §18):
+//! the linear node-table scans below stride over the one or two dense
+//! columns they filter on (`down`, `available_area`, `total_area`)
+//! instead of ~130-byte `Node` structs. Serialization still goes through
+//! the AoS mirror, so checkpoints are byte-identical to the seed layout.
 
 use crate::caps::Capabilities;
 use crate::config::Config;
@@ -20,6 +26,7 @@ use crate::ids::{Area, ConfigId, EntryRef, NodeId, TaskId};
 use crate::lists::{ConfigLists, ListKind};
 use crate::node::{Node, NodeError, NodeState};
 use crate::search::{IndexSnapshot, SearchBackend, SearchIndex};
+use crate::soa::{NodeRef, NodeStore, Nodes};
 use crate::steps::{StepCounter, StepKind};
 use crate::task::PreferredConfig;
 use std::collections::BTreeSet;
@@ -57,7 +64,7 @@ impl Demand {
 
     /// Whether `node` offers the required capabilities.
     #[must_use]
-    pub fn caps_ok(&self, node: &Node) -> bool {
+    pub fn caps_ok(&self, node: NodeRef<'_>) -> bool {
         node.caps.is_superset_of(self.caps)
     }
 }
@@ -65,7 +72,7 @@ impl Demand {
 /// Owner of all resource state for one simulation run.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ResourceManager {
-    nodes: Vec<Node>,
+    nodes: NodeStore,
     configs: Vec<Config>,
     lists: ConfigLists,
     /// Active search backend. Run-scoped and deliberately **not**
@@ -85,6 +92,14 @@ pub struct ResourceManager {
     // auditor pins live-vs-rebuilt snapshot equality after resume.
     #[serde(skip)]
     index: SearchIndex,
+    /// Monotone count of store mutation operations (configure, evict,
+    /// assign, release, fail, repair) — the phase profiler's
+    /// store-mutate counter. Deterministic: driven entirely by the
+    /// simulated schedule, never by wall-clock.
+    // REBUILD: diagnostics only — a resumed run restarts the profile
+    // window at zero; no simulated state depends on this counter.
+    #[serde(skip)]
+    mutation_ops: u64,
 }
 
 impl ResourceManager {
@@ -95,19 +110,18 @@ impl ResourceManager {
     /// `0..len` in order (both tables are arena-indexed).
     #[must_use]
     pub fn new(nodes: Vec<Node>, configs: Vec<Config>) -> Self {
-        for (i, n) in nodes.iter().enumerate() {
-            assert_eq!(n.id.index(), i, "node ids must be dense and ordered");
-        }
         for (i, c) in configs.iter().enumerate() {
             assert_eq!(c.id.index(), i, "config ids must be dense and ordered");
         }
         let lists = ConfigLists::new(configs.len());
         Self {
-            nodes,
+            // `from_nodes` asserts dense, ordered node ids.
+            nodes: NodeStore::from_nodes(nodes),
             configs,
             lists,
             backend: SearchBackend::default(),
             index: SearchIndex::default(),
+            mutation_ops: 0,
         }
     }
 
@@ -170,35 +184,69 @@ impl ResourceManager {
         self.configs.len()
     }
 
-    /// Borrow a node.
+    /// Store mutation operations performed so far (phase profiler's
+    /// store-mutate counter; deterministic).
+    #[must_use]
+    pub fn mutation_ops(&self) -> u64 {
+        self.mutation_ops
+    }
+
+    /// Read proxy for a node.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range. Node ids are dense (checked at
     /// construction), so any id produced by this store is valid.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        self.nodes.node(id)
     }
 
     /// All nodes, in id order.
     #[must_use]
-    pub fn nodes(&self) -> &[Node] {
+    pub fn nodes(&self) -> Nodes<'_> {
+        self.nodes.iter()
+    }
+
+    /// The underlying columnar store (read-only; benches and audits).
+    #[must_use]
+    pub fn node_store(&self) -> &NodeStore {
         &self.nodes
     }
 
-    /// Mutable access to a node **bypassing list maintenance**. Exists
-    /// solely so tests (e.g. the invariant auditor's) can corrupt store
-    /// state on purpose; production code must go through the mutation
-    /// API above, which keeps the intrusive lists consistent.
+    /// Corrupt a live slot's denormalized `area` **bypassing area
+    /// accounting**. Exists solely so tests (e.g. the invariant
+    /// auditor's) can damage store state on purpose; production code
+    /// must go through the mutation API, which keeps the intrusive
+    /// lists and area sums consistent.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if the slot is not live.
     #[doc(hidden)]
-    #[must_use]
-    pub fn debug_node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.index()]
+    pub fn debug_set_slot_area(&mut self, node: NodeId, slot: u32, area: Area) {
+        self.nodes.debug_set_slot_area(node.index(), slot, area);
+    }
+
+    /// Corrupt a node's `TotalArea` without rebalancing (tests only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[doc(hidden)]
+    pub fn debug_set_total_area(&mut self, node: NodeId, area: Area) {
+        self.nodes.debug_set_total_area(node.index(), area);
+    }
+
+    /// Corrupt a live slot's task field **bypassing list maintenance**
+    /// (tests only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    #[doc(hidden)]
+    pub fn debug_set_slot_task(&mut self, node: NodeId, slot: u32, task: Option<TaskId>) {
+        self.nodes.debug_set_slot_task(node.index(), slot, task);
     }
 
     /// Borrow a configuration.
@@ -305,7 +353,7 @@ impl ResourceManager {
         let mut best: Option<(Area, EntryRef)> = None;
         for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
             steps.tick(StepKind::Scheduling);
-            let avail = self.nodes[e.node.index()].available_area();
+            let avail = self.nodes.available_area(e.node.index());
             if best.is_none_or(|(a, _)| avail < a) {
                 best = Some((avail, e));
             }
@@ -339,7 +387,7 @@ impl ResourceManager {
         let mut best: Option<(Area, EntryRef)> = None;
         for e in self.lists.iter(&self.nodes, ListKind::Idle, config) {
             steps.tick(StepKind::Scheduling);
-            let avail = self.nodes[e.node.index()].available_area();
+            let avail = self.nodes.available_area(e.node.index());
             if best.is_none_or(|(a, _)| avail > a) {
                 best = Some((avail, e));
             }
@@ -363,6 +411,12 @@ impl ResourceManager {
         v
     }
 
+    /// Whether node `i` satisfies `demand`'s capability requirement.
+    #[inline]
+    fn caps_ok_at(&self, i: usize, demand: Demand) -> bool {
+        self.nodes.caps(i).is_superset_of(demand.caps)
+    }
+
     /// Best **blank** node for the demanded area/capabilities: minimal
     /// `TotalArea` among eligible blank nodes (scans the node table; the
     /// paper keeps no blank list).
@@ -375,15 +429,19 @@ impl ResourceManager {
             // capability and placement filters is the linear pick.
             steps.charge(StepKind::Scheduling, self.nodes.len() as u64);
             return self.index.blank_candidates(demand.area).find(|&id| {
-                let n = &self.nodes[id.index()];
-                demand.caps_ok(n) && n.can_host(demand.area)
+                let i = id.index();
+                self.caps_ok_at(i, demand) && self.nodes.can_host(i, demand.area)
             });
         }
         let mut best: Option<(Area, NodeId)> = None;
-        for n in &self.nodes {
+        for i in 0..self.nodes.len() {
             steps.tick(StepKind::Scheduling);
-            if !n.down && n.is_blank() && demand.caps_ok(n) && n.can_host(demand.area) {
-                let cand = (n.total_area, n.id);
+            if !self.nodes.is_down(i)
+                && self.nodes.is_blank(i)
+                && self.caps_ok_at(i, demand)
+                && self.nodes.can_host(i, demand.area)
+            {
+                let cand = (self.nodes.total_area(i), NodeId::from_index(i));
                 if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
@@ -404,15 +462,19 @@ impl ResourceManager {
         if self.backend == SearchBackend::Indexed {
             steps.charge(StepKind::Scheduling, self.nodes.len() as u64);
             return self.index.partial_candidates(demand.area).find(|&id| {
-                let n = &self.nodes[id.index()];
-                demand.caps_ok(n) && n.can_host(demand.area)
+                let i = id.index();
+                self.caps_ok_at(i, demand) && self.nodes.can_host(i, demand.area)
             });
         }
         let mut best: Option<(Area, NodeId)> = None;
-        for n in &self.nodes {
+        for i in 0..self.nodes.len() {
             steps.tick(StepKind::Scheduling);
-            if !n.down && !n.is_blank() && demand.caps_ok(n) && n.can_host(demand.area) {
-                let cand = (n.available_area(), n.id);
+            if !self.nodes.is_down(i)
+                && !self.nodes.is_blank(i)
+                && self.caps_ok_at(i, demand)
+                && self.nodes.can_host(i, demand.area)
+            {
+                let cand = (self.nodes.available_area(i), NodeId::from_index(i));
                 if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
@@ -438,20 +500,22 @@ impl ResourceManager {
         demand: Demand,
         steps: &mut StepCounter,
     ) -> Option<(NodeId, Vec<u32>)> {
-        for n in &self.nodes {
-            if n.down || !demand.caps_ok(n) {
+        for i in 0..self.nodes.len() {
+            if self.nodes.is_down(i) || !self.caps_ok_at(i, demand) {
                 continue;
             }
-            let mut accum = n.available_area();
+            let mut accum = self.nodes.available_area(i);
             let mut entries: Vec<u32> = Vec::new();
-            for (idx, slot) in n.slots() {
+            for (idx, slot) in self.nodes.slots(i) {
                 steps.tick(StepKind::Scheduling);
                 if slot.task.is_none() {
                     // BOUND: accumulates slot areas of one node, at most its total_area.
                     accum += slot.area;
                     entries.push(idx);
-                    if accum >= demand.area && n.can_host_after_evicting(demand.area, &entries) {
-                        return Some((n.id, entries));
+                    if accum >= demand.area
+                        && self.nodes.can_host_after_evicting(i, demand.area, &entries)
+                    {
+                        return Some((NodeId::from_index(i), entries));
                     }
                 }
             }
@@ -467,12 +531,12 @@ impl ResourceManager {
     /// exactly the position of the first match, a quantity only the scan
     /// itself can produce (DESIGN.md §11).
     pub fn busy_candidate_exists(&self, demand: Demand, steps: &mut StepCounter) -> bool {
-        for n in &self.nodes {
+        for i in 0..self.nodes.len() {
             steps.tick(StepKind::Scheduling);
-            if !n.down
-                && n.state() == NodeState::Busy
-                && demand.caps_ok(n)
-                && n.total_area >= demand.area
+            if !self.nodes.is_down(i)
+                && self.nodes.state(i) == NodeState::Busy
+                && self.caps_ok_at(i, demand)
+                && self.nodes.total_area(i) >= demand.area
             {
                 return true;
             }
@@ -493,7 +557,9 @@ impl ResourceManager {
         steps: &mut StepCounter,
     ) -> Result<EntryRef, NodeError> {
         let cfg = self.configs[config.index()].clone();
-        let slot = self.nodes[node.index()].send_bitstream(&cfg)?;
+        let slot = self.nodes.send_bitstream(node.index(), &cfg)?;
+        // BOUND: one tick per successful mutation; u64 cannot wrap.
+        self.mutation_ops += 1;
         let entry = EntryRef::new(node, slot);
         self.lists
             .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
@@ -521,8 +587,9 @@ impl ResourceManager {
         steps: &mut StepCounter,
     ) -> Result<(), NodeError> {
         for &idx in slots {
-            let config = self.nodes[node.index()]
-                .slot(idx)
+            let config = self
+                .nodes
+                .slot(node.index(), idx)
                 .ok_or(NodeError::NoSuchSlot(idx))?
                 .config;
             let entry = EntryRef::new(node, idx);
@@ -536,7 +603,9 @@ impl ResourceManager {
             if self.backend == SearchBackend::Indexed {
                 self.index.remove_entry(node, idx);
             }
-            self.nodes[node.index()].evict_slot(idx)?;
+            self.nodes.evict_slot(node.index(), idx)?;
+            // BOUND: one tick per successful mutation; u64 cannot wrap.
+            self.mutation_ops += 1;
             if self.backend == SearchBackend::Indexed {
                 self.index.refresh_node(&self.nodes, node);
             }
@@ -557,8 +626,9 @@ impl ResourceManager {
         task: TaskId,
         steps: &mut StepCounter,
     ) -> Result<(), NodeError> {
-        let config = self.nodes[entry.node.index()]
-            .slot(entry.slot)
+        let config = self
+            .nodes
+            .slot(entry.node.index(), entry.slot)
             .ok_or(NodeError::NoSuchSlot(entry.slot))?
             .config;
         let removed = self
@@ -569,7 +639,9 @@ impl ResourceManager {
             // Assignment changes no areas, only list membership.
             self.index.remove_entry(entry.node, entry.slot);
         }
-        self.nodes[entry.node.index()].add_task(entry.slot, task)?;
+        self.nodes.add_task(entry.node.index(), entry.slot, task)?;
+        // BOUND: one tick per successful mutation; u64 cannot wrap.
+        self.mutation_ops += 1;
         self.lists
             .push(&mut self.nodes, ListKind::Busy, config, entry, steps);
         Ok(())
@@ -588,15 +660,18 @@ impl ResourceManager {
         entry: EntryRef,
         steps: &mut StepCounter,
     ) -> Result<TaskId, NodeError> {
-        let config = self.nodes[entry.node.index()]
-            .slot(entry.slot)
+        let config = self
+            .nodes
+            .slot(entry.node.index(), entry.slot)
             .ok_or(NodeError::NoSuchSlot(entry.slot))?
             .config;
         let removed = self
             .lists
             .remove(&mut self.nodes, ListKind::Busy, config, entry, steps);
         assert!(removed, "releasing {entry}: not on busy list of {config}");
-        let task = self.nodes[entry.node.index()].remove_task(entry.slot)?;
+        let task = self.nodes.remove_task(entry.node.index(), entry.slot)?;
+        // BOUND: one tick per successful mutation; u64 cannot wrap.
+        self.mutation_ops += 1;
         self.lists
             .push(&mut self.nodes, ListKind::Idle, config, entry, steps);
         if self.backend == SearchBackend::Indexed {
@@ -623,8 +698,10 @@ impl ResourceManager {
     /// that cannot be evicted. All of these mean earlier corruption, so
     /// the failure path refuses to paper over them.
     pub fn fail_node(&mut self, node: NodeId, steps: &mut StepCounter) -> Vec<TaskId> {
-        let entries: Vec<(u32, ConfigId, bool)> = self.nodes[node.index()]
-            .slots()
+        let i = node.index();
+        let entries: Vec<(u32, ConfigId, bool)> = self
+            .nodes
+            .slots(i)
             .map(|(idx, s)| (idx, s.config, s.task.is_some()))
             .collect();
         let mut killed = Vec::new();
@@ -638,18 +715,22 @@ impl ResourceManager {
             if busy {
                 // `busy` was read from this very slot moments ago, so a
                 // vanished task means the slab changed under us.
-                match self.nodes[node.index()].remove_task(idx) {
+                match self.nodes.remove_task(i, idx) {
                     Ok(task) => killed.push(task),
                     Err(e) => unreachable!("failing {entry}: busy slot lost its task: {e}"),
                 }
             }
             // Any task was removed just above, so the slot must be idle
             // and evictable.
-            if let Err(e) = self.nodes[node.index()].evict_slot(idx) {
+            if let Err(e) = self.nodes.evict_slot(i, idx) {
                 unreachable!("failing {entry}: cannot evict vacated slot: {e}");
             }
+            // BOUND: one tick per evicted slot; u64 cannot wrap.
+            self.mutation_ops += 1;
         }
-        self.nodes[node.index()].down = true;
+        self.nodes.set_down(i, true);
+        // BOUND: one tick per successful mutation; u64 cannot wrap.
+        self.mutation_ops += 1;
         if self.backend == SearchBackend::Indexed {
             // The loop above did not re-key per slot; purge uses the
             // recorded keys and drops the node's set registration.
@@ -660,7 +741,9 @@ impl ResourceManager {
 
     /// Bring a failed node back online, blank.
     pub fn repair_node(&mut self, node: NodeId) {
-        self.nodes[node.index()].down = false;
+        self.nodes.set_down(node.index(), false);
+        // BOUND: one tick per successful mutation; u64 cannot wrap.
+        self.mutation_ops += 1;
         if self.backend == SearchBackend::Indexed {
             self.index.refresh_node(&self.nodes, node);
         }
@@ -674,24 +757,27 @@ impl ResourceManager {
     /// `AvailableArea` over all nodes holding at least one configuration.
     #[must_use]
     pub fn wasted_area_snapshot(&self) -> Area {
-        self.nodes
-            .iter()
-            .filter(|n| !n.is_blank())
-            .map(|n| n.available_area())
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes.is_blank(i))
+            .map(|i| self.nodes.available_area(i))
             .sum()
     }
 
     /// Total reconfigurations performed across all nodes.
     #[must_use]
     pub fn total_reconfigurations(&self) -> u64 {
-        self.nodes.iter().map(|n| n.reconfig_count).sum()
+        (0..self.nodes.len())
+            .map(|i| self.nodes.reconfig_count(i))
+            .sum()
     }
 
     /// Number of nodes that were configured at least once
     /// (Table I's *total used nodes*).
     #[must_use]
     pub fn used_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| n.reconfig_count > 0).count()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes.reconfig_count(i) > 0)
+            .count()
     }
 
     /// Exhaustively validate the cross-structure invariants. Intended
@@ -707,9 +793,12 @@ impl ResourceManager {
     ///    index matches a from-scratch rebuild — membership, keys, and
     ///    tie-break order ([`IndexSnapshot`] equality).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for n in &self.nodes {
-            if !n.area_invariant_holds() {
-                return Err(format!("{}: Eq. 4 area invariant violated", n.id));
+        for i in 0..self.nodes.len() {
+            if !self.nodes.area_invariant_holds(i) {
+                return Err(format!(
+                    "{}: Eq. 4 area invariant violated",
+                    NodeId::from_index(i)
+                ));
             }
         }
         let mut listed: BTreeSet<EntryRef> = BTreeSet::new();
@@ -721,8 +810,9 @@ impl ResourceManager {
                     if visited > self.nodes.len() * 64 {
                         return Err(format!("{}: {kind:?} list appears cyclic", c.id));
                     }
-                    let slot = self.nodes[e.node.index()]
-                        .slot(e.slot)
+                    let slot = self
+                        .nodes
+                        .slot(e.node.index(), e.slot)
                         .ok_or_else(|| format!("{}: dangling entry {e}", c.id))?;
                     if slot.config != c.id {
                         return Err(format!("{e} on list of {} but holds {}", c.id, slot.config));
@@ -736,7 +826,10 @@ impl ResourceManager {
                 }
             }
         }
-        let live: usize = self.nodes.iter().map(|n| n.configured_count()).sum();
+        let live: usize = (0..self.nodes.len())
+            // BOUND: live is a small per-node slot count.
+            .map(|i| self.nodes.live_count(i) as usize)
+            .sum();
         if live != listed.len() {
             return Err(format!(
                 "{live} live slots but {} listed entries",
@@ -1211,7 +1304,24 @@ mod tests {
         let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
         rm.check_invariants().unwrap();
         // Corrupt: mark the slot busy without moving lists.
-        rm.nodes[0].add_task(e.slot, TaskId(9)).unwrap();
+        rm.nodes.add_task(0, e.slot, TaskId(9)).unwrap();
         assert!(rm.check_invariants().is_err());
+    }
+
+    #[test]
+    fn mutation_ops_counter_is_deterministic() {
+        let mut rm = make(&[(0, 400)], &[1000]);
+        let mut s = StepCounter::new();
+        assert_eq!(rm.mutation_ops(), 0);
+        let e = rm.configure_slot(NodeId(0), ConfigId(0), &mut s).unwrap();
+        rm.assign_task(e, TaskId(1), &mut s).unwrap();
+        rm.release_task(e, &mut s).unwrap();
+        rm.evict_idle_slots(NodeId(0), &[e.slot], &mut s).unwrap();
+        assert_eq!(rm.mutation_ops(), 4);
+        // The counter never serializes: a clone round-tripped through
+        // JSON restarts at zero (REBUILD note on the field).
+        let json = serde_json::to_string(&rm).unwrap();
+        let back: ResourceManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.mutation_ops(), 0);
     }
 }

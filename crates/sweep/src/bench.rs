@@ -545,6 +545,11 @@ pub struct ScaleRung {
     /// verification ceiling; `false` means *not checked here*, never
     /// "checked and differed" — a difference panics).
     pub reports_cross_checked: bool,
+    /// Deterministic per-phase operation counters of the scale-path
+    /// run (identical under the seed path — the differential battery
+    /// pins backend-independence), so CI can diff algorithmic cost
+    /// against the committed baseline without trusting the wall clock.
+    pub profile: dreamsim_engine::PhaseProfile,
 }
 
 /// Full scale-ladder output, serializable to `BENCH_scale.json`.
@@ -575,11 +580,21 @@ impl ScaleBenchReport {
         let _ = writeln!(out, "  \"rungs\": [");
         for (i, r) in self.rungs.iter().enumerate() {
             let comma = if i + 1 < self.rungs.len() { "," } else { "" };
+            let mut profile = String::from("{");
+            for (j, (name, value)) in r.profile.gated_counters().iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(profile, "{sep}\"{name}\": {value}");
+            }
+            let _ = write!(profile, ", \"checkpoint_bytes\": {}", r.profile.checkpoint_bytes);
+            if let Some(allocs) = r.profile.allocations {
+                let _ = write!(profile, ", \"allocations\": {allocs}");
+            }
+            profile.push('}');
             let _ = writeln!(
                 out,
                 "    {{\"nodes\": {}, \"tasks\": {}, \"heap_exact_ns\": {}, \
                  \"calendar_sketch_ns\": {}, \"speedup\": {:.2}, \"peak_rss_kb\": {}, \
-                 \"reports_cross_checked\": {}}}{comma}",
+                 \"reports_cross_checked\": {}, \"profile\": {profile}}}{comma}",
                 r.nodes,
                 r.tasks,
                 r.heap_exact_ns,
@@ -592,6 +607,80 @@ impl ScaleBenchReport {
         let _ = writeln!(out, "  ]");
         out.push_str("}\n");
         out
+    }
+}
+
+impl ScaleBenchReport {
+    /// Diff this run's per-rung phase counters against a committed
+    /// baseline (`BENCH_scale.json` text). Returns human-readable notes
+    /// on success; an `Err` lists every counter that *grew* by more than
+    /// `tolerance` (e.g. `0.25` = 25 %) relative to the baseline.
+    ///
+    /// Only the operation counters are gated — wall-clock and RSS fields
+    /// are ignored, so the check is meaningful on loaded CI runners.
+    /// Counter decreases are reported as notes, never failures (an
+    /// improvement should update the baseline, not break the build).
+    /// Baseline rungs that predate the profile schema, and rungs present
+    /// on only one side, are skipped with a note.
+    pub fn check_against(&self, baseline_json: &str, tolerance: f64) -> Result<Vec<String>, String> {
+        let baseline: serde::Value = serde_json::from_str(baseline_json)
+            .map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let base_rungs = baseline
+            .get("rungs")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| "baseline has no rungs array".to_string())?;
+        let mut notes = Vec::new();
+        let mut failures = Vec::new();
+        for r in &self.rungs {
+            let found = base_rungs.iter().find(|b| {
+                b.get("nodes").and_then(serde::Value::as_u64) == Some(r.nodes as u64)
+                    && b.get("tasks").and_then(serde::Value::as_u64) == Some(r.tasks as u64)
+            });
+            let Some(base) = found else {
+                notes.push(format!(
+                    "n{}: no baseline rung with {} tasks — skipped",
+                    r.nodes, r.tasks
+                ));
+                continue;
+            };
+            let Some(profile) = base.get("profile") else {
+                notes.push(format!("n{}: baseline predates profiles — skipped", r.nodes));
+                continue;
+            };
+            for (name, new) in r.profile.gated_counters() {
+                let Some(old) = profile.get(name).and_then(serde::Value::as_u64) else {
+                    notes.push(format!("n{}: baseline lacks {name} — skipped", r.nodes));
+                    continue;
+                };
+                if new == old {
+                    continue;
+                }
+                let growth = if old == 0 {
+                    f64::INFINITY
+                } else {
+                    (new as f64 - old as f64) / old as f64
+                };
+                if growth > tolerance {
+                    failures.push(format!(
+                        "n{}: {name} regressed {old} -> {new} (+{:.1}%, tolerance {:.0}%)",
+                        r.nodes,
+                        growth * 100.0,
+                        tolerance * 100.0
+                    ));
+                } else {
+                    notes.push(format!(
+                        "n{}: {name} changed {old} -> {new} ({:+.1}%) within tolerance",
+                        r.nodes,
+                        growth * 100.0
+                    ));
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(notes)
+        } else {
+            Err(failures.join("\n"))
+        }
     }
 }
 
@@ -638,7 +727,8 @@ pub fn run_scale_bench(
             .with_queue(dreamsim_engine::EventQueueBackend::Calendar)
             .with_stats(dreamsim_engine::StatsBackend::Sketch);
         let seed_point = SweepPoint::new(label.clone(), params.clone());
-        let (_, calendar_sketch_ns) = time_reps(reps, || run_point(&scale_point));
+        let ((_, profile), calendar_sketch_ns) =
+            time_reps(reps, || crate::runner::run_point_profiled(&scale_point));
         let peak = peak_rss_kb();
         let (heap_report, heap_exact_ns) = time_reps(reps, || run_point(&seed_point));
         let cross_checked = nodes <= verify_max_nodes;
@@ -661,6 +751,7 @@ pub fn run_scale_bench(
             speedup: heap_exact_ns as f64 / calendar_sketch_ns as f64,
             peak_rss_kb: peak,
             reports_cross_checked: cross_checked,
+            profile,
         });
     }
     ScaleBenchReport {

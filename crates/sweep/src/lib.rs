@@ -44,5 +44,6 @@ pub use chaos::{
 pub use figures::{ExperimentGrid, Figure, FigureSeries};
 pub use parallel::{cost_descending_order, effective_jobs, run_indexed, run_ordered};
 pub use runner::{
-    replicate, run_batch, run_point, run_point_with_scratch, PolicyConfig, Replicated, SweepPoint,
+    replicate, run_batch, run_point, run_point_profiled, run_point_with_scratch, PolicyConfig,
+    Replicated, SweepPoint,
 };

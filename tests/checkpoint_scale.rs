@@ -63,6 +63,62 @@ fn field_size(checkpoint: &[u8], field: &str) -> usize {
     serde_json::to_string(&v[field]).unwrap().len()
 }
 
+/// The compact columnar task table (checkpoint format v2, DESIGN.md
+/// §18) must hold a pinned byte budget as the ladder climbs 6k → 24k
+/// tasks, and must beat the legacy JSON array form of the *same
+/// snapshot* by at least 4×. The budget is generous (40 bytes per task,
+/// base64 included; observed ≈20) so it only trips on a real encoding
+/// regression, not on workload drift.
+#[test]
+fn compact_task_table_meets_byte_budget_and_beats_legacy() {
+    use dreamsim::engine::{read_checkpoint, write_checkpoint_compat_v1};
+    let rungs = [6_000usize, 24_000];
+    let mut compact_sizes = Vec::new();
+    for (i, &tasks) in rungs.iter().enumerate() {
+        let p = params(tasks, 0xBEEF + i as u64);
+        let dir = fresh_dir(&format!("ct{tasks}"));
+        let cp_bytes = last_checkpoint(&p, StatsBackend::Sketch, &dir);
+        assert!(
+            cp_bytes.starts_with(b"DREAMSIM-CHECKPOINT 2 "),
+            "n={tasks}: current checkpoints must carry the v2 header"
+        );
+        let compact = field_size(&cp_bytes, "tasks");
+        assert!(
+            compact <= tasks * 40 + 256,
+            "n={tasks}: compact task table blew its budget: {compact} bytes \
+             ({} per task, budget 40)",
+            compact / tasks
+        );
+        // Re-emit the same snapshot in the legacy v1 layout and compare.
+        let copy = dir.join("copy.dsc");
+        std::fs::write(&copy, &cp_bytes).unwrap();
+        let cp = read_checkpoint(&copy).unwrap();
+        let legacy_path = dir.join("legacy.dsc");
+        write_checkpoint_compat_v1(&legacy_path, &cp).unwrap();
+        let legacy = field_size(&std::fs::read(&legacy_path).unwrap(), "tasks");
+        assert!(
+            legacy >= compact * 4,
+            "n={tasks}: compact form ({compact} bytes) must be >= 4x smaller \
+             than the legacy array ({legacy} bytes)"
+        );
+        // And the legacy file must still load — it is the v1 compat
+        // surface this build promises to keep reading.
+        let reloaded = read_checkpoint(&legacy_path).unwrap();
+        assert_eq!(reloaded.clock(), cp.clock());
+        compact_sizes.push(compact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    // Scaling check: 4x the tasks may cost at most ~8x the bytes. The
+    // slack is deliberate — the snapshots' task-state mix differs per
+    // rung (a larger run has proportionally more in-flight tasks at its
+    // last checkpoint, and those carry more populated columns) — so
+    // only a genuinely superlinear blowup fails.
+    assert!(
+        compact_sizes[1] <= compact_sizes[0] * 8,
+        "compact task table grew superlinearly: {compact_sizes:?}"
+    );
+}
+
 /// Climbing the task ladder 6k → 24k must leave the sketch-mode
 /// statistics payload flat (both rungs sit past the sketch's collapse
 /// threshold, so both serialize the fixed bucket structure), while the
